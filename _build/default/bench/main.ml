@@ -1,0 +1,134 @@
+(* The benchmark harness.
+
+   Two layers:
+
+   1. The experiment tables (DESIGN.md §3, EXPERIMENTS.md): the paper has
+      no result tables of its own, so each claim-derived experiment
+      F1/E1..E10 prints the table recorded in EXPERIMENTS.md.  This is
+      the "regenerate every table and figure" entry point.
+
+   2. Bechamel wall-clock benchmarks: one Test.make per experiment
+      (quick configuration) plus micro-benchmarks of the hot paths
+      (record codec, log append+force, PSN-guarded redo, NodePSNList
+      merge, the full commit path).
+
+   Run with:  dune exec bench/main.exe            (tables + bechamel)
+              dune exec bench/main.exe -- tables  (tables only)
+              dune exec bench/main.exe -- micro   (bechamel only) *)
+
+module Experiments = Repro_experiments.Experiments
+module Report = Repro_experiments.Report
+module Cluster = Repro_cbl.Cluster
+module Record = Repro_wal.Record
+module Log_manager = Repro_wal.Log_manager
+module Lsn = Repro_wal.Lsn
+module Page = Repro_storage.Page
+module Page_id = Repro_storage.Page_id
+module Redo = Repro_aries.Redo
+module Node_psn_list = Repro_cbl.Node_psn_list
+module Config = Repro_sim.Config
+open Bechamel
+open Toolkit
+
+(* ---- layer 1: the experiment tables ---- *)
+
+let run_tables () =
+  Format.printf "#### Experiment tables (see EXPERIMENTS.md for the recorded copies) ####@.";
+  List.iter (Format.printf "%a" Report.render) (Experiments.all ())
+
+(* ---- layer 2: bechamel ---- *)
+
+let sample_update =
+  {
+    Record.txn = 7;
+    prev = 1234;
+    body =
+      Update
+        {
+          pid = Page_id.make ~owner:1 ~slot:9;
+          psn_before = 41;
+          op = Physical { off = 128; before = String.make 32 'a'; after = String.make 32 'b' };
+        };
+  }
+
+let encoded_update = Record.encode sample_update
+
+let micro_tests =
+  [
+    Test.make ~name:"record-encode" (Staged.stage (fun () -> Record.encode sample_update));
+    Test.make ~name:"record-decode" (Staged.stage (fun () -> Record.decode encoded_update));
+    Test.make ~name:"log-append+force"
+      (Staged.stage
+         (let env = Repro_sim.Env.create Config.instant in
+          let log = Log_manager.create env (Repro_sim.Metrics.create ()) () in
+          fun () ->
+            let lsn = Log_manager.append log sample_update in
+            Log_manager.force log ~upto:lsn));
+    Test.make ~name:"redo-apply"
+      (Staged.stage
+         (let page = Page.create ~id:(Page_id.make ~owner:0 ~slot:0) ~psn:0 ~size:8192 in
+          let op = Record.Delta { off = 0; delta = 1L } in
+          fun () -> ignore (Redo.apply page ~psn_before:(Page.psn page) ~op)));
+    Test.make ~name:"psn-list-merge"
+      (Staged.stage
+         (let runs =
+            List.init 4 (fun node ->
+                List.init 16 (fun i -> { Node_psn_list.node; psn = (i * 4) + node; lsn = i }))
+          in
+          fun () -> Node_psn_list.merge runs));
+    Test.make ~name:"commit-path (1 node, 2 updates)"
+      (Staged.stage
+         (let cluster = Cluster.create ~nodes:1 Config.instant in
+          let pages = Cluster.allocate_pages cluster ~owner:0 ~count:2 in
+          fun () ->
+            let t = Cluster.begin_txn cluster ~node:0 in
+            List.iter (fun p -> Cluster.update_delta cluster ~txn:t ~pid:p ~off:0 1L) pages;
+            Cluster.commit cluster ~txn:t));
+  ]
+
+(* One Bechamel test per experiment table (quick configuration). *)
+let experiment_tests =
+  List.map
+    (fun id ->
+      let f = Option.get (Experiments.by_id id) in
+      Test.make ~name:("experiment-" ^ id) (Staged.stage (fun () -> ignore (f ~quick:true ()))))
+    Experiments.ids
+
+let run_bechamel ~quota tests =
+  let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second quota) ~kde:(Some 1000) () in
+  let raw = Benchmark.all cfg instances (Test.make_grouped ~name:"" ~fmt:"%s%s" tests) in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows = ref [] in
+  Hashtbl.iter
+    (fun name ols ->
+      let ns =
+        match Analyze.OLS.estimates ols with Some (e :: _) -> e | Some [] | None -> nan
+      in
+      rows := (name, ns) :: !rows)
+    results;
+  List.iter
+    (fun (name, ns) ->
+      let value, unit_ =
+        if ns > 1e9 then (ns /. 1e9, "s") else if ns > 1e6 then (ns /. 1e6, "ms")
+        else if ns > 1e3 then (ns /. 1e3, "µs")
+        else (ns, "ns")
+      in
+      Format.printf "%-40s %10.2f %s/run@." name value unit_)
+    (List.sort compare !rows)
+
+let run_micro () =
+  Format.printf "@.#### Bechamel: hot paths (wall clock) ####@.";
+  run_bechamel ~quota:0.5 micro_tests;
+  Format.printf "@.#### Bechamel: one Test.make per experiment table (quick config) ####@.";
+  run_bechamel ~quota:1.0 experiment_tests
+
+let () =
+  let what = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
+  match what with
+  | "tables" -> run_tables ()
+  | "micro" -> run_micro ()
+  | _ ->
+    run_tables ();
+    run_micro ()

@@ -1,0 +1,209 @@
+(* cblsim — drive the client-based-logging simulator from the shell.
+
+   Subcommands:
+     cblsim experiment [IDS...] [--quick]   regenerate experiment tables
+     cblsim demo [options]                  run a workload, print metrics
+     cblsim stress [--runs N] [--start S]   randomized crash/verify runs *)
+
+module Cluster = Repro_cbl.Cluster
+module Node = Repro_cbl.Node
+module Recovery = Repro_cbl.Recovery
+module Engine = Repro_workload.Engine
+module Driver = Repro_workload.Driver
+module Generators = Repro_workload.Generators
+module Experiments = Repro_experiments.Experiments
+module Report = Repro_experiments.Report
+module Metrics = Repro_sim.Metrics
+module Config = Repro_sim.Config
+module Rng = Repro_util.Rng
+open Cmdliner
+
+(* ---- experiment ---- *)
+
+let experiment_cmd =
+  let ids =
+    Arg.(value & pos_all string [] & info [] ~docv:"ID" ~doc:"Experiment ids (default: all).")
+  in
+  let quick =
+    Arg.(value & flag & info [ "q"; "quick" ] ~doc:"Shrunken workloads for a fast pass.")
+  in
+  let run quick ids =
+    let reports =
+      match ids with
+      | [] -> Experiments.all ~quick ()
+      | ids ->
+        List.map
+          (fun id ->
+            match Experiments.by_id id with
+            | Some f -> f ~quick ()
+            | None ->
+              Fmt.failwith "unknown experiment %S (have: %s)" id
+                (String.concat ", " Experiments.ids))
+          ids
+    in
+    List.iter (Format.printf "%a" Report.render) reports
+  in
+  Cmd.v
+    (Cmd.info "experiment" ~doc:"Regenerate the claim-derived experiment tables (see DESIGN.md)")
+    Term.(const run $ quick $ ids)
+
+(* ---- demo ---- *)
+
+let demo nodes owners pages txns remote theta seed crash_at recover_at trace =
+  let cluster = Cluster.create ~trace ~seed ~nodes Config.default in
+  let owners = if owners = [] then [ 0 ] else owners in
+  let pages_by_owner =
+    List.map (fun o -> (o, Cluster.allocate_pages cluster ~owner:o ~count:pages)) owners
+  in
+  let engine = Engine.of_cluster cluster in
+  let rng = Rng.create seed in
+  let scripts =
+    Generators.partitioned rng ~pages_by_owner
+      ~clients:(List.init nodes (fun i -> i))
+      ~txns_per_client:txns
+      ~mix:{ Generators.default_mix with remote_fraction = remote; theta }
+  in
+  let events =
+    (match crash_at with
+    | Some (node, round) -> [ (round, Driver.Crash node) ]
+    | None -> [])
+    @
+    match (crash_at, recover_at) with
+    | Some (node, _), Some round -> [ (round, Driver.Recover [ node ]) ]
+    | Some (node, round), None -> [ (round + 20, Driver.Recover [ node ]) ]
+    | None, _ -> []
+  in
+  let outcome = Driver.run engine ~events scripts in
+  Format.printf "%a@.@." Driver.pp_outcome outcome;
+  (match Driver.verify outcome with
+  | Ok () -> Format.printf "durability oracle: OK@.@."
+  | Error errs ->
+    Format.printf "durability oracle: FAILED@.";
+    List.iter print_endline errs;
+    exit 1);
+  Format.printf "-- global counters --@.%a@." Metrics.pp (Cluster.global_metrics cluster);
+  if trace then begin
+    Format.printf "@.-- trace --@.";
+    Repro_sim.Trace.dump Format.std_formatter (Repro_sim.Env.trace (Cluster.env cluster))
+  end
+
+let demo_cmd =
+  let nodes = Arg.(value & opt int 4 & info [ "nodes" ] ~doc:"Cluster size.") in
+  let owners =
+    Arg.(value & opt (list int) [ 0; 2 ] & info [ "owners" ] ~doc:"Nodes that own databases.")
+  in
+  let pages = Arg.(value & opt int 24 & info [ "pages" ] ~doc:"Pages per owner.") in
+  let txns = Arg.(value & opt int 25 & info [ "txns" ] ~doc:"Transactions per client node.") in
+  let remote =
+    Arg.(value & opt float 0.3 & info [ "remote" ] ~doc:"Remote-access fraction (0..1).")
+  in
+  let theta = Arg.(value & opt float 0.0 & info [ "theta" ] ~doc:"Zipf skew (0 = uniform).") in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Deterministic seed.") in
+  let crash =
+    Arg.(
+      value
+      & opt (some (pair ~sep:'@' int int)) None
+      & info [ "crash" ] ~docv:"NODE@ROUND" ~doc:"Crash NODE at ROUND.")
+  in
+  let recover =
+    Arg.(value & opt (some int) None & info [ "recover" ] ~docv:"ROUND" ~doc:"Recovery round.")
+  in
+  let trace = Arg.(value & flag & info [ "trace" ] ~doc:"Dump the protocol event trace.") in
+  Cmd.v
+    (Cmd.info "demo" ~doc:"Run a workload on a CBL cluster and print its metrics")
+    Term.(
+      const demo $ nodes $ owners $ pages $ txns $ remote $ theta $ seed $ crash $ recover
+      $ trace)
+
+(* ---- stress ---- *)
+
+let stress runs start =
+  (* the same randomized schedule the property test uses, sequentially *)
+  let failures = ref 0 in
+  for seed = start to start + runs - 1 do
+    let rng = Rng.create seed in
+    let nodes = 2 + Rng.int rng 4 in
+    let cluster =
+      Cluster.create ~seed ~nodes ~pool_capacity:(8 + Rng.int rng 24) Config.instant
+    in
+    let owners = List.init (1 + Rng.int rng (min 3 nodes)) (fun i -> i) in
+    let pages_by_owner =
+      List.map
+        (fun o -> (o, Cluster.allocate_pages cluster ~owner:o ~count:(8 + Rng.int rng 16)))
+        owners
+    in
+    let engine0 = Engine.of_cluster cluster in
+    let engine =
+      if seed mod 2 = 1 then
+        {
+          engine0 with
+          Engine.recover =
+            (fun ~nodes -> Cluster.recover ~strategy:Recovery.Merged_logs cluster ~nodes);
+        }
+      else engine0
+    in
+    let scripts =
+      Generators.partitioned rng ~pages_by_owner
+        ~clients:(List.init nodes (fun i -> i))
+        ~txns_per_client:(4 + Rng.int rng 10)
+        ~mix:
+          {
+            Generators.ops_per_txn = 2 + Rng.int rng 8;
+            update_fraction = 0.3 +. Rng.float rng 0.6;
+            remote_fraction = Rng.float rng 0.8;
+            theta = Rng.float rng 1.0;
+            savepoint_fraction = Rng.float rng 0.3;
+            abort_fraction = Rng.float rng 0.2;
+          }
+    in
+    let events = ref [] in
+    let t = ref 10 in
+    let crashed = ref [] in
+    for _ = 1 to Rng.int rng 4 do
+      let victim = Rng.int rng nodes in
+      if not (List.mem victim !crashed) then begin
+        events := (!t, Driver.Crash victim) :: !events;
+        crashed := victim :: !crashed;
+        t := !t + 5 + Rng.int rng 20;
+        if Rng.chance rng 0.6 || List.length !crashed >= 2 then begin
+          events := (!t, Driver.Recover !crashed) :: !events;
+          crashed := [];
+          t := !t + 5 + Rng.int rng 15
+        end
+      end
+    done;
+    if !crashed <> [] then events := (!t + 5, Driver.Recover !crashed) :: !events;
+    let outcome =
+      Driver.run engine ~events:(List.sort compare !events) ~max_rounds:30_000 scripts
+    in
+    let down =
+      List.filter_map
+        (fun n -> if Cluster.node cluster n |> Node.is_up then None else Some n)
+        (List.init nodes (fun i -> i))
+    in
+    if down <> [] then Cluster.recover cluster ~nodes:down;
+    Cluster.check_invariants cluster;
+    (match (outcome.Driver.stuck, Driver.verify outcome) with
+    | 0, Ok () -> ()
+    | stuck, result ->
+      incr failures;
+      Format.printf "seed %d: FAILED (stuck=%d%s)@." seed stuck
+        (match result with Ok () -> "" | Error e -> "; " ^ List.hd e));
+    if (seed - start) mod 50 = 49 then Format.printf "...%d runs ok@." (seed - start + 1)
+  done;
+  if !failures = 0 then Format.printf "stress: %d randomized runs verified@." runs
+  else begin
+    Format.printf "stress: %d FAILURES@." !failures;
+    exit 1
+  end
+
+let stress_cmd =
+  let runs = Arg.(value & opt int 100 & info [ "runs" ] ~doc:"Number of randomized runs.") in
+  let start = Arg.(value & opt int 0 & info [ "start" ] ~doc:"First seed.") in
+  Cmd.v
+    (Cmd.info "stress" ~doc:"Randomized crash-schedule runs with the durability oracle")
+    Term.(const stress $ runs $ start)
+
+let () =
+  let doc = "client-based logging for high performance distributed architectures (ICDE'96)" in
+  exit (Cmd.eval (Cmd.group (Cmd.info "cblsim" ~doc) [ experiment_cmd; demo_cmd; stress_cmd ]))

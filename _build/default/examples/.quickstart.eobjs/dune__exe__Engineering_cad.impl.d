@@ -1,0 +1,1 @@
+examples/engineering_cad.ml: Format List Repro_cbl Repro_sim Repro_util Repro_workload String

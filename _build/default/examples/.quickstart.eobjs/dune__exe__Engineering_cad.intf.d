@@ -1,0 +1,1 @@
+examples/engineering_cad.mli:

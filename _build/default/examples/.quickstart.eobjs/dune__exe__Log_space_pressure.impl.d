@@ -1,0 +1,1 @@
+examples/log_space_pressure.ml: Format Int64 List Repro_cbl Repro_sim

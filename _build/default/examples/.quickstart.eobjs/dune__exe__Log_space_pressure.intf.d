@@ -1,0 +1,1 @@
+examples/log_space_pressure.mli:

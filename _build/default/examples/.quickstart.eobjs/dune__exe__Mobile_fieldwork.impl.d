@@ -1,0 +1,1 @@
+examples/mobile_fieldwork.ml: Format List Printf Repro_cbl Repro_sim Repro_util

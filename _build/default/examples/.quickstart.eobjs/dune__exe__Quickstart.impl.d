@@ -1,0 +1,1 @@
+examples/quickstart.ml: Format List Repro_cbl Repro_sim Repro_util

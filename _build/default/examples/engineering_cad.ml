@@ -1,0 +1,55 @@
+(* Engineering / CAD workload (§1 motivation, §1.2).
+
+   A design server (node 0) owns the drawing database.  Two engineering
+   workstations check out a set of drawings and revise them over many
+   transactions.  Inter-transaction caching keeps locks and pages at
+   the workstation, so after the first revision no lock or page message
+   leaves it; commits are local log forces.  A workstation crash in the
+   middle of a revision session is recovered from its own log.
+
+   Run with:  dune exec examples/engineering_cad.exe *)
+
+module Cluster = Repro_cbl.Cluster
+module Engine = Repro_workload.Engine
+module Driver = Repro_workload.Driver
+module Generators = Repro_workload.Generators
+module Metrics = Repro_sim.Metrics
+
+let () =
+  Format.printf "== engineering CAD: check-out / revise / check-in ==@.@.";
+  let cluster = Cluster.create ~nodes:3 ~pool_capacity:32 Repro_sim.Config.default in
+  let drawings = Cluster.allocate_pages cluster ~owner:0 ~count:16 in
+  let engine = Engine.of_cluster cluster in
+  let rng = Repro_util.Rng.create 2026 in
+
+  (* Workstation 1 revises drawings 0-3; workstation 2 revises 4-7. *)
+  let docs1 = List.filteri (fun i _ -> i < 4) drawings in
+  let docs2 = List.filteri (fun i _ -> i >= 4 && i < 8) drawings in
+  let scripts =
+    Generators.checkout rng ~pages:docs1 ~client:1 ~documents:4 ~revisions:12
+    @ Generators.checkout rng ~pages:docs2 ~client:2 ~documents:4 ~revisions:12
+  in
+  (* Workstation 1 crashes mid-session and comes back. *)
+  let events = [ (30, Driver.Crash 1); (40, Driver.Recover [ 1 ]) ] in
+  (* one engineer per workstation: revisions run sequentially *)
+  let outcome = Driver.run engine ~events ~mpl:1 scripts in
+  (match Driver.verify outcome with
+  | Ok () -> ()
+  | Error errs -> failwith (String.concat "; " errs));
+  Format.printf "%a@.@." Driver.pp_outcome outcome;
+
+  List.iter
+    (fun node ->
+      let m = Cluster.node_metrics cluster node in
+      Format.printf
+        "workstation %d: %3d commits, %2d commit msgs, %4d local lock hits, %3d remote lock \
+         reqs, %3d log forces@."
+        node m.Metrics.txn_committed m.Metrics.commit_messages m.Metrics.lock_requests_local
+        m.Metrics.lock_requests_remote m.Metrics.log_forces)
+    [ 1; 2 ];
+  let server = Cluster.node_metrics cluster 0 in
+  Format.printf "design server: %d lock callbacks sent, %d pages received back@.@."
+    server.Metrics.callbacks_sent server.Metrics.pages_shipped;
+  Format.printf
+    "note the shape: after the first revision each workstation runs from its cache — commits \
+     cost one local force and zero messages (§2.2).@."

@@ -1,0 +1,48 @@
+(* Log space management (§2.5) on a deliberately tiny log file.
+
+   A client hammers updates at pages owned by another node while its
+   own log holds only 8 KiB.  When the log fills, the node replaces the
+   page with the minimum RedoLSN, asks the owner to force it, receives
+   the flush acknowledgement, advances its low-water mark, and keeps
+   going.  Every transaction still commits and every committed update
+   survives a crash at the end.
+
+   Run with:  dune exec examples/log_space_pressure.exe *)
+
+module Cluster = Repro_cbl.Cluster
+module Metrics = Repro_sim.Metrics
+
+let () =
+  Format.printf "== §2.5 log space management on an 8 KiB log ==@.@.";
+  let config = Repro_sim.Config.with_page_size Repro_sim.Config.default 512 in
+  let cluster = Cluster.create ~pool_capacity:8 ~log_capacity:8192 ~nodes:2 config in
+  let pages = Cluster.allocate_pages cluster ~owner:0 ~count:8 in
+  let txns = 300 in
+  for i = 1 to txns do
+    let t = Cluster.begin_txn cluster ~node:1 in
+    let p = List.nth pages (i mod 8) in
+    Cluster.update_delta cluster ~txn:t ~pid:p ~off:0 1L;
+    Cluster.update_delta cluster ~txn:t ~pid:p ~off:8 (Int64.of_int i);
+    Cluster.commit cluster ~txn:t
+  done;
+  let m = Cluster.node_metrics cluster 1 in
+  Format.printf "%d transactions committed through an 8 KiB log@." txns;
+  Format.printf "space reclamation rounds : %d@." m.Metrics.log_space_stalls;
+  Format.printf "owner flush requests     : %d@." m.Metrics.flush_requests;
+  Format.printf "pages shipped to owner   : %d@.@." m.Metrics.pages_shipped;
+
+  (* The acid test: crash the client, recover, count the updates. *)
+  Cluster.crash cluster ~node:1;
+  Cluster.recover cluster ~nodes:[ 1 ];
+  let t = Cluster.begin_txn cluster ~node:1 in
+  let total =
+    List.fold_left
+      (fun acc p -> Int64.add acc (Cluster.read_cell cluster ~txn:t ~pid:p ~off:0))
+      0L pages
+  in
+  Cluster.commit cluster ~txn:t;
+  Format.printf "after crash + recovery the pages hold %Ld committed updates (want %d)@." total
+    txns;
+  assert (total = Int64.of_int txns);
+  Cluster.check_invariants cluster;
+  Format.printf "no committed work was lost: the tiny log never blocked durability.@."

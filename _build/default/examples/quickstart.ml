@@ -1,0 +1,61 @@
+(* Quickstart: the Figure 1 architecture in a few dozen lines.
+
+   Four networked nodes; nodes 0 and 2 have databases attached (the
+   paper's "owner nodes"), all four have local logs.  A client node
+   updates remote data, commits without a single message, survives a
+   crash, and recovers with the §2.3 protocol.
+
+   Run with:  dune exec examples/quickstart.exe *)
+
+module Cluster = Repro_cbl.Cluster
+module Metrics = Repro_sim.Metrics
+
+let () =
+  Format.printf "== client-based logging: quickstart ==@.@.";
+  let cluster = Cluster.create ~nodes:4 Repro_sim.Config.default in
+  (* Figure 1: two nodes own databases; we give each 8 pages. *)
+  let accounts = Cluster.allocate_pages cluster ~owner:0 ~count:8 in
+  let orders = Cluster.allocate_pages cluster ~owner:2 ~count:8 in
+  let account = List.hd accounts and order = List.hd orders in
+
+  (* A transaction at client node 1 updates pages of BOTH remote
+     databases.  All log records go to node 1's own log. *)
+  let t1 = Cluster.begin_txn cluster ~node:1 in
+  Cluster.update_delta cluster ~txn:t1 ~pid:account ~off:0 (-100L);
+  Cluster.update_delta cluster ~txn:t1 ~pid:order ~off:0 100L;
+  let msgs_before = (Cluster.node_metrics cluster 1).Metrics.messages_sent in
+  Cluster.commit cluster ~txn:t1;
+  let msgs_after = (Cluster.node_metrics cluster 1).Metrics.messages_sent in
+  Format.printf "T%d committed at node 1; messages sent during commit: %d (the headline!)@." t1
+    (msgs_after - msgs_before);
+
+  (* Savepoints and partial rollback (§2.2). *)
+  let t2 = Cluster.begin_txn cluster ~node:3 in
+  Cluster.update_delta cluster ~txn:t2 ~pid:account ~off:8 5L;
+  Cluster.savepoint cluster ~txn:t2 "before-risky-part";
+  Cluster.update_delta cluster ~txn:t2 ~pid:account ~off:8 1000L;
+  Cluster.rollback_to cluster ~txn:t2 "before-risky-part";
+  Cluster.commit cluster ~txn:t2;
+  Format.printf "T%d committed after a partial rollback@." t2;
+
+  (* Node 1 crashes with dirty pages that exist nowhere else; the §2.3
+     protocol recovers the committed state from node 1's own log. *)
+  let loser = Cluster.begin_txn cluster ~node:1 in
+  Cluster.update_delta cluster ~txn:loser ~pid:account ~off:0 999L;
+  Format.printf "@.crashing node 1 with T%d still in flight...@." loser;
+  Cluster.crash cluster ~node:1;
+  Cluster.recover cluster ~nodes:[ 1 ];
+  Format.printf "node 1 recovered (no log was merged, no clock consulted)@.@.";
+
+  let t3 = Cluster.begin_txn cluster ~node:1 in
+  let balance = Cluster.read_cell cluster ~txn:t3 ~pid:account ~off:0 in
+  let fee = Cluster.read_cell cluster ~txn:t3 ~pid:account ~off:8 in
+  let booked = Cluster.read_cell cluster ~txn:t3 ~pid:order ~off:0 in
+  Cluster.commit cluster ~txn:t3;
+  Format.printf "account balance : %Ld  (want -100: T1 committed, the loser rolled back)@." balance;
+  Format.printf "account fee     : %Ld  (want 5: the partial rollback held)@." fee;
+  Format.printf "order booked    : %Ld  (want 100)@." booked;
+  Cluster.check_invariants cluster;
+  assert (balance = -100L && fee = 5L && booked = 100L);
+  Format.printf "@.all invariants hold; simulated time elapsed: %a@." Repro_util.Pretty.seconds
+    (Cluster.now cluster)

@@ -1,0 +1,1 @@
+lib/aries/analysis.ml: Hashtbl Int List Master Option Repro_storage Repro_wal

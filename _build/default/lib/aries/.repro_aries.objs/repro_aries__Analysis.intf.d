@@ -1,0 +1,1 @@
+lib/aries/analysis.mli: Master Repro_storage Repro_wal

@@ -1,0 +1,1 @@
+lib/aries/checkpoint.ml: List Master Repro_sim Repro_wal

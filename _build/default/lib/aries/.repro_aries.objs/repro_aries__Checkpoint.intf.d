@@ -1,0 +1,1 @@
+lib/aries/checkpoint.mli: Master Repro_sim Repro_wal

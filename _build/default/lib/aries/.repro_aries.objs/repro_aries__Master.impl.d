@@ -1,0 +1,1 @@
+lib/aries/master.ml: Repro_wal

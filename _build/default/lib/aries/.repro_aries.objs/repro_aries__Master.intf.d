@@ -1,0 +1,1 @@
+lib/aries/master.mli: Repro_wal

@@ -1,0 +1,1 @@
+lib/aries/redo.ml: Format Repro_storage Repro_wal

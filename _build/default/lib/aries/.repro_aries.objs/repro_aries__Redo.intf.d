@@ -1,0 +1,1 @@
+lib/aries/redo.mli: Format Repro_storage Repro_wal

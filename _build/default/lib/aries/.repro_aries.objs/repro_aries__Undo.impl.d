@@ -1,0 +1,1 @@
+lib/aries/undo.ml: Format Repro_storage Repro_wal

@@ -1,0 +1,1 @@
+lib/aries/undo.mli: Repro_storage Repro_wal

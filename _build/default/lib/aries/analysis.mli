@@ -1,0 +1,24 @@
+(** Restart analysis pass (ARIES, as used in §2.3.1 / §2.4).
+
+    Scans the local log forward from the last complete checkpoint and
+    reconstructs (a) a {e superset} of the DPT at crash time and (b) the
+    loser transactions with their undo-chain heads.  The DPT is a
+    superset because pages may have been flushed after their last logged
+    update — harmless, since redo is PSN-guarded.
+
+    The scan charges the recovery counters; its record count is the
+    "log records scanned" column of experiments E4/E8. *)
+
+type result = {
+  dpt : Repro_wal.Record.dpt_entry list;
+  losers : Repro_wal.Record.active_txn list;
+      (** transactions with no commit/abort record; [last_lsn] is the
+          head of each undo chain *)
+  loser_pages : Repro_storage.Page_id.Set.t;
+      (** pages updated by loser transactions.  Under strict 2PL the
+          node held an X lock on each of these at crash time; restart
+          re-establishes those locks before undo (§2.3.3). *)
+  checkpoint_lsn : Repro_wal.Lsn.t;  (** where the scan started; [nil] = log start *)
+}
+
+val run : Repro_wal.Log_manager.t -> master:Master.t -> result

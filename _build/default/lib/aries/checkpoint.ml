@@ -1,0 +1,21 @@
+module Record = Repro_wal.Record
+module Log_manager = Repro_wal.Log_manager
+module Lsn = Repro_wal.Lsn
+
+let take log env metrics ~dpt ~active ~master =
+  let begin_lsn =
+    Log_manager.append log
+      { Record.txn = Record.system_txn; prev = Lsn.nil; body = Checkpoint_begin { dpt; active } }
+  in
+  let end_lsn =
+    Log_manager.append log
+      { Record.txn = Record.system_txn; prev = begin_lsn; body = Checkpoint_end }
+  in
+  Log_manager.force log ~upto:end_lsn;
+  Master.set master begin_lsn;
+  metrics.Repro_sim.Metrics.checkpoints_taken <- metrics.Repro_sim.Metrics.checkpoints_taken + 1;
+  let g = Repro_sim.Env.global_metrics env in
+  g.Repro_sim.Metrics.checkpoints_taken <- g.Repro_sim.Metrics.checkpoints_taken + 1;
+  Repro_sim.Env.tracef env "checkpoint taken at %a (dpt=%d active=%d)" Lsn.pp begin_lsn
+    (List.length dpt) (List.length active);
+  begin_lsn

@@ -1,0 +1,17 @@
+(** Fuzzy checkpointing (§2.2).
+
+    A checkpoint logs the node's DPT and active-transaction table
+    between a [Checkpoint_begin] / [Checkpoint_end] pair, forces the
+    pair, and then updates the master record.  Nothing is quiesced and —
+    the paper's advantage (4) — {e no other node is contacted}:
+    checkpointing is entirely local. *)
+
+val take :
+  Repro_wal.Log_manager.t ->
+  Repro_sim.Env.t ->
+  Repro_sim.Metrics.t ->
+  dpt:Repro_wal.Record.dpt_entry list ->
+  active:Repro_wal.Record.active_txn list ->
+  master:Master.t ->
+  Repro_wal.Lsn.t
+(** Returns the LSN of the begin record (the new master value). *)

@@ -1,0 +1,5 @@
+type t = { mutable lsn : Repro_wal.Lsn.t }
+
+let create () = { lsn = Repro_wal.Lsn.nil }
+let set t lsn = t.lsn <- lsn
+let get t = t.lsn

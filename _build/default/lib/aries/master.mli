@@ -1,0 +1,15 @@
+(** The master record: a durable, atomically-updated cell holding the
+    LSN of the node's last {e complete} checkpoint.  Real systems keep
+    it at a fixed location of the log volume; here it is a durable field
+    of the node that survives crashes by construction. *)
+
+type t
+
+val create : unit -> t
+
+val set : t -> Repro_wal.Lsn.t -> unit
+(** Called only after the checkpoint-end record has been forced. *)
+
+val get : t -> Repro_wal.Lsn.t
+(** LSN of the [Checkpoint_begin] of the last complete checkpoint, or
+    [Lsn.nil] if the node never completed one. *)

@@ -1,0 +1,38 @@
+module Record = Repro_wal.Record
+module Lsn = Repro_wal.Lsn
+
+type ops = {
+  read_record : Lsn.t -> Record.t;
+  perform_undo :
+    txn:int ->
+    pid:Repro_storage.Page_id.t ->
+    op:Record.update_op ->
+    undo_next:Lsn.t ->
+    Lsn.t;
+}
+
+let rollback ops ~txn ~from ~upto =
+  let rec go cur last =
+    if Lsn.is_nil cur || Lsn.compare cur upto <= 0 then last
+    else
+      let record = ops.read_record cur in
+      if record.Record.txn <> txn then
+        invalid_arg
+          (Format.asprintf "Undo.rollback: chain of T%d reached a record of T%d at %a" txn
+             record.Record.txn Lsn.pp cur);
+      match record.Record.body with
+      | Update { pid; op; _ } ->
+        let clr_lsn =
+          ops.perform_undo ~txn ~pid ~op:(Record.invert op) ~undo_next:record.Record.prev
+        in
+        go record.Record.prev clr_lsn
+      | Clr { undo_next; _ } ->
+        (* Already-compensated stretch: jump over it; CLRs are never undone. *)
+        go undo_next last
+      | Savepoint _ -> go record.Record.prev last
+      | Commit | Abort ->
+        invalid_arg "Undo.rollback: undo chain contains a termination record"
+      | Checkpoint_begin _ | Checkpoint_end ->
+        invalid_arg "Undo.rollback: undo chain contains a checkpoint record"
+  in
+  go from from

@@ -1,0 +1,30 @@
+(** The undo / rollback engine (total and partial rollback, §2.2; loser
+    undo at restart, §2.3).
+
+    The engine walks a transaction's undo chain ([prev] pointers),
+    skipping already-compensated stretches via CLR [undo_next] pointers,
+    and delegates the actual work to callbacks — because {e where} the
+    affected page lives (local cache, owner's cache, owner's disk)
+    depends on the caller: normal rollback may have to re-fetch replaced
+    pages from their owners (§2.2), while restart undo works on pages
+    the recovery pass just reconstructed. *)
+
+type ops = {
+  read_record : Repro_wal.Lsn.t -> Repro_wal.Record.t;
+  perform_undo :
+    txn:int ->
+    pid:Repro_storage.Page_id.t ->
+    op:Repro_wal.Record.update_op ->
+    undo_next:Repro_wal.Lsn.t ->
+    Repro_wal.Lsn.t;
+      (** Write the CLR (with the {e already inverted} [op] and the given
+          [undo_next]), apply it to the page, bump the PSN, maintain the
+          DPT, and return the CLR's LSN. *)
+}
+
+val rollback : ops -> txn:int -> from:Repro_wal.Lsn.t -> upto:Repro_wal.Lsn.t -> Repro_wal.Lsn.t
+(** [rollback ops ~txn ~from ~upto] undoes the transaction's updates
+    with LSN > [upto], starting the walk at [from] (the transaction's
+    [last_lsn]).  [upto = Lsn.nil] means total rollback.  Returns the
+    transaction's new [last_lsn] (the last CLR written, or [from] if
+    nothing was undone). *)

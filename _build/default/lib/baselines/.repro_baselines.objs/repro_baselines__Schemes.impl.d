@@ -1,0 +1,1 @@
+lib/baselines/schemes.ml: List Repro_cbl Repro_storage Repro_workload

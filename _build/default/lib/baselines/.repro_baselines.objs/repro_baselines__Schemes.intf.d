@@ -1,0 +1,1 @@
+lib/baselines/schemes.mli: Repro_cbl Repro_sim Repro_storage Repro_workload

@@ -1,0 +1,1 @@
+lib/buffer/buffer_pool.ml: Format Int List Page Page_id Repro_storage Repro_wal

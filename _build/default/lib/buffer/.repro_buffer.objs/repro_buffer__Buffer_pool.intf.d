@@ -1,0 +1,1 @@
+lib/buffer/buffer_pool.mli: Page Page_id Repro_storage Repro_wal

@@ -1,0 +1,1 @@
+lib/buffer/dpt.ml: Format List Page_id Repro_storage Repro_wal

@@ -1,0 +1,1 @@
+lib/buffer/dpt.mli: Format Page_id Repro_storage Repro_wal

@@ -1,0 +1,64 @@
+(** A node's buffer pool (cache) — steal / no-force (§2.1).
+
+    The pool is deliberately policy-free about {e what happens} to an
+    evicted dirty page (write locally vs. ship to the owner — that is
+    the node's business); it only picks victims and tracks frame state.
+    The WAL rule is enforced by the node: it must force the log up to a
+    dirty frame's [last_lsn] before the frame leaves the pool.
+
+    Two replacement policies are provided.  LRU matches what BeSS used;
+    Clock is the ablation alternative exercised by experiment E9's cache
+    sweeps. *)
+
+open Repro_storage
+
+type policy = Lru | Clock
+
+type frame = {
+  page : Page.t;
+  mutable dirty : bool;
+  mutable pin_count : int;
+  mutable rec_lsn : Repro_wal.Lsn.t;  (** first LSN that dirtied this caching period *)
+  mutable last_lsn : Repro_wal.Lsn.t;  (** latest update record; WAL force bound *)
+  mutable last_use : int;
+  mutable referenced : bool;  (** Clock's reference bit *)
+}
+
+type t
+
+val create : ?policy:policy -> capacity:int -> unit -> t
+(** [capacity] in pages; must be positive. *)
+
+val capacity : t -> int
+val size : t -> int
+val is_full : t -> bool
+
+val find : t -> Page_id.t -> frame option
+(** Touches the frame for the replacement policy. *)
+
+val peek : t -> Page_id.t -> frame option
+(** No policy side effects. *)
+
+val contains : t -> Page_id.t -> bool
+
+val install : t -> Page.t -> frame
+(** Adds a clean, unpinned frame.  @raise Invalid_argument if the pool
+    is full (the node must evict first) or the page is already
+    cached. *)
+
+val mark_dirty : frame -> lsn:Repro_wal.Lsn.t -> unit
+(** Records an update at [lsn]: sets dirty, maintains [rec_lsn] /
+    [last_lsn]. *)
+
+val pin : frame -> unit
+val unpin : frame -> unit
+
+val choose_victim : t -> frame option
+(** An unpinned frame per the policy, or [None] if all are pinned. *)
+
+val remove : t -> Page_id.t -> unit
+val cached_ids : t -> Page_id.t list
+val dirty_frames : t -> frame list
+val iter : t -> (frame -> unit) -> unit
+val clear : t -> unit
+(** Crash: every frame is lost. *)

@@ -1,0 +1,1 @@
+lib/core/block.ml: Format Repro_storage

@@ -1,0 +1,1 @@
+lib/core/cluster.ml: Array Format Hashtbl List Node Node_state Printf Recovery Repro_lock Repro_sim Repro_storage Repro_tx

@@ -1,0 +1,1 @@
+lib/core/cluster.mli: Node Node_state Recovery Repro_buffer Repro_lock Repro_sim Repro_storage

@@ -1,0 +1,1 @@
+lib/core/node.ml: Block Format Fun List Node_state Option Printf Repro_aries Repro_buffer Repro_lock Repro_sim Repro_storage Repro_tx Repro_wal String Wire

@@ -1,0 +1,1 @@
+lib/core/node.mli: Node_state Repro_aries Repro_buffer Repro_sim Repro_storage Repro_tx Repro_wal

@@ -1,0 +1,1 @@
+lib/core/node_psn_list.ml: Format Int List Option Page_id Repro_storage Repro_wal

@@ -1,0 +1,1 @@
+lib/core/node_psn_list.mli: Format Page_id Repro_storage Repro_wal

@@ -1,0 +1,1 @@
+lib/core/node_state.ml: Repro_aries Repro_buffer Repro_lock Repro_sim Repro_storage Repro_tx Repro_wal

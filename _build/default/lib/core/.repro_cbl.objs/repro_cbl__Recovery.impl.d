@@ -1,0 +1,1 @@
+lib/core/recovery.ml: Format Hashtbl Int List Node Node_psn_list Node_state Option Repro_aries Repro_buffer Repro_lock Repro_sim Repro_storage Repro_tx Repro_wal String Wire

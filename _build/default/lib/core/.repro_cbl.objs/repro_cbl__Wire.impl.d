@@ -1,0 +1,1 @@
+lib/core/wire.ml: Repro_sim

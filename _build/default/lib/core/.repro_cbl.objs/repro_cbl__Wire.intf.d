@@ -1,0 +1,1 @@
+lib/core/wire.mli: Repro_sim

@@ -1,0 +1,150 @@
+module Env = Repro_sim.Env
+module Page_id = Repro_storage.Page_id
+module Mode = Repro_lock.Mode
+module Local_locks = Repro_lock.Local_locks
+module Global_locks = Repro_lock.Global_locks
+module Deadlock = Repro_lock.Deadlock
+module Txn = Repro_tx.Txn
+module Txn_table = Repro_tx.Txn_table
+
+type t = {
+  env : Env.t;
+  members : Node_state.t array;
+  mutable next_txn : int;
+  txn_home : (int, int) Hashtbl.t;
+  deadlock : Deadlock.t;
+}
+
+let create ?(trace = false) ?(seed = 42) ?(pool_capacity = 64) ?pool_policy ?log_capacity
+    ?scheme ?retain_cached_locks ~nodes config =
+  if nodes <= 0 then invalid_arg "Cluster.create: need at least one node";
+  let env = Env.create ~trace ~seed config in
+  let members =
+    Array.init nodes (fun id ->
+        Node.create env ~id ~pool_capacity ?pool_policy ?log_capacity ?scheme
+          ?retain_cached_locks ())
+  in
+  let resolve id =
+    if id < 0 || id >= nodes then invalid_arg (Printf.sprintf "Cluster: no node %d" id);
+    members.(id)
+  in
+  Array.iter (fun n -> n.Node_state.resolve <- resolve) members;
+  { env; members; next_txn = 0; txn_home = Hashtbl.create 64; deadlock = Deadlock.create () }
+
+let env t = t.env
+let node_count t = Array.length t.members
+
+let node t id =
+  if id < 0 || id >= node_count t then invalid_arg (Printf.sprintf "Cluster: no node %d" id);
+  t.members.(id)
+
+let nodes t = Array.to_list t.members
+let now t = Env.now t.env
+
+let allocate_pages t ~owner ~count =
+  let n = node t owner in
+  List.init count (fun _ -> Node.allocate_page n)
+
+let begin_txn t ~node:node_id =
+  let n = node t node_id in
+  t.next_txn <- t.next_txn + 1;
+  let id = t.next_txn in
+  let _txn = Node.begin_txn n ~id in
+  Hashtbl.replace t.txn_home id node_id;
+  id
+
+let txn_node t txn =
+  match Hashtbl.find_opt t.txn_home txn with
+  | Some node -> node
+  | None -> invalid_arg (Printf.sprintf "Cluster: unknown transaction %d" txn)
+
+let home t txn = node t (txn_node t txn)
+
+let read t ~txn ~pid ~off ~len = Node.read (home t txn) ~txn ~pid ~off ~len
+let read_cell t ~txn ~pid ~off = Node.read_cell (home t txn) ~txn ~pid ~off
+let update_bytes t ~txn ~pid ~off s = Node.update_bytes (home t txn) ~txn ~pid ~off s
+let update_delta t ~txn ~pid ~off d = Node.update_delta (home t txn) ~txn ~pid ~off d
+
+let commit t ~txn =
+  Node.commit (home t txn) ~txn;
+  Deadlock.remove_txn t.deadlock txn
+
+let abort t ~txn =
+  Node.abort (home t txn) ~txn;
+  Deadlock.remove_txn t.deadlock txn
+
+let savepoint t ~txn name = Node.savepoint (home t txn) ~txn name
+let rollback_to t ~txn name = Node.rollback_to (home t txn) ~txn name
+
+let active_txns t ~node:node_id =
+  List.map (fun (txn : Txn.t) -> txn.Txn.id) (Txn_table.active (node t node_id).Node_state.txns)
+
+let checkpoint t ~node:node_id = Node.checkpoint (node t node_id)
+
+let crash t ~node:node_id =
+  let n = node t node_id in
+  let in_flight = Txn_table.active n.Node_state.txns in
+  Node.crash n;
+  List.iter (fun (txn : Txn.t) -> Deadlock.remove_txn t.deadlock txn.Txn.id) in_flight
+
+let operational_nodes t =
+  List.filter_map
+    (fun n -> if Node.is_up n then Some (Node.id n) else None)
+    (nodes t)
+
+let recover ?strategy t ~nodes:ids =
+  let crashed = List.map (node t) ids in
+  let crashed_ids = List.map Node.id crashed in
+  let operational =
+    List.filter (fun n -> Node.is_up n && not (List.mem (Node.id n) crashed_ids)) (nodes t)
+  in
+  Recovery.run ?strategy ~crashed ~operational ()
+
+let deadlock t = t.deadlock
+let global_metrics t = Env.global_metrics t.env
+let node_metrics t id = (node t id).Node_state.metrics
+
+let check_invariants t =
+  Array.iter (fun n -> if Node.is_up n then Node.check_invariants n) t.members;
+  (* Cross-node: every cached node-level lock has a covering entry in
+     the owner's table, and every owner-side entry is cached at the
+     holder. *)
+  Array.iter
+    (fun n ->
+      if Node.is_up n then
+        List.iter
+          (fun (pid, mode) ->
+            let owner = t.members.(Page_id.owner pid) in
+            if Node.is_up owner then
+              match Global_locks.holder_mode owner.Node_state.glocks ~node:n.Node_state.id ~pid with
+              | Some held when Mode.covers held mode -> ()
+              | Some held ->
+                invalid_arg
+                  (Format.asprintf "node %d caches %a on %a but owner records %a"
+                     n.Node_state.id Mode.pp mode Page_id.pp pid Mode.pp held)
+              | None ->
+                invalid_arg
+                  (Format.asprintf "node %d caches %a on %a unknown to owner" n.Node_state.id
+                     Mode.pp mode Page_id.pp pid))
+          (Local_locks.cached_pages n.Node_state.locks))
+    t.members;
+  Array.iter
+    (fun owner ->
+      if Node.is_up owner then
+        List.iter
+          (fun pid ->
+            List.iter
+              (fun (holder_id, mode) ->
+                let holder = t.members.(holder_id) in
+                if Node.is_up holder && holder_id <> owner.Node_state.id then
+                  match Local_locks.cached_mode holder.Node_state.locks pid with
+                  | Some held when Mode.covers held mode -> ()
+                  | Some _ | None ->
+                    invalid_arg
+                      (Format.asprintf "owner %d records %a holding %a on %a but holder disagrees"
+                         owner.Node_state.id
+                         (fun ppf -> Format.fprintf ppf "node %d") holder_id Mode.pp mode
+                         Page_id.pp pid))
+              (Global_locks.holders owner.Node_state.glocks ~pid))
+          (Global_locks.pages owner.Node_state.glocks))
+    t.members

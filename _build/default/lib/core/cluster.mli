@@ -1,0 +1,96 @@
+(** A simulated CBL cluster — the library's main entry point.
+
+    Builds the Figure-1 topology: [n] networked nodes, each with a
+    local log; any subset of them owns databases (pages are allocated
+    at a chosen owner).  Issues cluster-wide transaction ids, routes
+    operations to the executing node, and provides crash / recovery
+    entry points and the global waits-for deadlock detector.
+
+    {[
+      let cluster = Cluster.create ~nodes:4 (Repro_sim.Config.default) in
+      let pages = Cluster.allocate_pages cluster ~owner:0 ~count:16 in
+      let t = Cluster.begin_txn cluster ~node:1 in
+      Cluster.update_delta cluster ~txn:t ~pid:(List.hd pages) ~off:0 1L;
+      Cluster.commit cluster ~txn:t;          (* zero messages! *)
+      Cluster.crash cluster ~node:1;
+      Cluster.recover cluster ~nodes:[ 1 ]    (* §2.3 protocol *)
+    ]} *)
+
+type t
+
+val create :
+  ?trace:bool ->
+  ?seed:int ->
+  ?pool_capacity:int ->
+  ?pool_policy:Repro_buffer.Buffer_pool.policy ->
+  ?log_capacity:int ->
+  ?scheme:Node_state.scheme ->
+  ?retain_cached_locks:bool ->
+  nodes:int ->
+  Repro_sim.Config.t ->
+  t
+(** [pool_capacity] defaults to 64 pages per node; [log_capacity]
+    (bytes) defaults to unbounded; [scheme] defaults to the paper's
+    {!Node_state.Local_logging} (baselines: see {!Node_state.scheme}). *)
+
+val env : t -> Repro_sim.Env.t
+val node_count : t -> int
+val node : t -> int -> Node.t
+val nodes : t -> Node.t list
+val now : t -> float
+(** Simulated seconds elapsed. *)
+
+(** {1 Database population} *)
+
+val allocate_pages : t -> owner:int -> count:int -> Repro_storage.Page_id.t list
+
+(** {1 Transactions}
+
+    All operations may raise {!Block.Would_block}; callers either use
+    the workload driver (which retries and detects deadlocks) or treat
+    it as an error. *)
+
+val begin_txn : t -> node:int -> int
+(** Returns the new transaction's cluster-wide id. *)
+
+val read : t -> txn:int -> pid:Repro_storage.Page_id.t -> off:int -> len:int -> string
+val read_cell : t -> txn:int -> pid:Repro_storage.Page_id.t -> off:int -> int64
+val update_bytes : t -> txn:int -> pid:Repro_storage.Page_id.t -> off:int -> string -> unit
+val update_delta : t -> txn:int -> pid:Repro_storage.Page_id.t -> off:int -> int64 -> unit
+val commit : t -> txn:int -> unit
+val abort : t -> txn:int -> unit
+val savepoint : t -> txn:int -> string -> unit
+val rollback_to : t -> txn:int -> string -> unit
+
+val txn_node : t -> int -> int
+(** The node a transaction runs on. *)
+
+val active_txns : t -> node:int -> int list
+
+(** {1 Maintenance, failures, recovery} *)
+
+val checkpoint : t -> node:int -> unit
+val crash : t -> node:int -> unit
+(** Also drops the node's in-flight transactions from the deadlock
+    graph (they are losers; restart will roll them back). *)
+
+val recover : ?strategy:Recovery.strategy -> t -> nodes:int list -> unit
+(** §2.3 for a single node, §2.4 for several.  [strategy] defaults to
+    the paper's PSN-coordinated protocol; [Merged_logs] is the E4
+    baseline. *)
+
+val operational_nodes : t -> int list
+
+(** {1 Deadlock handling} *)
+
+val deadlock : t -> Repro_lock.Deadlock.t
+(** The global waits-for graph, maintained by the workload driver. *)
+
+(** {1 Introspection} *)
+
+val global_metrics : t -> Repro_sim.Metrics.t
+val node_metrics : t -> int -> Repro_sim.Metrics.t
+val check_invariants : t -> unit
+(** Per-node invariants plus cross-node lock-table consistency: every
+    node-level lock cached at a client is present in the owner's table
+    with a covering mode, and vice versa. *)

@@ -1,0 +1,844 @@
+module Env = Repro_sim.Env
+module Metrics = Repro_sim.Metrics
+module Page = Repro_storage.Page
+module Page_id = Repro_storage.Page_id
+module Disk = Repro_storage.Disk
+module Alloc_map = Repro_storage.Alloc_map
+module Lsn = Repro_wal.Lsn
+module Record = Repro_wal.Record
+module Log_manager = Repro_wal.Log_manager
+module Buffer_pool = Repro_buffer.Buffer_pool
+module Dpt = Repro_buffer.Dpt
+module Mode = Repro_lock.Mode
+module Local_locks = Repro_lock.Local_locks
+module Global_locks = Repro_lock.Global_locks
+module Txn = Repro_tx.Txn
+module Txn_table = Repro_tx.Txn_table
+module Undo = Repro_aries.Undo
+
+(* Node_state exports the shared state record; opening it is the
+   "shared type definitions" exception to the no-open rule. *)
+open Node_state
+
+type t = Node_state.t
+
+let create env ~id ~pool_capacity ?(pool_policy = Buffer_pool.Lru) ?log_capacity
+    ?(scheme = Local_logging) ?(retain_cached_locks = true) () =
+  Node_state.create env ~id ~pool_capacity ~pool_policy ~log_capacity ~scheme
+    ~retain_cached_locks
+
+let id t = t.id
+let is_up t = t.up
+let check_up t = if not t.up then Block.block (Block.Node_down { node = t.id })
+let page_size t = (Env.config t.env).Repro_sim.Config.page_size
+
+(* The log that holds this node's transaction records: its own, except
+   under the shared-log baseline. *)
+let txn_log t =
+  match t.scheme with
+  | Global_log { log_node } -> (peer t log_node).log
+  | Local_logging | Server_logging _ | Pca_double_logging -> t.log
+
+(* WAL discipline before a dirty page copy leaves the node.  Under the
+   server-logging baseline the client has no durable log — its records
+   travel at commit (ARIES/CSA); see DESIGN.md for the simplification. *)
+let wal_force t lsn =
+  if not (Lsn.is_nil lsn) then
+    match t.scheme with
+    | Local_logging | Pca_double_logging -> Log_manager.force t.log ~upto:lsn
+    | Global_log { log_node } -> Log_manager.force (peer t log_node).log ~upto:lsn
+    | Server_logging _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Database population (owner role)                                    *)
+(* ------------------------------------------------------------------ *)
+
+let allocate_page t =
+  check_up t;
+  let page = Alloc_map.allocate t.alloc ~page_size:(page_size t) in
+  Disk.write t.disk page;
+  Page.id page
+
+let owner_latest_copy t pid =
+  assert (Page_id.owner pid = t.id);
+  match Buffer_pool.peek t.pool pid with
+  | Some frame ->
+    (* WAL: a copy of a dirty page must never leave this node before
+       the log records covering its updates are durable — otherwise a
+       crash here leaves another node holding page state whose PSN
+       lineage exists in no surviving log. *)
+    if frame.dirty then wal_force t frame.last_lsn;
+    Page.copy frame.page
+  | None ->
+    (match Disk.read t.disk pid with
+    | Some page -> page
+    | None ->
+      if Alloc_map.is_allocated t.alloc pid then
+        Page.create ~id:pid ~psn:(Alloc_map.psn_seed t.alloc pid) ~size:(page_size t)
+      else invalid_arg (Format.asprintf "Node.owner_latest_copy: %a not allocated" Page_id.pp pid))
+
+let deallocate_page t pid =
+  check_up t;
+  let page = owner_latest_copy t pid in
+  Buffer_pool.remove t.pool pid;
+  Alloc_map.deallocate t.alloc page
+
+(* ------------------------------------------------------------------ *)
+(* Flush acknowledgements (§2.5)                                       *)
+(* ------------------------------------------------------------------ *)
+
+let register_flush_waiter t pid ~waiter =
+  let cur = Option.value (Page_id.Tbl.find_opt t.flush_waiters pid) ~default:[] in
+  if not (List.mem waiter cur) then Page_id.Tbl.replace t.flush_waiters pid (waiter :: cur)
+
+let take_flush_waiters t pid =
+  match Page_id.Tbl.find_opt t.flush_waiters pid with
+  | None -> []
+  | Some waiters ->
+    Page_id.Tbl.remove t.flush_waiters pid;
+    waiters
+
+(* The owner just made [pid] durable at [flushed_psn]: retire its own
+   DPT entry if covered, and acknowledge every registered waiter so the
+   waiters can retire or advance theirs (§2.2 / §2.5). *)
+let owner_after_flush t pid ~flushed_psn =
+  (match Dpt.find t.dpt pid with
+  | Some e when e.curr_psn <= flushed_psn -> Dpt.drop t.dpt pid
+  | Some _ | None -> ());
+  let waiters = take_flush_waiters t pid in
+  List.iter
+    (fun waiter ->
+      let n = peer t waiter in
+      tracef t "ACK node%d -> node%d %a flushed=%d" t.id waiter Page_id.pp pid flushed_psn;
+      send t ~dst:waiter ~bytes:Wire.control ();
+      if n.up then Dpt.on_flush_ack n.dpt pid ~flushed_psn)
+    waiters
+
+(* ------------------------------------------------------------------ *)
+(* Eviction and page shipping (§2.1/§2.2: steal, no-force)             *)
+(* ------------------------------------------------------------------ *)
+
+(* Evicting a dirty frame first forces the local log up to the frame's
+   last update record (WAL), then writes in place (own page) or ships
+   the copy to the owner (remote page).  The frame leaves the pool
+   before any shipping so that a circular eviction chain between full
+   pools always finds a free slot. *)
+let rec evict_frame t (frame : Buffer_pool.frame) =
+  let pid = Page.id frame.page in
+  Buffer_pool.remove t.pool pid;
+  if frame.dirty then begin
+    wal_force t frame.last_lsn;
+    if Page_id.owner pid = t.id then begin
+      tracef t "FLUSH(evict) node%d %a psn=%d" t.id Page_id.pp pid (Page.psn frame.page);
+      Disk.write t.disk frame.page;
+      owner_after_flush t pid ~flushed_psn:(Page.psn frame.page)
+    end
+    else begin
+      let owner = peer t (Page_id.owner pid) in
+      if not owner.up then Block.block (Block.Node_down { node = owner.id });
+      send t ~dst:owner.id ~bytes:(Wire.page (Env.config t.env)) ();
+      bump t (fun m -> m.Metrics.pages_shipped <- m.Metrics.pages_shipped + 1);
+      owner_receive_replaced owner (Page.copy frame.page) ~from:t.id;
+      Dpt.on_replaced t.dpt pid ~end_of_log:(Log_manager.end_lsn t.log)
+    end
+  end
+
+(* Owner role: a peer replaced a dirty page and shipped it here.  The
+   owner caches it dirty (it is now responsible for eventually forcing
+   it) and remembers the sender as a flush waiter. *)
+and owner_receive_replaced t page ~from =
+  let pid = Page.id page in
+  tracef t "RECV node%d <- node%d %a psn=%d" t.id from Page_id.pp pid (Page.psn page);
+  register_flush_waiter t pid ~waiter:from;
+  let frame : Buffer_pool.frame = install_or_merge t page in
+  frame.dirty <- true;
+  (match t.scheme with
+  | Global_log _ ->
+    (* Rdb/VMS-style: pages are forced to disk when exchanged between
+       nodes; the owner never holds a transferred page dirty. *)
+    Disk.write t.disk frame.page;
+    frame.dirty <- false;
+    owner_after_flush t pid ~flushed_psn:(Page.psn frame.page)
+  | Local_logging | Server_logging _ | Pca_double_logging -> ())
+
+and make_room t =
+  while Buffer_pool.is_full t.pool do
+    match Buffer_pool.choose_victim t.pool with
+    | None -> invalid_arg "Node.make_room: every frame is pinned"
+    | Some victim -> evict_frame t victim
+  done
+
+(* Put [page] in the pool, keeping the newer version if a copy is
+   already (or — via an eviction chain triggered by make_room —
+   concurrently) cached. *)
+and install_or_merge t page =
+  let pid = Page.id page in
+  let merge frame =
+    if Page.psn page > Page.psn frame.Buffer_pool.page then begin
+      Page.write frame.Buffer_pool.page ~off:0 (Page.read page ~off:0 ~len:(Page.size page));
+      Page.set_psn frame.Buffer_pool.page (Page.psn page)
+    end;
+    frame
+  in
+  match Buffer_pool.peek t.pool pid with
+  | Some frame -> merge frame
+  | None -> begin
+    make_room t;
+    match Buffer_pool.peek t.pool pid with
+    | Some frame -> merge frame
+    | None -> Buffer_pool.install t.pool page
+  end
+
+let install_page t page = install_or_merge t page
+
+(* ------------------------------------------------------------------ *)
+(* Page fetching (data shipping, §2.2)                                 *)
+(* ------------------------------------------------------------------ *)
+
+let fetch_page_from_owner t pid =
+  let owner_id = Page_id.owner pid in
+  if owner_id = t.id then install_page t (owner_latest_copy t pid)
+  else begin
+    let owner = peer t owner_id in
+    if not owner.up then Block.block (Block.Node_down { node = owner_id });
+    if Page_id.Set.mem pid owner.recovering_pages then Block.block (Block.Page_recovering pid);
+    send t ~dst:owner_id ~bytes:Wire.control ();
+    let page = owner_latest_copy owner pid in
+    send owner ~dst:t.id ~bytes:(Wire.page (Env.config t.env)) ();
+    install_page t page
+  end
+
+let ensure_cached_page t pid =
+  check_up t;
+  match Buffer_pool.find t.pool pid with
+  | Some frame ->
+    bump t (fun m -> m.Metrics.cache_hits <- m.Metrics.cache_hits + 1);
+    frame
+  | None ->
+    bump t (fun m -> m.Metrics.cache_misses <- m.Metrics.cache_misses + 1);
+    fetch_page_from_owner t pid
+
+(* ------------------------------------------------------------------ *)
+(* Callback locking (§2.1/§2.2)                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* Is [txn] still an active transaction at [node]?  Used to detect and
+   drop stale fairness marks (their requester died). *)
+let txn_active_at t ~txn ~node =
+  let n = peer t node in
+  n.up
+  &&
+  match Txn_table.find n.txns txn with
+  | Some descr -> Txn.is_active descr
+  | None -> false
+
+(* Holder side of a callback.  [requested] is the mode the *requester*
+   wants: X means release the cached lock (and give up the page), S
+   means demote an exclusive lock to shared.  A callback is refused as
+   long as a local transaction holds a conflicting lock (§2.2); the
+   refusal marks the cached lock revoke-pending so that new local
+   acquisitions queue behind the remote requester instead of starving
+   it. *)
+let handle_callback t ~pid ~requested ~for_txn ~for_node =
+  check_up t;
+  let conflicting =
+    List.filter_map
+      (fun (txn, held) ->
+        match requested with
+        | Mode.X -> Some txn
+        | Mode.S -> if Mode.equal held Mode.X then Some txn else None)
+      (Local_locks.holders_of t.locks pid)
+  in
+  if conflicting <> [] then begin
+    Local_locks.set_revoke_pending t.locks pid ~mode:requested ~txn:for_txn ~node:for_node;
+    Error conflicting
+  end
+  else if Page_id.owner pid = t.id then begin
+    Local_locks.clear_revoke_pending t.locks pid;
+    (* The owner's own client-level lock is being called back.  The
+       owner is the cache of last resort for its pages: the (possibly
+       dirty) frame stays in its pool as an owner-cached copy and only
+       the client-level lock is surrendered. *)
+    (match requested with
+    | Mode.X -> Local_locks.drop_cached t.locks pid
+    | Mode.S -> Local_locks.demote_cached_to_s t.locks pid);
+    Ok ()
+  end
+  else begin
+    (* Ship the current copy to the owner if we hold it dirty
+       ("sends the copy of the page present in its buffer pool"). *)
+    (match Buffer_pool.peek t.pool pid with
+    | Some frame when frame.dirty ->
+      wal_force t frame.last_lsn;
+      let owner = peer t (Page_id.owner pid) in
+      send t ~dst:owner.id ~bytes:(Wire.page (Env.config t.env)) ();
+      bump t (fun m -> m.Metrics.pages_shipped <- m.Metrics.pages_shipped + 1);
+      owner_receive_replaced owner (Page.copy frame.page) ~from:t.id;
+      Dpt.on_replaced t.dpt pid ~end_of_log:(Log_manager.end_lsn t.log);
+      frame.dirty <- false;
+      frame.rec_lsn <- Lsn.nil
+    | Some _ | None -> ());
+    (match requested with
+    | Mode.X ->
+      Buffer_pool.remove t.pool pid;
+      Local_locks.drop_cached t.locks pid
+    | Mode.S ->
+      Local_locks.demote_cached_to_s t.locks pid;
+      Local_locks.clear_revoke_pending t.locks pid);
+    Ok ()
+  end
+
+(* Owner side: decide, run callbacks, grant.  Returns the page when the
+   requester asked for a copy (grant + page travel in one message, as
+   in §2.2).
+
+   Fairness: the oldest requester that ever had to wait for this page
+   holds a reservation; younger requesters queue behind it.  Together
+   with the revoke-pending mark at the holders, this guarantees the
+   oldest transaction in the system always makes progress. *)
+let owner_grant_lock t ~requester ~txn ~pid ~mode ~need_page =
+  check_up t;
+  if Page_id.Set.mem pid t.recovering_pages then Block.block (Block.Page_recovering pid);
+  (match Page_id.Tbl.find_opt t.reservations pid with
+  | Some (rtxn, rnode) when rtxn <> txn ->
+    if txn_active_at t ~txn:rtxn ~node:rnode then begin
+      if txn > rtxn then Block.block (Block.Lock_conflict { blockers = [ rtxn ] })
+      (* an older requester proceeds and may steal the reservation *)
+    end
+    else Page_id.Tbl.remove t.reservations pid
+  | Some _ | None -> ());
+  (match Global_locks.request t.glocks ~node:requester ~pid ~mode with
+  | Global_locks.Granted -> ()
+  | Global_locks.Needs_callback { holders } ->
+    let refusals =
+      List.concat_map
+        (fun (holder_id, _held) ->
+          let holder = peer t holder_id in
+          if not holder.up then Block.block (Block.Node_down { node = holder_id });
+          bump t (fun m -> m.Metrics.callbacks_sent <- m.Metrics.callbacks_sent + 1);
+          send t ~dst:holder_id ~bytes:Wire.control ();
+          match handle_callback holder ~pid ~requested:mode ~for_txn:txn ~for_node:requester with
+          | Ok () ->
+            send holder ~dst:t.id ~bytes:Wire.control ();
+            (match mode with
+            | Mode.X -> Global_locks.release t.glocks ~node:holder_id ~pid
+            | Mode.S -> Global_locks.demote_to_s t.glocks ~node:holder_id ~pid);
+            []
+          | Error blockers -> blockers)
+        holders
+    in
+    if refusals <> [] then begin
+      (match Page_id.Tbl.find_opt t.reservations pid with
+      | Some (rtxn, _) when rtxn <= txn -> ()
+      | Some _ | None -> Page_id.Tbl.replace t.reservations pid (txn, requester));
+      Block.block (Block.Lock_conflict { blockers = refusals })
+    end);
+  (match Page_id.Tbl.find_opt t.reservations pid with
+  | Some (rtxn, _) when rtxn = txn -> Page_id.Tbl.remove t.reservations pid
+  | Some _ | None -> ());
+  Global_locks.grant t.glocks ~node:requester ~pid ~mode;
+  if need_page then Some (owner_latest_copy t pid) else None
+
+(* Client side: obtain the transaction-level lock, going to the owner
+   only when the node-level cached lock does not cover the request. *)
+let acquire t ~txn ~pid ~mode =
+  check_up t;
+  Env.charge_lock_op t.env t.metrics;
+  (* Local strict-2PL conflict first: no message can help with that. *)
+  let local_conflicts =
+    List.filter_map
+      (fun (other, held) ->
+        if other <> txn && not (Mode.compatible held mode) then Some other else None)
+      (Local_locks.holders_of t.locks pid)
+  in
+  if local_conflicts <> [] then Block.block (Block.Lock_conflict { blockers = local_conflicts });
+  (* Fairness: a pending revocation of the cached lock stops new local
+     acquisitions that would prolong it (existing holders may finish). *)
+  (match Local_locks.revoke_pending t.locks pid with
+  | Some (pending_mode, rtxn, rnode) when rtxn <> txn ->
+    if not (txn_active_at t ~txn:rtxn ~node:rnode) then
+      Local_locks.clear_revoke_pending t.locks pid
+    else begin
+      let already_holds =
+        match Local_locks.txn_mode t.locks ~txn ~pid with
+        | Some held -> Mode.covers held mode
+        | None -> false
+      in
+      let conflicts_with_pending =
+        match pending_mode with Mode.X -> true | Mode.S -> Mode.equal mode Mode.X
+      in
+      if conflicts_with_pending && not already_holds then
+        Block.block (Block.Lock_conflict { blockers = [ rtxn ] })
+    end
+  | Some _ | None -> ());
+  if Local_locks.cache_covers t.locks pid mode then
+    bump t (fun m -> m.Metrics.lock_requests_local <- m.Metrics.lock_requests_local + 1)
+  else begin
+    let owner_id = Page_id.owner pid in
+    let need_page = not (Buffer_pool.contains t.pool pid) in
+    let page =
+      if owner_id = t.id then begin
+        bump t (fun m -> m.Metrics.lock_requests_local <- m.Metrics.lock_requests_local + 1);
+        owner_grant_lock t ~requester:t.id ~txn ~pid ~mode ~need_page:false
+      end
+      else begin
+        let owner = peer t owner_id in
+        if not owner.up then Block.block (Block.Node_down { node = owner_id });
+        bump t (fun m -> m.Metrics.lock_requests_remote <- m.Metrics.lock_requests_remote + 1);
+        send t ~dst:owner_id ~bytes:Wire.control ();
+        let page = owner_grant_lock owner ~requester:t.id ~txn ~pid ~mode ~need_page in
+        let reply_bytes =
+          match page with Some _ -> Wire.page (Env.config t.env) | None -> Wire.control
+        in
+        send owner ~dst:t.id ~bytes:reply_bytes ();
+        page
+      end
+    in
+    (match page with
+    | Some p ->
+      bump t (fun m -> m.Metrics.cache_misses <- m.Metrics.cache_misses + 1);
+      ignore (install_page t p)
+    | None -> ());
+    Local_locks.set_cached_mode t.locks pid mode
+  end;
+  match Local_locks.acquire t.locks ~txn ~pid ~mode with
+  | Ok () -> ()
+  | Error { Local_locks.holders } -> Block.block (Block.Lock_conflict { blockers = holders })
+
+(* ------------------------------------------------------------------ *)
+(* Log space management (§2.5)                                         *)
+(* ------------------------------------------------------------------ *)
+
+let owner_flush_page t pid =
+  assert (Page_id.owner pid = t.id);
+  check_up t;
+  match Buffer_pool.peek t.pool pid with
+  | Some frame ->
+    if frame.dirty then begin
+      wal_force t frame.last_lsn;
+      tracef t "FLUSH(req) node%d %a psn=%d" t.id Page_id.pp pid (Page.psn frame.page);
+      Disk.write t.disk frame.page;
+      frame.dirty <- false;
+      frame.rec_lsn <- Lsn.nil
+    end;
+    owner_after_flush t pid ~flushed_psn:(Page.psn frame.page)
+  | None ->
+    let flushed_psn =
+      match Disk.read t.disk pid with Some page -> Page.psn page | None -> -1
+    in
+    owner_after_flush t pid ~flushed_psn
+
+let free_log_space t =
+  bump t (fun m -> m.Metrics.log_space_stalls <- m.Metrics.log_space_stalls + 1);
+  (match Dpt.entry_with_min_redo_lsn t.dpt with
+  | None -> ()
+  | Some entry ->
+    let pid = entry.Dpt.pid in
+    (* Get our latest version to the owner so its flush covers our
+       updates.  The frame is cleaned in place, never evicted: it may be
+       pinned by the very update whose append ran out of log space. *)
+    (match Buffer_pool.peek t.pool pid with
+    | Some frame when frame.dirty ->
+      wal_force t frame.last_lsn;
+      if Page_id.owner pid = t.id then begin
+        Disk.write t.disk frame.page;
+        frame.dirty <- false;
+        frame.rec_lsn <- Lsn.nil;
+        owner_after_flush t pid ~flushed_psn:(Page.psn frame.page)
+      end
+      else begin
+        let owner = peer t (Page_id.owner pid) in
+        if not owner.up then Block.block (Block.Log_space { node = t.id });
+        send t ~dst:owner.id ~bytes:(Wire.page (Env.config t.env)) ();
+        bump t (fun m -> m.Metrics.pages_shipped <- m.Metrics.pages_shipped + 1);
+        owner_receive_replaced owner (Page.copy frame.page) ~from:t.id;
+        Dpt.on_replaced t.dpt pid ~end_of_log:(Log_manager.end_lsn t.log);
+        frame.dirty <- false;
+        frame.rec_lsn <- Lsn.nil
+      end
+    | Some _ | None -> ());
+    let owner_id = Page_id.owner pid in
+    if owner_id = t.id then owner_flush_page t pid
+    else begin
+      let owner = peer t owner_id in
+      if not owner.up then Block.block (Block.Log_space { node = t.id });
+      bump t (fun m -> m.Metrics.flush_requests <- m.Metrics.flush_requests + 1);
+      send t ~dst:owner_id ~bytes:Wire.control ();
+      (* the request itself (re-)registers us: an earlier flush may have
+         consumed the waiter list without covering this entry *)
+      register_flush_waiter owner pid ~waiter:t.id;
+      owner_flush_page owner pid
+      (* the flush acknowledgement already updated our DPT entry *)
+    end);
+  let low_water =
+    let dpt_bound =
+      match Dpt.min_redo_lsn t.dpt with
+      | None -> Log_manager.end_lsn t.log
+      | Some lsn -> lsn
+    in
+    (* an active transaction's undo chain pins the log from its first
+       record onwards *)
+    List.fold_left
+      (fun acc (txn : Txn.t) ->
+        if Lsn.is_nil txn.Txn.first_lsn then acc else Lsn.min acc txn.Txn.first_lsn)
+      dpt_bound
+      (Txn_table.active t.txns)
+  in
+  (* Space below the low-water mark is only reclaimable once durable
+     (the device clamps truncation at the forced boundary). *)
+  if low_water > Log_manager.durable_lsn t.log then Log_manager.force t.log ~upto:(low_water - 1);
+  Log_manager.truncate_to t.log low_water
+
+let append_record t record =
+  (* Rollback records always fit: without reserved undo space a full
+     log could neither commit nor abort anything. *)
+  let overdraft =
+    match record.Record.body with Record.Clr _ | Record.Abort -> true | _ -> false
+  in
+  (* Freeing space may take several §2.5 rounds before the low-water
+     mark actually moves (each round retires one DPT entry); once a
+     round changes nothing, the log is pinned by the oldest active
+     transaction's undo chain and someone must be rolled back. *)
+  let state () =
+    (Log_manager.available_bytes t.log, Dpt.min_redo_lsn t.dpt, Dpt.size t.dpt)
+  in
+  let rec go attempts =
+    match Log_manager.append ~overdraft t.log record with
+    | lsn -> lsn
+    | exception Log_manager.Log_full ->
+      let before = state () in
+      free_log_space t;
+      if state () = before then begin
+        let pinner =
+          List.fold_left
+            (fun acc (txn : Txn.t) ->
+              if Lsn.is_nil txn.Txn.first_lsn then acc
+              else
+                match acc with
+                | None -> Some txn
+                | Some best ->
+                  if Lsn.compare txn.Txn.first_lsn best.Txn.first_lsn < 0 then Some txn else acc)
+            None (Txn_table.active t.txns)
+        in
+        match pinner with
+        | Some txn -> Block.block (Block.Lock_conflict { blockers = [ txn.Txn.id ] })
+        | None ->
+          invalid_arg
+            (Printf.sprintf
+               "Node.append_record: log capacity smaller than the working set (node=%d used=%d)"
+               t.id (Log_manager.used_bytes t.log))
+      end;
+      if attempts > 1024 then invalid_arg "Node.append_record: cannot free log space";
+      go (attempts + 1)
+  in
+  go 0
+
+(* Route a transaction record to the scheme's log.  Under the
+   shared-log baseline each append is a network round to the log node —
+   precisely the serialisation bottleneck the paper criticises in
+   Rdb/VMS (§3.2). *)
+let append_txn_record t record =
+  match t.scheme with
+  | Global_log { log_node } when log_node <> t.id ->
+    let target = peer t log_node in
+    if not target.up then Block.block (Block.Node_down { node = log_node });
+    let encoded = String.length (Record.encode record) in
+    send t ~dst:log_node ~bytes:(Wire.log_record encoded) ();
+    bump t (fun m -> m.Metrics.log_records_shipped <- m.Metrics.log_records_shipped + 1);
+    Env.charge_lock_op t.env target.metrics (* the global log-tail latch *);
+    Log_manager.append target.log record
+  | Global_log _ | Local_logging | Server_logging _ | Pca_double_logging ->
+    append_record t record
+
+(* ------------------------------------------------------------------ *)
+(* Transaction operations                                              *)
+(* ------------------------------------------------------------------ *)
+
+let begin_txn t ~id =
+  check_up t;
+  let txn = Txn.make ~id ~node:t.id in
+  Txn_table.register t.txns txn;
+  txn
+
+let active_txn t id =
+  let txn = Txn_table.find_exn t.txns id in
+  if not (Txn.is_active txn) then
+    invalid_arg (Printf.sprintf "Node: transaction %d is not active" id);
+  txn
+
+let read t ~txn ~pid ~off ~len =
+  let _ = active_txn t txn in
+  acquire t ~txn ~pid ~mode:Mode.S;
+  let frame = ensure_cached_page t pid in
+  Page.read frame.page ~off ~len
+
+let read_cell t ~txn ~pid ~off =
+  let _ = active_txn t txn in
+  acquire t ~txn ~pid ~mode:Mode.S;
+  let frame = ensure_cached_page t pid in
+  Page.get_cell frame.page ~off
+
+let log_update t (txn : Txn.t) pid (frame : Buffer_pool.frame) op =
+  (* The append can trigger §2.5 space management, which evicts pages —
+     the frame being updated must not be a victim. *)
+  Buffer_pool.pin frame;
+  Fun.protect ~finally:(fun () -> Buffer_pool.unpin frame) @@ fun () ->
+  let psn_before = Page.psn frame.page in
+  let record =
+    { Record.txn = txn.Txn.id; prev = txn.Txn.last_lsn; body = Update { pid; psn_before; op } }
+  in
+  let lsn = append_txn_record t record in
+  (* §2.2: the DPT entry carries the page's PSN and a conservative
+     RedoLSN — the record's own position.  The entry is created after
+     the append: the §2.5 space-management rounds a full log triggers
+     inside the append could otherwise retire it prematurely. *)
+  Dpt.add_if_absent t.dpt pid ~page_psn:psn_before ~end_of_log:lsn;
+  txn.Txn.logged_records <- txn.Txn.logged_records + 1;
+  txn.Txn.logged_bytes <- txn.Txn.logged_bytes + String.length (Record.encode record);
+  if Page_id.owner pid <> t.id then
+    txn.Txn.remote_updated <- Page_id.Set.add pid txn.Txn.remote_updated;
+  tracef t "UPD node%d T%d %a psn%d->%d lsn=%d %a" t.id txn.Txn.id Page_id.pp pid psn_before
+    (psn_before + 1) lsn Record.pp_op op;
+  Txn.record_logged txn lsn;
+  Record.apply_op frame.page op;
+  Page.bump_psn frame.page;
+  Buffer_pool.mark_dirty frame ~lsn;
+  Dpt.on_update t.dpt pid ~new_psn:(Page.psn frame.page)
+
+let update_bytes t ~txn ~pid ~off s =
+  let txn = active_txn t txn in
+  acquire t ~txn:txn.Txn.id ~pid ~mode:Mode.X;
+  let frame = ensure_cached_page t pid in
+  let before = Page.read frame.page ~off ~len:(String.length s) in
+  log_update t txn pid frame (Record.Physical { off; before; after = s })
+
+let update_delta t ~txn ~pid ~off delta =
+  let txn = active_txn t txn in
+  acquire t ~txn:txn.Txn.id ~pid ~mode:Mode.X;
+  let frame = ensure_cached_page t pid in
+  log_update t txn pid frame (Record.Delta { off; delta })
+
+(* Per-scheme durable-commit work.  This is experiment E1's subject:
+   what must happen between "commit requested" and "commit durable". *)
+let commit_scheme_work t (txn : Txn.t) lsn =
+  match t.scheme with
+  | Local_logging ->
+    (* The paper's entire commit path: one local log force, zero
+       messages. *)
+    Log_manager.force t.log ~upto:lsn
+  | Server_logging { server } ->
+    (* ARIES/CSA: the transaction's log records travel to the server in
+       one batch; the server appends them to the only durable log,
+       forces it, and acknowledges. *)
+    let srv = peer t server in
+    if not srv.up then Block.block (Block.Node_down { node = server });
+    send t ~dst:server ~commit_path:true ~bytes:(Wire.log_record txn.Txn.logged_bytes) ();
+    bump t (fun m ->
+        m.Metrics.log_records_shipped <- m.Metrics.log_records_shipped + txn.Txn.logged_records);
+    if server <> t.id then begin
+      Env.charge_cpu_for t.env srv.metrics
+        (float_of_int txn.Txn.logged_records
+        *. (Env.config t.env).Repro_sim.Config.cpu_per_log_record);
+      bump srv (fun m -> m.Metrics.log_appends <- m.Metrics.log_appends + txn.Txn.logged_records);
+      bump srv (fun m -> m.Metrics.log_bytes <- m.Metrics.log_bytes + txn.Txn.logged_bytes);
+      Env.charge_log_force t.env srv.metrics ~bytes:txn.Txn.logged_bytes;
+      send srv ~dst:t.id ~commit_path:true ~bytes:Wire.control ()
+    end
+    else Log_manager.force t.log ~upto:lsn
+  | Pca_double_logging ->
+    (* Local force, then every updated remote page travels to its PCA
+       node at commit, together with its log records, which the PCA
+       node appends to its own log too (double logging). *)
+    Log_manager.force t.log ~upto:lsn;
+    let remote = txn.Txn.remote_updated in
+    let n_remote = max 1 (Page_id.Set.cardinal remote) in
+    let bytes_per_page = txn.Txn.logged_bytes / n_remote in
+    Page_id.Set.iter
+      (fun pid ->
+        let owner = peer t (Page_id.owner pid) in
+        if not owner.up then Block.block (Block.Node_down { node = owner.id });
+        (match Buffer_pool.peek t.pool pid with
+        | Some frame ->
+          send t ~dst:owner.id ~commit_path:true ~bytes:(Wire.page (Env.config t.env)) ();
+          bump t (fun m -> m.Metrics.pages_shipped <- m.Metrics.pages_shipped + 1);
+          owner_receive_replaced owner (Page.copy frame.page) ~from:t.id
+        | None -> () (* already replaced to the owner earlier *));
+        send t ~dst:owner.id ~commit_path:true ~bytes:(Wire.log_record bytes_per_page) ();
+        bump t (fun m -> m.Metrics.log_records_shipped <- m.Metrics.log_records_shipped + 1);
+        bump owner (fun m -> m.Metrics.log_appends <- m.Metrics.log_appends + 1);
+        bump owner (fun m -> m.Metrics.log_bytes <- m.Metrics.log_bytes + bytes_per_page);
+        Env.charge_log_force t.env owner.metrics ~bytes:bytes_per_page)
+      remote
+  | Global_log { log_node } ->
+    (* The commit record already travelled to the shared log; force it
+       there and wait for the acknowledgement. *)
+    let ln = peer t log_node in
+    Log_manager.force ln.log ~upto:lsn;
+    if log_node <> t.id then send ln ~dst:t.id ~commit_path:true ~bytes:Wire.control ()
+
+(* E9 ablation: without inter-transaction caching, the node gives the
+   cached locks (and the pages under them — callback-locking invariant)
+   back to their owners as soon as no local transaction holds them. *)
+let release_unused_cached_locks t =
+  List.iter
+    (fun (pid, _mode) ->
+      if (not (Local_locks.any_txn_holds t.locks pid)) && Page_id.owner pid <> t.id then begin
+        (match Buffer_pool.peek t.pool pid with
+        | Some frame ->
+          if frame.dirty then begin
+            wal_force t frame.last_lsn;
+            let owner = peer t (Page_id.owner pid) in
+            if owner.up then begin
+              send t ~dst:owner.id ~bytes:(Wire.page (Env.config t.env)) ();
+              bump t (fun m -> m.Metrics.pages_shipped <- m.Metrics.pages_shipped + 1);
+              owner_receive_replaced owner (Page.copy frame.page) ~from:t.id;
+              Dpt.on_replaced t.dpt pid ~end_of_log:(Log_manager.end_lsn t.log)
+            end
+          end;
+          Buffer_pool.remove t.pool pid
+        | None -> ());
+        Local_locks.drop_cached t.locks pid;
+        let owner = peer t (Page_id.owner pid) in
+        if owner.up then begin
+          send t ~dst:owner.id ~bytes:Wire.control ();
+          Global_locks.release owner.glocks ~node:t.id ~pid
+        end
+      end)
+    (Local_locks.cached_pages t.locks)
+
+let end_of_txn_lock_release t txn_id =
+  Local_locks.release_txn t.locks ~txn:txn_id;
+  if not t.retain_cached_locks then release_unused_cached_locks t
+
+let commit t ~txn =
+  check_up t;
+  let txn = active_txn t txn in
+  let lsn =
+    append_txn_record t { Record.txn = txn.Txn.id; prev = txn.Txn.last_lsn; body = Commit }
+  in
+  Txn.record_logged txn lsn;
+  commit_scheme_work t txn lsn;
+  txn.Txn.state <- Txn.Committed;
+  end_of_txn_lock_release t txn.Txn.id;
+  Txn_table.remove t.txns txn.Txn.id;
+  bump t (fun m -> m.Metrics.txn_committed <- m.Metrics.txn_committed + 1);
+  tracef t "T%d committed at node %d" txn.Txn.id t.id
+
+let undo_ops t (txn : Txn.t) =
+  {
+    Undo.read_record = (fun lsn -> Log_manager.read (txn_log t) lsn);
+    perform_undo =
+      (fun ~txn:txn_id ~pid ~op ~undo_next ->
+        (* The page may have been replaced since the update; re-fetch it
+           from the owner (§2.2: "the rollback procedure may have to
+           fetch some of the affected pages from the owner nodes"). *)
+        let frame = ensure_cached_page t pid in
+        Buffer_pool.pin frame;
+        Fun.protect ~finally:(fun () -> Buffer_pool.unpin frame) @@ fun () ->
+        let psn_before = Page.psn frame.page in
+        let record =
+          {
+            Record.txn = txn_id;
+            prev = txn.Txn.last_lsn;
+            body = Clr { pid; psn_before; op; undo_next };
+          }
+        in
+        let lsn = append_txn_record t record in
+        tracef t "CLR node%d T%d %a psn%d->%d lsn=%d %a" t.id txn_id Page_id.pp pid psn_before
+          (psn_before + 1) lsn Record.pp_op op;
+        Dpt.add_if_absent t.dpt pid ~page_psn:psn_before ~end_of_log:lsn;
+        txn.Txn.logged_records <- txn.Txn.logged_records + 1;
+        txn.Txn.logged_bytes <- txn.Txn.logged_bytes + String.length (Record.encode record);
+        Txn.record_logged txn lsn;
+        Record.apply_op frame.page op;
+        Page.bump_psn frame.page;
+        Buffer_pool.mark_dirty frame ~lsn;
+        Dpt.on_update t.dpt pid ~new_psn:(Page.psn frame.page);
+        lsn);
+  }
+
+let abort t ~txn =
+  check_up t;
+  let txn = active_txn t txn in
+  let _last = Undo.rollback (undo_ops t txn) ~txn:txn.Txn.id ~from:txn.Txn.last_lsn ~upto:Lsn.nil in
+  let lsn =
+    append_txn_record t { Record.txn = txn.Txn.id; prev = txn.Txn.last_lsn; body = Abort }
+  in
+  Txn.record_logged txn lsn;
+  txn.Txn.state <- Txn.Aborted;
+  end_of_txn_lock_release t txn.Txn.id;
+  Txn_table.remove t.txns txn.Txn.id;
+  bump t (fun m -> m.Metrics.txn_aborted <- m.Metrics.txn_aborted + 1);
+  tracef t "T%d aborted at node %d" txn.Txn.id t.id
+
+let savepoint t ~txn name =
+  check_up t;
+  let txn = active_txn t txn in
+  let lsn =
+    append_txn_record t { Record.txn = txn.Txn.id; prev = txn.Txn.last_lsn; body = Savepoint name }
+  in
+  Txn.record_logged txn lsn;
+  Txn.add_savepoint txn name lsn
+
+let rollback_to t ~txn name =
+  check_up t;
+  let txn = active_txn t txn in
+  match Txn.savepoint_lsn txn name with
+  | None -> invalid_arg (Printf.sprintf "Node.rollback_to: unknown savepoint %S" name)
+  | Some sp ->
+    let _last = Undo.rollback (undo_ops t txn) ~txn:txn.Txn.id ~from:txn.Txn.last_lsn ~upto:sp in
+    Txn.release_savepoints_after txn sp;
+    tracef t "T%d rolled back to %S" txn.Txn.id name
+
+(* ------------------------------------------------------------------ *)
+(* Maintenance                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let checkpoint t =
+  check_up t;
+  ignore
+    (Repro_aries.Checkpoint.take t.log t.env t.metrics ~dpt:(Dpt.snapshot t.dpt)
+       ~active:(Txn_table.snapshot_active t.txns) ~master:t.master)
+
+let crash t =
+  t.up <- false;
+  Buffer_pool.clear t.pool;
+  Local_locks.clear t.locks;
+  Global_locks.clear t.glocks;
+  Dpt.clear t.dpt;
+  Txn_table.clear t.txns;
+  Page_id.Tbl.reset t.flush_waiters;
+  Page_id.Tbl.reset t.reservations;
+  t.recovering_pages <- Page_id.Set.empty;
+  Log_manager.crash t.log;
+  tracef t "node %d crashed" t.id
+
+let install_recovered_page t page ~waiters =
+  let pid = Page.id page in
+  Buffer_pool.remove t.pool pid;
+  make_room t;
+  let frame = Buffer_pool.install t.pool (Page.copy page) in
+  frame.dirty <- true;
+  List.iter (fun waiter -> if waiter <> t.id then register_flush_waiter t pid ~waiter) waiters
+
+let check_invariants t =
+  Local_locks.check_invariants t.locks;
+  Global_locks.check_invariants t.glocks;
+  (* Callback-locking invariant: a cached *remote* page implies a cached
+     lock.  Own pages are exempt: the owner caches replaced dirty copies
+     it is flush-responsible for, and it is itself the lock service. *)
+  List.iter
+    (fun pid ->
+      if Page_id.owner pid <> t.id && Local_locks.cached_mode t.locks pid = None then
+        invalid_arg (Format.asprintf "node %d caches %a without a lock" t.id Page_id.pp pid))
+    (Buffer_pool.cached_ids t.pool);
+  (* A dirty frame always has a DPT entry (it was dirtied locally or
+     received as a replaced page we are flush-responsible for). *)
+  List.iter
+    (fun (frame : Buffer_pool.frame) ->
+      let pid = Page.id frame.page in
+      if Page_id.owner pid <> t.id && not (Dpt.mem t.dpt pid) then
+        invalid_arg
+          (Format.asprintf "node %d holds dirty remote page %a without a DPT entry" t.id
+             Page_id.pp pid))
+    (Buffer_pool.dirty_frames t.pool)

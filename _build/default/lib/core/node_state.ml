@@ -1,0 +1,116 @@
+(* The state record of one node (Figure 1 of the paper).
+
+   Fields are grouped by durability: the disk, the allocation map, the
+   log device and the master record survive a crash; everything else is
+   volatile and wiped by [Node.crash].  Protocol code lives in [Node]
+   and [Recovery]; this module only constructs and wires the record
+   (exposing the fields library-wide keeps each protocol phase in its
+   own module without accessor boilerplate). *)
+
+module Env = Repro_sim.Env
+module Metrics = Repro_sim.Metrics
+module Page_id = Repro_storage.Page_id
+
+(* Which logging architecture the cluster runs.  [Local_logging] is the
+   paper's contribution; the others are the §3 comparators, sharing the
+   identical cache / lock / page-transfer substrate so that only the
+   logging architecture differs in the measured counters.  Crash
+   recovery is implemented for [Local_logging] only; the baselines are
+   normal-processing comparators (E1-E3, E10). *)
+type scheme =
+  | Local_logging
+      (* client-based logging: every node logs locally, commit = one
+         local log force, zero messages *)
+  | Server_logging of { server : int }
+      (* ARIES/CSA-flavoured: clients ship all their log records to the
+         server at commit; the server holds the only durable log *)
+  | Pca_double_logging
+      (* Rahm's primary-copy-authority: at commit every updated remote
+         page travels to its PCA node together with its log records,
+         which are appended to that node's log as well (double
+         logging) *)
+  | Global_log of { log_node : int }
+      (* Rdb/VMS-flavoured: one shared log appended to over the
+         network; pages are forced to disk before inter-node
+         transfer *)
+
+type t = {
+  id : int;
+  env : Env.t;
+  metrics : Metrics.t;
+  (* durable state *)
+  disk : Repro_storage.Disk.t;
+  alloc : Repro_storage.Alloc_map.t;
+  log : Repro_wal.Log_manager.t;
+  master : Repro_aries.Master.t;
+  (* volatile state *)
+  mutable up : bool;
+  mutable pool : Repro_buffer.Buffer_pool.t;
+  locks : Repro_lock.Local_locks.t;  (* client role: cached + txn-level locks *)
+  glocks : Repro_lock.Global_locks.t;  (* owner role: node-level locks on owned pages *)
+  dpt : Repro_buffer.Dpt.t;
+  txns : Repro_tx.Txn_table.t;
+  flush_waiters : int list Page_id.Tbl.t;
+      (* owner role, §2.5: nodes to notify when an owned page is forced *)
+  reservations : (int * int) Page_id.Tbl.t;
+      (* owner role, fairness: (txn, node) of the oldest blocked
+         requester of a contested page; younger requesters queue behind
+         it so the oldest transaction cannot be starved by a stream of
+         fresh cache-hit acquisitions *)
+  mutable recovering_pages : Page_id.Set.t;
+      (* owned pages whose recovery is in progress; requests are stopped *)
+  (* wiring *)
+  mutable resolve : int -> t;
+  pool_policy : Repro_buffer.Buffer_pool.policy;
+  pool_capacity : int;
+  scheme : scheme;
+  retain_cached_locks : bool;
+      (* inter-transaction caching of locks and pages (§2.1).  Disabled
+         only by the E9 ablation, which releases node-level locks back
+         to their owners at end of transaction. *)
+}
+
+let create env ~id ~pool_capacity ~pool_policy ~log_capacity ~scheme ~retain_cached_locks =
+  let metrics = Metrics.create () in
+  let rec node =
+    {
+      id;
+      env;
+      metrics;
+      disk = Repro_storage.Disk.create env metrics;
+      alloc = Repro_storage.Alloc_map.create ~owner:id;
+      log = Repro_wal.Log_manager.create env metrics ?capacity:log_capacity ();
+      master = Repro_aries.Master.create ();
+      up = true;
+      pool = Repro_buffer.Buffer_pool.create ~policy:pool_policy ~capacity:pool_capacity ();
+      locks = Repro_lock.Local_locks.create ();
+      glocks = Repro_lock.Global_locks.create ();
+      dpt = Repro_buffer.Dpt.create ();
+      txns = Repro_tx.Txn_table.create ();
+      flush_waiters = Page_id.Tbl.create 16;
+      reservations = Page_id.Tbl.create 16;
+      recovering_pages = Page_id.Set.empty;
+      resolve = (fun _ -> node);
+      pool_policy;
+      pool_capacity;
+      scheme;
+      retain_cached_locks;
+    }
+  in
+  node
+
+let peer t id = t.resolve id
+
+(* Charge a message from [t] to [dst]; local "messages" (owner = self)
+   cost nothing, matching the paper's message counting. *)
+let send t ~dst ?(commit_path = false) ?(recovery = false) ~bytes () =
+  if dst <> t.id then
+    Env.charge_message t.env t.metrics ~commit_path ~recovery ~bytes ()
+
+let tracef t fmt = Env.tracef t.env fmt
+
+(* Bump a hand-maintained counter on both the node and the global
+   aggregate (the charged counters do this inside Env). *)
+let bump t f =
+  f t.metrics;
+  f (Env.global_metrics t.env)

@@ -1,0 +1,547 @@
+module Env = Repro_sim.Env
+module Metrics = Repro_sim.Metrics
+module Page = Repro_storage.Page
+module Page_id = Repro_storage.Page_id
+module Disk = Repro_storage.Disk
+module Lsn = Repro_wal.Lsn
+module Record = Repro_wal.Record
+module Log_manager = Repro_wal.Log_manager
+module Buffer_pool = Repro_buffer.Buffer_pool
+module Dpt = Repro_buffer.Dpt
+module Mode = Repro_lock.Mode
+module Local_locks = Repro_lock.Local_locks
+module Global_locks = Repro_lock.Global_locks
+module Txn = Repro_tx.Txn
+module Txn_table = Repro_tx.Txn_table
+module Analysis = Repro_aries.Analysis
+module Redo = Repro_aries.Redo
+module Undo = Repro_aries.Undo
+open Node_state
+
+let bump_transfers n =
+  bump n (fun m -> m.Metrics.recovery_page_transfers <- m.Metrics.recovery_page_transfers + 1)
+
+let bump_redone n =
+  bump n (fun m -> m.Metrics.recovery_pages_redone <- m.Metrics.recovery_pages_redone + 1)
+
+(* ------------------------------------------------------------------ *)
+(* Phase 1: analysis                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let analysis_phase crashed =
+  List.map
+    (fun n ->
+      let result = Analysis.run n.log ~master:n.master in
+      Dpt.load_snapshot n.dpt result.Analysis.dpt;
+      tracef n "recovery(%d): analysis found %d dirty pages, %d losers" n.id
+        (List.length result.Analysis.dpt)
+        (List.length result.Analysis.losers);
+      (n, result.Analysis.losers))
+    crashed
+
+(* ------------------------------------------------------------------ *)
+(* Phase 2: lock reconstruction (§2.3.3)                               *)
+(* ------------------------------------------------------------------ *)
+
+(* The exact set of pages a crashed node's losers updated — under
+   strict 2PL the node held an X lock on each at crash time.  Walking
+   the undo chains (rather than trusting the analysis scan) also covers
+   updates older than the last checkpoint. *)
+let loser_pages n (losers : Record.active_txn list) =
+  List.fold_left
+    (fun acc (l : Record.active_txn) ->
+      let rec go acc lsn =
+        if Lsn.is_nil lsn then acc
+        else
+          let r = Log_manager.read n.log lsn in
+          match r.Record.body with
+          | Update { pid; _ } -> go (Page_id.Set.add pid acc) r.Record.prev
+          | Clr { pid; undo_next; _ } -> go (Page_id.Set.add pid acc) undo_next
+          | Savepoint _ -> go acc r.Record.prev
+          | Commit | Abort | Checkpoint_begin _ | Checkpoint_end -> acc
+      in
+      go acc l.last_lsn)
+    Page_id.Set.empty losers
+
+(* Re-establish the X locks the crashed node's losers held: when the
+   owner survived they are already retained there (§2.3.3), but when the
+   owner crashed too, both lock tables are gone and the locks must be
+   re-granted before undo — otherwise another node could be handed a
+   stale copy while the undo works on its own. *)
+let regrant_loser_locks losers_by_node =
+  List.iter
+    (fun (n, losers) ->
+      Page_id.Set.iter
+        (fun pid ->
+          let owner = peer n (Page_id.owner pid) in
+          Global_locks.grant owner.glocks ~node:n.id ~pid ~mode:Mode.X;
+          Local_locks.set_cached_mode n.locks pid Mode.X)
+        (loser_pages n losers))
+    losers_by_node
+
+let reconstruct_locks crashed operational =
+  List.iter
+    (fun n ->
+      List.iter
+        (fun m ->
+          (* Operational owners release the crashed node's shared locks
+             and retain its exclusive ones. *)
+          let released = Global_locks.release_all_shared_of_node m.glocks ~node:n.id in
+          List.iter (fun pid -> tracef m "recovery: released S lock of %d on %a" n.id Page_id.pp pid) released;
+          let x_pages = Global_locks.x_pages_of_node m.glocks ~node:n.id in
+          send m ~dst:n.id ~recovery:true ~bytes:(Wire.listing ~entries:(List.length x_pages)) ();
+          List.iter (fun pid -> Local_locks.set_cached_mode n.locks pid Mode.X) x_pages;
+          (* Locks the peer had acquired from the crashed node rebuild
+             the crashed node's owner-side table. *)
+          let held = Local_locks.cached_pages_owned_by m.locks n.id in
+          send m ~dst:n.id ~recovery:true ~bytes:(Wire.listing ~entries:(List.length held)) ();
+          List.iter (fun (pid, mode) -> Global_locks.grant n.glocks ~node:m.id ~pid ~mode) held)
+        operational)
+    crashed
+
+(* ------------------------------------------------------------------ *)
+(* Phase 3: determining the pages that may require recovery            *)
+(* ------------------------------------------------------------------ *)
+
+(* Every node's view of a page under recovery: its DPT entry. *)
+type claim = { claimant : Node_state.t; entry : Dpt.entry }
+
+(* For one crashed owner [n]: gather peer cache listings and DPT
+   entries for pages owned by [n] (§2.3.1), and [n]'s own entries for
+   its own pages.  Returns (claims per page, operational cachers per
+   page). *)
+let gather_for_owner n ~others ~operational =
+  let claims : claim list Page_id.Tbl.t = Page_id.Tbl.create 16 in
+  let cachers : Node_state.t list Page_id.Tbl.t = Page_id.Tbl.create 16 in
+  let add_claim c =
+    let pid = c.entry.Dpt.pid in
+    let cur = Option.value (Page_id.Tbl.find_opt claims pid) ~default:[] in
+    Page_id.Tbl.replace claims pid (c :: cur)
+  in
+  List.iter (fun e -> add_claim { claimant = n; entry = e }) (Dpt.entries_owned_by n.dpt n.id);
+  List.iter
+    (fun m ->
+      let entries = Dpt.entries_owned_by m.dpt n.id in
+      send m ~dst:n.id ~recovery:true ~bytes:(Wire.listing ~entries:(List.length entries)) ();
+      List.iter
+        (fun e ->
+          add_claim { claimant = m; entry = e };
+          (* Reconstruct the owner's flush-waiter list: each claimant
+             expects an acknowledgement when the page is next forced. *)
+          Node.register_flush_waiter n e.Dpt.pid ~waiter:m.id)
+        entries)
+    others;
+  List.iter
+    (fun m ->
+      let cached =
+        List.filter (fun pid -> Page_id.owner pid = n.id) (Buffer_pool.cached_ids m.pool)
+      in
+      send m ~dst:n.id ~recovery:true ~bytes:(Wire.listing ~entries:(List.length cached)) ();
+      List.iter
+        (fun pid ->
+          let cur = Option.value (Page_id.Tbl.find_opt cachers pid) ~default:[] in
+          Page_id.Tbl.replace cachers pid (m :: cur))
+        cached)
+    operational;
+  (claims, cachers)
+
+(* ------------------------------------------------------------------ *)
+(* Phase 4+5: involved nodes (§2.3.2) and coordinated redo (§2.3.4)    *)
+(* ------------------------------------------------------------------ *)
+
+type strategy = Psn_coordinated | Merged_logs
+
+(* One page to recover: its coordinator, base version and claimants. *)
+type job = { pid : Page_id.t; coordinator : Node_state.t; base : Page.t; involved : claim list }
+
+(* §2.3.2: nodes whose CurrPSN does not exceed the base version's PSN
+   are not involved; they drop their entry, unless they hold a lock on
+   the page, in which case the entry survives with a refreshed
+   RedoLSN (§2.3.4 last paragraph). *)
+let split_involved claims ~base_psn =
+  List.partition (fun c -> c.entry.Dpt.curr_psn > base_psn) claims
+
+let dismiss_uninvolved ~owner uninvolved =
+  List.iter
+    (fun c ->
+      let m = c.claimant in
+      let pid = c.entry.Dpt.pid in
+      if m.id <> owner.id then send owner ~dst:m.id ~recovery:true ~bytes:Wire.control ();
+      if Local_locks.cached_mode m.locks pid <> None then
+        Dpt.set_redo_lsn m.dpt pid (Log_manager.end_lsn m.log)
+      else Dpt.drop m.dpt pid)
+    uninvolved
+
+(* Build each involved node's NodePSNLists with a single scan of its
+   own log (§2.3.4), batched over all pages that node participates in. *)
+let build_psn_lists jobs =
+  let per_node : (int, Node_state.t * Page_id.Set.t * Lsn.t) Hashtbl.t = Hashtbl.create 8 in
+  List.iter
+    (fun job ->
+      List.iter
+        (fun c ->
+          let m = c.claimant in
+          let pages, start =
+            match Hashtbl.find_opt per_node m.id with
+            | Some (_, pages, start) -> (pages, start)
+            | None -> (Page_id.Set.empty, Lsn.nil)
+          in
+          let start =
+            if Lsn.is_nil start then c.entry.Dpt.redo_lsn else Lsn.min start c.entry.Dpt.redo_lsn
+          in
+          Hashtbl.replace per_node m.id (m, Page_id.Set.add job.pid pages, start))
+        job.involved)
+    jobs;
+  let lists : (int, Node_psn_list.listing Page_id.Map.t) Hashtbl.t = Hashtbl.create 8 in
+  Hashtbl.iter
+    (fun node_id (m, pages, start) ->
+      let map = Node_psn_list.build m.log ~node:node_id ~pages ~start in
+      Hashtbl.replace lists node_id map)
+    per_node;
+  let empty = { Node_psn_list.runs = []; records = [] } in
+  fun node_id pid ->
+    match Hashtbl.find_opt lists node_id with
+    | None -> empty
+    | Some map -> (
+      match Page_id.Map.find_opt pid map with None -> empty | Some listing -> listing)
+
+(* One redo round at node [m]: apply [m]'s records for [job.pid] with
+   PSNs in [run.psn, bound), reading exactly the locations remembered by
+   the NodePSNList scan (§2.3.4: "the location of this log record is
+   remembered and it will be used during the recovery"). *)
+let redo_round m job page (run : Node_psn_list.run) ~bound ~records =
+  List.iter
+    (fun (lsn, psn_before) ->
+      let in_round =
+        psn_before >= run.Node_psn_list.psn
+        && match bound with Some b -> psn_before < b | None -> true
+      in
+      if in_round then begin
+        let record = Log_manager.read m.log lsn in
+        bump m (fun c ->
+            c.Metrics.recovery_log_records_scanned <- c.Metrics.recovery_log_records_scanned + 1);
+        match record.Record.body with
+        | Update { pid; psn_before = p; op } | Clr { pid; psn_before = p; op; _ } ->
+          assert (Page_id.equal pid job.pid && p = psn_before);
+          (match Redo.apply page ~psn_before ~op with
+          | Redo.Applied | Redo.Already_applied -> ()
+          | Redo.Not_yet ->
+            invalid_arg
+              (Format.asprintf "recovery: node %d met record psn=%d ahead of page %a psn=%d"
+                 m.id psn_before Page_id.pp job.pid (Page.psn page)))
+        | Commit | Abort | Savepoint _ | Checkpoint_begin _ | Checkpoint_end ->
+          invalid_arg "recovery: remembered location does not hold an update record"
+      end)
+    records
+
+let recover_page job ~psn_lists =
+  let owner_id = Page_id.owner job.pid in
+  let coordinator = job.coordinator in
+  let page = Page.copy job.base in
+  let runs =
+    Node_psn_list.merge
+      (List.map (fun c -> (psn_lists c.claimant.id job.pid).Node_psn_list.runs) job.involved)
+  in
+  tracef coordinator "recovery: page %a base_psn=%d involved=[%s] runs=[%s]" Page_id.pp job.pid
+    (Page.psn job.base)
+    (String.concat ";"
+       (List.map
+          (fun c ->
+            Format.asprintf "n%d(first=%d curr=%d redo=%a)" c.claimant.id c.entry.Dpt.psn_first
+              c.entry.Dpt.curr_psn Lsn.pp c.entry.Dpt.redo_lsn)
+          job.involved))
+    (String.concat ";" (List.map (Format.asprintf "%a" Node_psn_list.pp_run) runs));
+  (* The lists travel to the coordinator. *)
+  List.iter
+    (fun c ->
+      send c.claimant ~dst:coordinator.id ~recovery:true
+        ~bytes:
+          (Wire.listing
+             ~entries:
+               (List.length (psn_lists c.claimant.id job.pid).Node_psn_list.runs))
+        ())
+    job.involved;
+  let rec rounds = function
+    | [] -> ()
+    | (run : Node_psn_list.run) :: rest ->
+      let bound = match rest with [] -> None | next :: _ -> Some next.Node_psn_list.psn in
+      let m = peer coordinator run.node in
+      let page_bytes = Wire.page (Env.config coordinator.env) in
+      send coordinator ~dst:m.id ~recovery:true ~bytes:page_bytes ();
+      if m.id <> coordinator.id then bump_transfers coordinator;
+      redo_round m job page run ~bound
+        ~records:(psn_lists m.id job.pid).Node_psn_list.records;
+      send m ~dst:coordinator.id ~recovery:true ~bytes:page_bytes ();
+      rounds rest
+  in
+  rounds runs;
+  bump_redone coordinator;
+  tracef coordinator "recovery: page %a recovered at psn=%d by node %d (%d rounds)" Page_id.pp
+    job.pid (Page.psn page) coordinator.id (List.length runs);
+  (* Hand the recovered page to the coordinator's cache; every other
+     involved node's updates now live in that copy, so they are treated
+     as having replaced the page (their flush ack will retire the
+     entry). *)
+  let waiters = List.filter_map (fun c ->
+      if c.claimant.id = coordinator.id then None else Some c.claimant.id)
+      job.involved
+  in
+  Node.install_recovered_page coordinator page ~waiters:(if coordinator.id = owner_id then waiters else []);
+  List.iter
+    (fun c ->
+      let m = c.claimant in
+      if m.id <> coordinator.id then begin
+        Dpt.on_replaced m.dpt job.pid ~end_of_log:(Log_manager.end_lsn m.log);
+        if coordinator.id <> owner_id then
+          (* owner survives; register the waiter there *)
+          Node.register_flush_waiter (peer coordinator owner_id) job.pid ~waiter:m.id
+      end)
+    job.involved;
+  if coordinator.id <> owner_id then
+    Node.register_flush_waiter (peer coordinator owner_id) job.pid ~waiter:coordinator.id
+
+(* ------------------------------------------------------------------ *)
+(* Merged-log redo (baseline, §3.2)                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* Every participating node scans its whole retained log and ships
+   every update record to the coordinator, which merges them per page
+   by PSN.  The scans cannot start at the checkpoints: redo points
+   routinely precede them.  This is exactly what the paper's design
+   avoids — reading and moving entire logs instead of NodePSNLists and
+   page-sized rounds. *)
+let pull_merged_records coordinator sources =
+  let per_page : (int * Record.update_op) list Page_id.Tbl.t = Page_id.Tbl.create 32 in
+  List.iter
+    (fun m ->
+      if m.id <> coordinator.id then
+        send coordinator ~dst:m.id ~recovery:true ~bytes:Wire.control ();
+      Log_manager.fold m.log ~from:Lsn.nil ~init:() (fun () _lsn record ->
+          match record.Record.body with
+          | Update { pid; psn_before; op } | Clr { pid; psn_before; op; _ } ->
+            if m.id <> coordinator.id then begin
+              let encoded = String.length (Record.encode record) in
+              send m ~dst:coordinator.id ~recovery:true ~bytes:(Wire.log_record encoded) ();
+              bump m (fun c ->
+                  c.Metrics.log_records_shipped <- c.Metrics.log_records_shipped + 1)
+            end;
+            let cur = Option.value (Page_id.Tbl.find_opt per_page pid) ~default:[] in
+            Page_id.Tbl.replace per_page pid ((psn_before, op) :: cur)
+          | Commit | Abort | Savepoint _ | Checkpoint_begin _ | Checkpoint_end -> ()))
+    sources;
+  per_page
+
+let recover_page_merged job ~records =
+  let page = Page.copy job.base in
+  let applicable =
+    List.sort (fun (a, _) (b, _) -> Int.compare a b)
+      (Option.value (Page_id.Tbl.find_opt records job.pid) ~default:[])
+  in
+  List.iter
+    (fun (psn_before, op) ->
+      match Redo.apply page ~psn_before ~op with
+      | Redo.Applied | Redo.Already_applied -> ()
+      | Redo.Not_yet ->
+        invalid_arg
+          (Format.asprintf "merged recovery: gap at %a psn=%d (page at %d)" Page_id.pp job.pid
+             psn_before (Page.psn page)))
+    applicable;
+  bump_redone job.coordinator;
+  let owner_id = Page_id.owner job.pid in
+  let waiters =
+    List.filter_map
+      (fun c -> if c.claimant.id = job.coordinator.id then None else Some c.claimant.id)
+      job.involved
+  in
+  Node.install_recovered_page job.coordinator page
+    ~waiters:(if job.coordinator.id = owner_id then waiters else []);
+  List.iter
+    (fun c ->
+      let m = c.claimant in
+      if m.id <> job.coordinator.id then begin
+        Dpt.on_replaced m.dpt job.pid ~end_of_log:(Log_manager.end_lsn m.log);
+        if job.coordinator.id <> owner_id then
+          Node.register_flush_waiter (peer job.coordinator owner_id) job.pid ~waiter:m.id
+      end)
+    job.involved;
+  if job.coordinator.id <> owner_id then
+    Node.register_flush_waiter (peer job.coordinator owner_id) job.pid
+      ~waiter:job.coordinator.id
+
+(* ------------------------------------------------------------------ *)
+(* Phase 6: undo of loser transactions                                 *)
+(* ------------------------------------------------------------------ *)
+
+let undo_losers n losers =
+  List.iter
+    (fun (l : Record.active_txn) ->
+      let txn = Txn.make ~id:l.txn ~node:n.id in
+      txn.Txn.last_lsn <- l.last_lsn;
+      Txn_table.register n.txns txn;
+      let _last = Undo.rollback (Node.undo_ops n txn) ~txn:txn.Txn.id ~from:l.last_lsn ~upto:Lsn.nil in
+      let lsn =
+        Node.append_record n { Record.txn = txn.Txn.id; prev = txn.Txn.last_lsn; body = Abort }
+      in
+      Txn.record_logged txn lsn;
+      txn.Txn.state <- Txn.Aborted;
+      Txn_table.remove n.txns txn.Txn.id;
+      bump n (fun m -> m.Metrics.txn_aborted <- m.Metrics.txn_aborted + 1);
+      tracef n "recovery(%d): loser T%d rolled back" n.id txn.Txn.id)
+    losers
+
+(* ------------------------------------------------------------------ *)
+(* Driver                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let run ?(strategy = Psn_coordinated) ~crashed ~operational () =
+  List.iter
+    (fun n ->
+      match n.scheme with
+      | Node_state.Local_logging -> ()
+      | Server_logging _ | Pca_double_logging | Global_log _ ->
+        invalid_arg
+          "Recovery.run: crash recovery is implemented for the paper's local-logging scheme; \
+           the baselines are normal-processing comparators")
+    (crashed @ operational);
+  List.iter
+    (fun n -> if n.up then invalid_arg "Recovery.run: node in crashed list is up")
+    crashed;
+  List.iter
+    (fun n -> if not n.up then invalid_arg "Recovery.run: node in operational list is down")
+    operational;
+  let losers_by_node = analysis_phase crashed in
+  reconstruct_locks crashed operational;
+  regrant_loser_locks losers_by_node;
+  (* Collect the recovery jobs for pages owned by each crashed node. *)
+  let crashed_ids = List.map (fun n -> n.id) crashed in
+  let jobs = ref [] in
+  List.iter
+    (fun n ->
+      let others = List.filter (fun m -> m.id <> n.id) (crashed @ operational) in
+      let claims, cachers = gather_for_owner n ~others ~operational in
+      Page_id.Tbl.iter
+        (fun pid claims_for_page ->
+          match Page_id.Tbl.find_opt cachers pid with
+          | Some (m :: _) ->
+            (* A live cache holds the page: fetch it, no redo needed
+               (§2.3.1: pages in the cache of some node contain all the
+               updates performed before the owner's crash).  The ship
+               follows the WAL rule like any other: the cacher's log is
+               forced up to the copy's last update first, and the cacher
+               records the replacement so the eventual flush ack settles
+               its DPT entry. *)
+            send n ~dst:m.id ~recovery:true ~bytes:Wire.control ();
+            let frame =
+              match Buffer_pool.peek m.pool pid with
+              | Some f -> f
+              | None -> assert false
+            in
+            if frame.Buffer_pool.dirty && not (Lsn.is_nil frame.Buffer_pool.last_lsn) then
+              Log_manager.force m.log ~upto:frame.Buffer_pool.last_lsn;
+            send m ~dst:n.id ~recovery:true ~bytes:(Wire.page (Env.config n.env)) ();
+            bump_transfers n;
+            (* The cacher keeps its (possibly dirty) copy and therefore
+               also its DPT entry — §2.2 forbids dropping an entry for
+               an updated page still present in the local cache. *)
+            Node.install_recovered_page n (Page.copy frame.Buffer_pool.page) ~waiters:[]
+          | Some [] | None ->
+            let base = Node.owner_latest_copy n pid in
+            let involved, uninvolved = split_involved claims_for_page ~base_psn:(Page.psn base) in
+            dismiss_uninvolved ~owner:n uninvolved;
+            if involved <> [] then begin
+              n.recovering_pages <- Page_id.Set.add pid n.recovering_pages;
+              jobs := { pid; coordinator = n; base; involved } :: !jobs
+            end)
+        claims;
+      ())
+    crashed;
+  (* Category (b): pages of an *operational* owner that a crashed node
+     had exclusively locked at crash time (§2.3.1 case b). *)
+  List.iter
+    (fun n ->
+      List.iter
+        (fun (e : Dpt.entry) ->
+          let pid = e.Dpt.pid in
+          let owner_id = Page_id.owner pid in
+          if owner_id <> n.id && not (List.mem owner_id crashed_ids) then begin
+            (* The base is the owner's most recent surviving copy; the
+               crashed node repeats history from its own log on top of
+               it whenever its CurrPSN is ahead (this includes the
+               uncommitted updates of its losers, rolled back in the
+               undo phase — ARIES repeating-history discipline). *)
+            let owner = peer n owner_id in
+            send n ~dst:owner_id ~recovery:true ~bytes:Wire.control ();
+            let base = Node.owner_latest_copy owner pid in
+            send owner ~dst:n.id ~recovery:true ~bytes:(Wire.page (Env.config n.env)) ();
+            bump_transfers n;
+            if e.Dpt.curr_psn > Page.psn base then begin
+              (* Other crashed nodes may also have claims on this page. *)
+              let claims =
+                List.filter_map
+                  (fun m ->
+                    match Dpt.find m.dpt pid with
+                    | Some entry when entry.Dpt.curr_psn > Page.psn base ->
+                      Some { claimant = m; entry }
+                    | Some _ | None -> None)
+                  crashed
+              in
+              owner.recovering_pages <- Page_id.Set.add pid owner.recovering_pages;
+              jobs := { pid; coordinator = n; base; involved = claims } :: !jobs
+            end
+          end)
+        (Dpt.entries n.dpt))
+    crashed;
+  (* Deduplicate: one job per page (a page can be claimed through both
+     paths when several nodes crashed). *)
+  let seen = ref Page_id.Set.empty in
+  let jobs =
+    List.filter
+      (fun job ->
+        if Page_id.Set.mem job.pid !seen then false
+        else begin
+          seen := Page_id.Set.add job.pid !seen;
+          true
+        end)
+      (List.rev !jobs)
+  in
+  (* §2.3.3: the crashed node acquires exclusive locks for the pages in
+     its DPT that have no lock entry, before processing resumes. *)
+  List.iter
+    (fun job ->
+      let n = job.coordinator in
+      let pid = job.pid in
+      let owner = peer n (Page_id.owner pid) in
+      if Global_locks.holders owner.glocks ~pid = [] then begin
+        Global_locks.grant owner.glocks ~node:n.id ~pid ~mode:Mode.X;
+        Local_locks.set_cached_mode n.locks pid Mode.X
+      end)
+    jobs;
+  (match strategy with
+  | Psn_coordinated ->
+    (* Coordinated, PSN-ordered redo; no log merging anywhere. *)
+    let psn_lists = build_psn_lists jobs in
+    List.iter (fun job -> recover_page job ~psn_lists) jobs
+  | Merged_logs ->
+    (* One merged pull per coordinator, then local per-page replay. *)
+    let coordinators =
+      List.sort_uniq Int.compare (List.map (fun job -> job.coordinator.id) jobs)
+    in
+    let pulls =
+      List.map
+        (fun cid ->
+          let coordinator = List.find (fun j -> j.coordinator.id = cid) jobs in
+          (cid, pull_merged_records coordinator.coordinator (crashed @ operational)))
+        coordinators
+    in
+    List.iter
+      (fun job -> recover_page_merged job ~records:(List.assoc job.coordinator.id pulls))
+      jobs);
+  List.iter
+    (fun job ->
+      let owner = peer job.coordinator (Page_id.owner job.pid) in
+      owner.recovering_pages <- Page_id.Set.remove job.pid owner.recovering_pages)
+    jobs;
+  (* Normal processing can resume; roll back the losers. *)
+  List.iter (fun n -> n.up <- true) crashed;
+  List.iter (fun (n, losers) -> undo_losers n losers) losers_by_node;
+  List.iter (fun n -> tracef n "recovery(%d): complete" n.id) crashed

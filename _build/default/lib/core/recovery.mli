@@ -1,0 +1,55 @@
+(** Node crash recovery — §2.3 (single crash) and §2.4 (multiple).
+
+    [run ~crashed ~operational] restarts the crashed nodes:
+
+    + {b Analysis} (per crashed node, §2.3.1/§2.4): scan the local log
+      from the last complete checkpoint, rebuilding a superset of the
+      DPT and the loser transactions.
+    + {b Lock reconstruction} (§2.3.3): operational owners release the
+      crashed nodes' shared locks and report retained exclusive ones;
+      each crashed node rebuilds its owner-side table from the locks
+      peers cached on its pages.
+    + {b Determining pages that may require recovery} (§2.3.1/§2.4):
+      each crashed owner gathers, from every other node, the owned pages
+      present in peer caches and the peers' DPT entries for its pages;
+      pages alive in an operational cache are fetched rather than
+      recovered; pages of a crashed node's DPT owned by an operational
+      node are recovered by that crashed node (it held the X lock).
+    + {b Identifying involved nodes} (§2.3.2): a node participates in a
+      page's recovery iff its DPT entry's CurrPSN exceeds the PSN of the
+      base (most recent surviving) version; others drop or refresh their
+      entries.
+    + {b Coordinated redo} (§2.3.4): involved nodes build NodePSNLists
+      with one log scan each; the coordinator ships the page from node
+      to node in PSN order, each applying its own log records,
+      PSN-guarded.  {e No log is ever merged.}
+    + {b Undo}: each crashed node rolls back its own losers with CLRs
+      from its own log, then resumes normal processing.
+
+    The paper's requirements hold by construction: logs are only read by
+    their owning node, checkpoints and clocks of other nodes are never
+    consulted, and the whole protocol exchanges pages and small lists,
+    never log records. *)
+
+type strategy =
+  | Psn_coordinated
+      (** the paper's §2.3.4 protocol: NodePSNLists + PSN-ordered page
+          rounds; each node reads only its own log, no log ever moves *)
+  | Merged_logs
+      (** the comparison baseline (the fast/super-fast schemes of
+          Mohan–Narang, §3.2): every node scans its whole log from its
+          last checkpoint and ships {e all} records to the recovering
+          coordinator, which merges them per page by PSN.  Produces the
+          same final state at a very different cost — experiment E4. *)
+
+val run :
+  ?strategy:strategy ->
+  crashed:Node_state.t list ->
+  operational:Node_state.t list ->
+  unit ->
+  unit
+(** Recovers all [crashed] nodes (they must be down); [operational] are
+    the surviving peers (must be up).  On return every crashed node is
+    up, its committed updates are restored, its losers rolled back, and
+    lock tables cluster-wide are consistent.  [strategy] defaults to
+    the paper's {!Psn_coordinated}. *)

@@ -1,0 +1,5 @@
+let header = 24
+let control = header + 16
+let page config = header + config.Repro_sim.Config.page_size + 16
+let log_record encoded = header + encoded
+let listing ~entries = header + (entries * 24)

@@ -1,0 +1,20 @@
+(** Message size model.
+
+    Inter-node calls are direct function invocations, but each is
+    charged as a network message with a payload size from this table so
+    that byte counters and transmission costs are realistic.  Sizes are
+    order-of-magnitude: a small fixed header for control messages, the
+    page size for page transports, and per-entry costs for recovery
+    lists. *)
+
+val control : int
+(** Lock requests/grants, callbacks, acks, flush requests/acks. *)
+
+val page : Repro_sim.Config.t -> int
+(** A page transport: page bytes + header. *)
+
+val log_record : int -> int
+(** Shipping one log record of the given encoded size (baselines). *)
+
+val listing : entries:int -> int
+(** A recovery listing (cache/DPT/lock/NodePSNList messages). *)

@@ -1,0 +1,1 @@
+lib/experiments/experiments.ml: Array Format Int64 List Printf Report Repro_baselines Repro_cbl Repro_sim Repro_storage Repro_util Repro_workload String

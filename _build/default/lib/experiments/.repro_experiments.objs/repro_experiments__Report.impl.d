@@ -1,0 +1,1 @@
+lib/experiments/report.ml: Format List Repro_util

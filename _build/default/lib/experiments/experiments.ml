@@ -1,0 +1,658 @@
+module Config = Repro_sim.Config
+module Env = Repro_sim.Env
+module Metrics = Repro_sim.Metrics
+module Page_id = Repro_storage.Page_id
+module Cluster = Repro_cbl.Cluster
+module Node_state = Repro_cbl.Node_state
+module Recovery = Repro_cbl.Recovery
+module Engine = Repro_workload.Engine
+module Driver = Repro_workload.Driver
+module Generators = Repro_workload.Generators
+module Op = Repro_workload.Op
+module Schemes = Repro_baselines.Schemes
+module Rng = Repro_util.Rng
+
+(* Every experiment ends by checking the durability oracle: the suite
+   doubles as an end-to-end integration test. *)
+let run_checked engine ?events ?mpl scripts =
+  let outcome = Driver.run engine ?events ?mpl scripts in
+  if outcome.Driver.stuck > 0 then
+    invalid_arg
+      (Printf.sprintf "experiment workload wedged: %d stuck scripts (%s)" outcome.Driver.stuck
+         engine.Engine.name);
+  (match Driver.verify outcome with
+  | Ok () -> ()
+  | Error errs ->
+    invalid_arg
+      (Printf.sprintf "durability oracle violated (%s): %s" engine.Engine.name
+         (String.concat "; " errs)));
+  outcome
+
+let snapshot_global (built : Schemes.built) = Metrics.snapshot (Cluster.global_metrics built.cluster)
+
+let diff_global (built : Schemes.built) before =
+  Metrics.diff ~after:(Cluster.global_metrics built.cluster) ~before
+
+(* ------------------------------------------------------------------ *)
+(* F1: the Figure 1 architecture                                       *)
+(* ------------------------------------------------------------------ *)
+
+let f1 ?(quick = false) () =
+  let txns = if quick then 6 else 25 in
+  let built =
+    Schemes.cbl ~seed:11 ~nodes:4 ~owners:[ 0; 2 ] ~pages_per_owner:24 Config.default
+  in
+  let rng = Rng.create 11 in
+  let scripts =
+    Generators.partitioned rng ~pages_by_owner:built.Schemes.pages_by_owner
+      ~clients:[ 0; 1; 2; 3 ] ~txns_per_client:txns
+      ~mix:{ Generators.default_mix with remote_fraction = 0.4 }
+  in
+  let _outcome = run_checked built.Schemes.engine scripts in
+  let rows =
+    List.map
+      (fun id ->
+        let m = Cluster.node_metrics built.Schemes.cluster id in
+        let role = if List.mem id [ 0; 2 ] then "owner (has database)" else "client" in
+        [
+          Printf.sprintf "node %d" id;
+          role;
+          string_of_int m.Metrics.txn_committed;
+          string_of_int m.Metrics.commit_messages;
+          string_of_int m.Metrics.log_appends;
+          string_of_int m.Metrics.log_forces;
+          string_of_int m.Metrics.pages_shipped;
+        ])
+      [ 0; 1; 2; 3 ]
+  in
+  let zero_commit_msgs =
+    List.for_all
+      (fun id ->
+        (Cluster.node_metrics built.Schemes.cluster id).Metrics.commit_messages = 0)
+      [ 0; 1; 2; 3 ]
+  in
+  {
+    Report.id = "F1";
+    title = "Figure 1 architecture: 4 networked nodes, 2 with databases, all with local logs";
+    claim =
+      "§1.1: every node logs locally, including updates to remote data; commit involves no \
+       other node";
+    header = [ "node"; "role"; "committed"; "commit msgs"; "log appends"; "log forces"; "pages shipped" ];
+    rows;
+    notes =
+      [
+        (if zero_commit_msgs then "PASS: zero commit-path messages at every node"
+         else "FAIL: some node sent messages at commit");
+      ];
+  }
+
+(* ------------------------------------------------------------------ *)
+(* E1: commit path per scheme                                          *)
+(* ------------------------------------------------------------------ *)
+
+let e1 ?(quick = false) () =
+  let txns = if quick then 8 else 30 in
+  let fractions = if quick then [ 0.0; 1.0 ] else [ 0.0; 0.3; 0.6; 1.0 ] in
+  let rows =
+    List.concat_map
+      (fun remote ->
+        List.map
+          (fun (built : Schemes.built) ->
+            let rng = Rng.create 7 in
+            let clients =
+              (* clients sit on the owner nodes so the remote-access
+                 fraction is exactly the knob; server-logging clients
+                 must not sit on the server (all data is there) *)
+              if built.Schemes.engine.Engine.name = "server-logging" then [ 1; 3 ]
+              else List.map fst built.Schemes.pages_by_owner
+            in
+            let scripts =
+              Generators.partitioned rng ~pages_by_owner:built.Schemes.pages_by_owner
+                ~clients ~txns_per_client:txns
+                ~mix:{ Generators.default_mix with remote_fraction = remote }
+            in
+            let before = snapshot_global built in
+            let outcome = run_checked built.Schemes.engine scripts in
+            let d = diff_global built before in
+            let n = outcome.Driver.committed in
+            [
+              built.Schemes.engine.Engine.name;
+              Report.f2 remote;
+              Report.per d.Metrics.commit_messages n;
+              Report.per d.Metrics.log_forces n;
+              Report.per d.Metrics.commit_page_writes n;
+              Report.per d.Metrics.log_records_shipped n;
+              Report.ms (outcome.Driver.sim_seconds /. float_of_int (max 1 n));
+            ])
+          (Schemes.all ~seed:7 ~nodes:4 ~pages_per_owner:24 Config.default))
+      fractions
+  in
+  {
+    Report.id = "E1";
+    title = "Commit-path cost per committed transaction, by scheme and remote-access fraction";
+    claim =
+      "§1.1/§3: CBL sends no log records or pages at commit (0 messages, 1 local force); \
+       server logging ships records, PCA ships pages+records, the global log pays per append";
+    header =
+      [ "scheme"; "remote"; "commit msgs/txn"; "log forces/txn"; "commit pg writes/txn";
+        "records shipped/txn"; "sim ms/txn" ];
+    rows;
+    notes =
+      [
+        "expected shape: cbl's commit msgs and records shipped are 0 at every remote fraction";
+        "cbl's log forces above 1/txn are WAL-before-ship forces (page transfers), not commit \
+         work";
+      ];
+  }
+
+(* ------------------------------------------------------------------ *)
+(* E2: throughput scaling                                              *)
+(* ------------------------------------------------------------------ *)
+
+let e2 ?(quick = false) () =
+  let client_counts = if quick then [ 2; 4 ] else [ 2; 4; 8; 16 ] in
+  let txns = if quick then 5 else 15 in
+  let rows =
+    List.concat_map
+      (fun clients ->
+        let nodes = clients in
+        let make = function
+          | `Cbl ->
+            (* fully distributed: every node owns a partition *)
+            Schemes.cbl ~seed:3 ~nodes ~owners:(List.init nodes (fun i -> i))
+              ~pages_per_owner:16 Config.default
+          | `Server -> Schemes.server_logging ~seed:3 ~nodes ~pages:(16 * nodes) Config.default
+        in
+        List.map
+          (fun kind ->
+            let built = make kind in
+            let rng = Rng.create 3 in
+            let scripts =
+              Generators.partitioned rng ~pages_by_owner:built.Schemes.pages_by_owner
+                ~clients:(List.init nodes (fun i -> i))
+                ~txns_per_client:txns
+                ~mix:{ Generators.default_mix with remote_fraction = 0.2 }
+            in
+            let outcome = run_checked built.Schemes.engine scripts in
+            let busiest =
+              List.fold_left
+                (fun (node, busy) id ->
+                  let b = (Cluster.node_metrics built.Schemes.cluster id).Metrics.busy_seconds in
+                  if b > busy then (id, b) else (node, busy))
+                (-1, 0.)
+                (List.init nodes (fun i -> i))
+            in
+            let makespan = snd busiest in
+            let throughput = float_of_int outcome.Driver.committed /. makespan in
+            [
+              built.Schemes.engine.Engine.name;
+              string_of_int clients;
+              string_of_int outcome.Driver.committed;
+              Report.f2 makespan;
+              Report.f2 throughput;
+              Printf.sprintf "node %d" (fst busiest);
+            ])
+          [ `Cbl; `Server ])
+      client_counts
+  in
+  {
+    Report.id = "E2";
+    title = "Throughput vs number of clients (bottleneck-bounded, committed / busiest node's work)";
+    claim =
+      "§1.2/§4: client-based logging reduces dependencies on server resources; with server \
+       logging, the server's log and lock service saturate as clients are added";
+    header = [ "scheme"; "clients"; "committed"; "bottleneck busy s"; "txn/s bound"; "bottleneck" ];
+    rows;
+    notes =
+      [
+        "expected shape: cbl's txn/s bound grows with clients; server-logging's flattens and \
+         its bottleneck is always the server (node 0)";
+      ];
+  }
+
+(* ------------------------------------------------------------------ *)
+(* E3: commit latency vs network latency                               *)
+(* ------------------------------------------------------------------ *)
+
+let e3 ?(quick = false) () =
+  let latencies = if quick then [ 0.5e-3; 5e-3 ] else [ 0.1e-3; 0.5e-3; 1e-3; 2e-3; 5e-3; 10e-3 ] in
+  let commits = if quick then 5 else 20 in
+  let rows =
+    List.concat_map
+      (fun lat ->
+        let config = Config.with_net_latency Config.default lat in
+        List.map
+          (fun (built : Schemes.built) ->
+            let engine = built.Schemes.engine in
+            let pages =
+              match built.Schemes.pages_by_owner with
+              | (_, ps) :: _ -> ps
+              | [] -> assert false
+            in
+            (* one warm-up txn, then measure pure commit cost *)
+            let measure () =
+              let txn = engine.Engine.begin_txn ~node:1 in
+              List.iteri
+                (fun i pid -> if i < 4 then engine.Engine.update_delta ~txn ~pid ~off:0 1L)
+                pages;
+              let t0 = Env.now engine.Engine.env in
+              engine.Engine.commit ~txn;
+              Env.now engine.Engine.env -. t0
+            in
+            let _warm = measure () in
+            let samples = Array.init commits (fun _ -> measure ()) in
+            let s = Repro_util.Stats.summarize samples in
+            [
+              engine.Engine.name;
+              Report.ms lat;
+              Report.ms s.Repro_util.Stats.mean;
+              Report.ms s.Repro_util.Stats.max;
+            ])
+          (Schemes.all ~seed:5 ~nodes:4 ~pages_per_owner:16 config))
+      latencies
+  in
+  {
+    Report.id = "E3";
+    title = "Commit latency vs one-way network latency (4 updates per txn, remote owner)";
+    claim =
+      "§1.1: local logging eliminates the need to send log records at commit, so CBL's commit \
+       latency is independent of network latency; shipping schemes grow linearly with it";
+    header = [ "scheme"; "net ms"; "commit ms (mean)"; "commit ms (max)" ];
+    rows;
+    notes = [ "expected shape: cbl column constant across net ms; others increase with it" ];
+  }
+
+(* ------------------------------------------------------------------ *)
+(* E4: recovery, PSN-coordinated vs merged logs                        *)
+(* ------------------------------------------------------------------ *)
+
+let recovery_run ~strategy ~txns =
+  (* four private partitions: every node's log is busy with its own
+     work, node 1's cache holds the only up-to-date copies of its
+     partition at crash time.  The paper's protocol then reads node 1's
+     log only; the merge baseline must pull all four. *)
+  let built =
+    Schemes.cbl ~seed:13 ~nodes:4 ~owners:[ 0; 1; 2; 3 ] ~pages_per_owner:24 Config.default
+  in
+  let rng = Rng.create 13 in
+  let scripts =
+    Generators.partitioned rng ~pages_by_owner:built.Schemes.pages_by_owner
+      ~clients:[ 0; 1; 2; 3 ] ~txns_per_client:txns
+      ~mix:{ Generators.default_mix with remote_fraction = 0.0; update_fraction = 0.8 }
+  in
+  let events = [ (30, Driver.Checkpoint 1) ] in
+  let outcome = run_checked built.Schemes.engine ~events scripts in
+  ignore outcome;
+  let before = snapshot_global built in
+  let t0 = Cluster.now built.Schemes.cluster in
+  Cluster.crash built.Schemes.cluster ~node:1;
+  Cluster.recover ~strategy built.Schemes.cluster ~nodes:[ 1 ];
+  let d = diff_global built before in
+  let dt = Cluster.now built.Schemes.cluster -. t0 in
+  (d, dt)
+
+let e4 ?(quick = false) () =
+  let sizes = if quick then [ 15 ] else [ 15; 60; 120 ] in
+  let rows =
+    List.concat_map
+      (fun txns ->
+        List.map
+          (fun (name, strategy) ->
+            let d, dt = recovery_run ~strategy ~txns in
+            [
+              name;
+              string_of_int (4 * txns);
+              string_of_int d.Metrics.recovery_log_records_scanned;
+              string_of_int d.Metrics.log_records_shipped;
+              string_of_int d.Metrics.recovery_messages;
+              string_of_int d.Metrics.recovery_page_transfers;
+              Report.ms dt;
+            ])
+          [ ("psn-coordinated (paper)", Recovery.Psn_coordinated);
+            ("merged-logs (baseline)", Recovery.Merged_logs) ])
+      sizes
+  in
+  {
+    Report.id = "E4";
+    title = "Single node crash recovery: the paper's protocol vs merging the logs";
+    claim =
+      "§1.1/§3.2: node log files are not merged at any time; the merge baseline ships every \
+       record of every log while CBL moves only NodePSNLists and page-sized rounds";
+    header =
+      [ "strategy"; "workload txns"; "records scanned"; "records shipped"; "recovery msgs";
+        "page transfers"; "recovery ms" ];
+    rows;
+    notes =
+      [ "expected shape: records shipped is 0 for the paper's protocol and grows with the \
+         workload for the merge baseline" ];
+  }
+
+(* ------------------------------------------------------------------ *)
+(* E5: NodePSNList coordination vs number of involved nodes            *)
+(* ------------------------------------------------------------------ *)
+
+let e5 ?(quick = false) () =
+  let involved = if quick then [ 1; 3 ] else [ 1; 2; 4; 7 ] in
+  let rows =
+    List.map
+      (fun k ->
+        let nodes = 8 in
+        let built =
+          Schemes.cbl ~seed:17 ~nodes ~owners:[ 0 ] ~pages_per_owner:6
+            (Config.with_page_size Config.default 512)
+        in
+        let engine = built.Schemes.engine in
+        let pages = List.assoc 0 built.Schemes.pages_by_owner in
+        (* nodes 1..k update every page in turn: k involved logs *)
+        for i = 1 to k do
+          let txn = engine.Engine.begin_txn ~node:i in
+          List.iter (fun pid -> engine.Engine.update_delta ~txn ~pid ~off:0 1L) pages;
+          engine.Engine.commit ~txn
+        done;
+        let before = snapshot_global built in
+        let t0 = Cluster.now built.Schemes.cluster in
+        (* crash the owner and the last updater: the only up-to-date
+           cached copies vanish and every updater's log takes part *)
+        Cluster.crash built.Schemes.cluster ~node:0;
+        Cluster.crash built.Schemes.cluster ~node:k;
+        Cluster.recover built.Schemes.cluster ~nodes:[ 0; k ];
+        let d = diff_global built before in
+        let dt = Cluster.now built.Schemes.cluster -. t0 in
+        (* all pages must carry every increment *)
+        let txn = engine.Engine.begin_txn ~node:0 in
+        List.iter
+          (fun pid ->
+            let v = engine.Engine.read_cell ~txn ~pid ~off:0 in
+            if v <> Int64.of_int k then
+              invalid_arg (Printf.sprintf "E5: lost updates (found %Ld, want %d)" v k))
+          pages;
+        engine.Engine.commit ~txn;
+        [
+          string_of_int k;
+          string_of_int d.Metrics.recovery_pages_redone;
+          string_of_int d.Metrics.recovery_page_transfers;
+          string_of_int d.Metrics.recovery_messages;
+          string_of_int d.Metrics.recovery_log_records_scanned;
+          Report.ms dt;
+        ])
+      involved
+  in
+  {
+    Report.id = "E5";
+    title = "Recovery cost vs number of nodes involved in a page's redo (NodePSNList rounds)";
+    claim =
+      "§2.3.4: the PSN order reconstructs cross-node update order without clocks; cost grows \
+       with the number of involved nodes, not with total log volume";
+    header =
+      [ "involved nodes"; "pages redone"; "page transfers"; "recovery msgs"; "records scanned";
+        "recovery ms" ];
+    rows;
+    notes = [ "correctness is asserted: every page carries all increments after recovery" ];
+  }
+
+(* ------------------------------------------------------------------ *)
+(* E6: log space management                                            *)
+(* ------------------------------------------------------------------ *)
+
+let e6 ?(quick = false) () =
+  let capacities =
+    if quick then [ Some 16384; None ] else [ Some 8192; Some 16384; Some 65536; None ]
+  in
+  let txns = if quick then 20 else 80 in
+  let rows =
+    List.map
+      (fun capacity ->
+        let config = Config.with_page_size Config.default 512 in
+        let cluster =
+          Cluster.create ~seed:23 ~pool_capacity:8 ?log_capacity:capacity ~nodes:2 config
+        in
+        let pages = Cluster.allocate_pages cluster ~owner:0 ~count:16 in
+        let engine = Engine.of_cluster cluster in
+        let rng = Rng.create 23 in
+        let scripts =
+          Generators.hotspot rng ~pages ~clients:[ 1 ] ~txns_per_client:txns
+            ~mix:{ Generators.default_mix with update_fraction = 1.0; ops_per_txn = 6 }
+        in
+        let outcome = run_checked engine ~mpl:4 scripts in
+        let m = Cluster.global_metrics cluster in
+        [
+          (match capacity with
+          | Some c -> Format.asprintf "%a" Repro_util.Pretty.bytes c
+          | None -> "unbounded");
+          string_of_int outcome.Driver.committed;
+          string_of_int m.Metrics.log_space_stalls;
+          string_of_int m.Metrics.flush_requests;
+          string_of_int m.Metrics.page_disk_writes;
+          Report.ms outcome.Driver.sim_seconds;
+        ])
+      capacities
+  in
+  {
+    Report.id = "E6";
+    title = "Log space management (§2.5): transactions keep committing on tiny log files";
+    claim =
+      "§2.5: when a log fills, replacing the min-RedoLSN page and asking its owner to force \
+       it frees log space; no transaction is lost, at the price of extra flushes";
+    header = [ "log capacity"; "committed"; "space stalls"; "flush requests"; "page writes"; "sim ms" ];
+    rows;
+    notes = [ "expected shape: same committed count everywhere; stalls and flushes only under \
+               small capacities" ];
+  }
+
+(* ------------------------------------------------------------------ *)
+(* E7: independent fuzzy checkpoints                                   *)
+(* ------------------------------------------------------------------ *)
+
+let e7 ?(quick = false) () =
+  let intervals = if quick then [ None; Some 20 ] else [ None; Some 60; Some 30; Some 15 ] in
+  let txns = if quick then 10 else 30 in
+  let rows =
+    List.map
+      (fun interval ->
+        let built =
+          Schemes.cbl ~seed:29 ~nodes:4 ~owners:[ 0; 2 ] ~pages_per_owner:24 Config.default
+        in
+        let rng = Rng.create 29 in
+        let scripts =
+          Generators.partitioned rng ~pages_by_owner:built.Schemes.pages_by_owner
+            ~clients:[ 0; 1; 2; 3 ] ~txns_per_client:txns
+            ~mix:{ Generators.default_mix with remote_fraction = 0.3 }
+        in
+        let events =
+          match interval with
+          | None -> []
+          | Some every ->
+            (* enough repetitions to cover any plausible run length *)
+            List.concat_map
+              (fun round -> List.map (fun node -> (round, Driver.Checkpoint node)) [ 0; 1; 2; 3 ])
+              (List.init (2000 / every) (fun i -> (i + 1) * every))
+        in
+        let before = snapshot_global built in
+        let outcome = run_checked built.Schemes.engine ~events scripts in
+        let d = diff_global built before in
+        (* crash a node afterwards: analysis cost shrinks with frequency *)
+        let rec_before = snapshot_global built in
+        Cluster.crash built.Schemes.cluster ~node:1;
+        Cluster.recover built.Schemes.cluster ~nodes:[ 1 ];
+        let rd = diff_global built rec_before in
+        [
+          (match interval with None -> "never" | Some e -> Printf.sprintf "every %d rounds" e);
+          string_of_int d.Metrics.checkpoints_taken;
+          string_of_int d.Metrics.messages_sent;
+          string_of_int outcome.Driver.committed;
+          string_of_int rd.Metrics.recovery_log_records_scanned;
+        ])
+      intervals
+  in
+  {
+    Report.id = "E7";
+    title = "Fuzzy checkpoints are free of synchronisation and bound restart analysis";
+    claim =
+      "§2.2/§4(4): each node checkpoints independently of the others — no messages, no \
+       quiescing — and more frequent checkpoints shorten the restart analysis scan";
+    header =
+      [ "checkpointing"; "checkpoints"; "messages (workload)"; "committed"; "restart records scanned" ];
+    rows;
+    notes =
+      [ "expected shape: message count identical across rows (checkpoints are purely local); \
+         restart scan shrinks as checkpoints become frequent" ];
+  }
+
+(* ------------------------------------------------------------------ *)
+(* E8: multiple node crashes                                           *)
+(* ------------------------------------------------------------------ *)
+
+let e8 ?(quick = false) () =
+  let crash_sets = if quick then [ [ 1 ] ] else [ [ 1 ]; [ 0; 1 ]; [ 0; 1; 2 ]; [ 0; 1; 2; 4 ] ] in
+  let txns = if quick then 10 else 25 in
+  let rows =
+    List.map
+      (fun victims ->
+        let built =
+          Schemes.cbl ~seed:31 ~nodes:6 ~owners:[ 0; 2; 4 ] ~pages_per_owner:16 Config.default
+        in
+        let rng = Rng.create 31 in
+        let scripts =
+          Generators.partitioned rng ~pages_by_owner:built.Schemes.pages_by_owner
+            ~clients:[ 0; 1; 2; 3; 4; 5 ] ~txns_per_client:txns
+            ~mix:{ Generators.default_mix with remote_fraction = 0.5 }
+        in
+        let outcome = Driver.run built.Schemes.engine scripts in
+        let before = snapshot_global built in
+        let t0 = Cluster.now built.Schemes.cluster in
+        List.iter (fun v -> Cluster.crash built.Schemes.cluster ~node:v) victims;
+        Cluster.recover built.Schemes.cluster ~nodes:victims;
+        let d = diff_global built before in
+        let dt = Cluster.now built.Schemes.cluster -. t0 in
+        let oracle =
+          match Driver.verify outcome with Ok () -> "PASS" | Error e -> "FAIL: " ^ List.hd e
+        in
+        [
+          string_of_int (List.length victims);
+          string_of_int d.Metrics.recovery_log_records_scanned;
+          string_of_int d.Metrics.recovery_messages;
+          string_of_int d.Metrics.recovery_page_transfers;
+          string_of_int d.Metrics.recovery_pages_redone;
+          Report.ms dt;
+          oracle;
+        ])
+      crash_sets
+  in
+  {
+    Report.id = "E8";
+    title = "Recovery from multiple simultaneous node crashes (§2.4)";
+    claim =
+      "§2.4: crashed nodes rebuild DPT supersets from their own logs, owners merge claims, and \
+       the same PSN-ordered protocol recovers every page — still without merging logs";
+    header =
+      [ "simultaneous crashes"; "records scanned"; "recovery msgs"; "page transfers";
+        "pages redone"; "recovery ms"; "oracle" ];
+    rows;
+    notes = [ "oracle PASS means all committed updates survived and no uncommitted ones did" ];
+  }
+
+(* ------------------------------------------------------------------ *)
+(* E9: inter-transaction caching ablation                              *)
+(* ------------------------------------------------------------------ *)
+
+let e9 ?(quick = false) () =
+  let txns = if quick then 10 else 40 in
+  let configs =
+    [ ("caching on (paper)", true, 0.0); ("caching off", false, 0.0);
+      ("caching on (paper)", true, 0.9); ("caching off", false, 0.9) ]
+  in
+  let rows =
+    List.map
+      (fun (label, retain, theta) ->
+        let cluster =
+          Cluster.create ~seed:37 ~retain_cached_locks:retain ~nodes:4 Config.default
+        in
+        let p0 = Cluster.allocate_pages cluster ~owner:0 ~count:24 in
+        let p2 = Cluster.allocate_pages cluster ~owner:2 ~count:24 in
+        let engine = Engine.of_cluster cluster in
+        let rng = Rng.create 37 in
+        let scripts =
+          Generators.partitioned rng ~pages_by_owner:[ (0, p0); (2, p2) ]
+            ~clients:[ 1; 3 ] ~txns_per_client:txns
+            ~mix:{ Generators.default_mix with remote_fraction = 0.1; theta }
+        in
+        let outcome = run_checked engine scripts in
+        let m = Cluster.global_metrics cluster in
+        let n = outcome.Driver.committed in
+        [
+          label;
+          Report.f2 theta;
+          Report.per m.Metrics.lock_requests_local n;
+          Report.per m.Metrics.lock_requests_remote n;
+          Report.per m.Metrics.messages_sent n;
+          Report.ms (outcome.Driver.sim_seconds /. float_of_int (max 1 n));
+        ])
+      configs
+  in
+  {
+    Report.id = "E9";
+    title = "Inter-transaction caching of locks and pages (§2.1) — ablation";
+    claim =
+      "§2.1/§2.2 (and Rdb's lock carry-over, §3.2): retaining locks and pages across \
+       transaction boundaries turns repeat accesses into local operations";
+    header =
+      [ "configuration"; "zipf theta"; "local lock reqs/txn"; "remote lock reqs/txn";
+        "messages/txn"; "sim ms/txn" ];
+    rows;
+    notes = [ "expected shape: caching multiplies local/remote request ratio and cuts \
+               messages per transaction" ];
+  }
+
+(* ------------------------------------------------------------------ *)
+(* E10: page ping-pong without disk forces                             *)
+(* ------------------------------------------------------------------ *)
+
+let e10 ?(quick = false) () =
+  let rounds = if quick then 6 else 25 in
+  let rows =
+    List.map
+      (fun (built : Schemes.built) ->
+        let pages =
+          match built.Schemes.pages_by_owner with (_, ps) :: _ -> ps | [] -> assert false
+        in
+        let pages = List.filteri (fun i _ -> i < 4) pages in
+        let scripts = Generators.ping_pong ~pages ~nodes:(1, 3) ~rounds in
+        let before = snapshot_global built in
+        let outcome = run_checked built.Schemes.engine scripts in
+        let d = diff_global built before in
+        let handovers = 2 * rounds in
+        [
+          built.Schemes.engine.Engine.name;
+          Report.per d.Metrics.pages_shipped handovers;
+          Report.per d.Metrics.page_disk_writes handovers;
+          Report.per d.Metrics.commit_page_writes handovers;
+          Report.ms (outcome.Driver.sim_seconds /. float_of_int handovers);
+        ])
+      (Schemes.all ~seed:41 ~nodes:4 ~pages_per_owner:8 Config.default)
+  in
+  {
+    Report.id = "E10";
+    title = "Two nodes alternately updating the same pages: cost per hand-over";
+    claim =
+      "§4(1)/§3.2: CBL never forces pages to disk at commit or when they move between nodes, \
+       unlike Rdb/VMS (force before transfer) and PCA (pages travel at commit)";
+    header = [ "scheme"; "pages shipped/handover"; "disk writes/handover";
+               "commit-path writes/handover"; "sim ms/handover" ];
+    rows;
+    notes = [ "expected shape: cbl ships pages but the disk-write columns stay near zero" ];
+  }
+
+(* ------------------------------------------------------------------ *)
+
+let registry =
+  [
+    ("F1", f1); ("E1", e1); ("E2", e2); ("E3", e3); ("E4", e4); ("E5", e5); ("E6", e6);
+    ("E7", e7); ("E8", e8); ("E9", e9); ("E10", e10);
+  ]
+
+let ids = List.map fst registry
+let all ?quick () = List.map (fun (_, f) -> f ?quick ()) registry
+
+let by_id id =
+  let id = String.uppercase_ascii id in
+  List.assoc_opt id registry

@@ -1,0 +1,56 @@
+(** The claim-derived experiment suite (see DESIGN.md §3).
+
+    The ICDE'96 paper contains no result tables or figures (Figure 1 is
+    the architecture diagram), so every experiment here regenerates a
+    quantitative claim of the text; each function runs its scenario,
+    {e verifies the durability oracle}, and returns the table recorded
+    in EXPERIMENTS.md.  [quick] shrinks the workloads (used by the
+    Bechamel wrappers so wall-time measurement stays reasonable). *)
+
+val f1 : ?quick:bool -> unit -> Report.t
+(** Figure 1 topology runs as described: four networked nodes, two with
+    databases; commit path of every client is message-free. *)
+
+val e1 : ?quick:bool -> unit -> Report.t
+(** Commit path cost per scheme × remote-update fraction (§1.1, §3). *)
+
+val e2 : ?quick:bool -> unit -> Report.t
+(** Throughput scaling with client count; server-based logging
+    bottlenecks on the server (§1.2, §4). *)
+
+val e3 : ?quick:bool -> unit -> Report.t
+(** Commit latency vs network latency: CBL's commit is flat (§1.1). *)
+
+val e4 : ?quick:bool -> unit -> Report.t
+(** Recovery without log merging vs the merged-log baseline (§2.3,
+    §3.2). *)
+
+val e5 : ?quick:bool -> unit -> Report.t
+(** Recovery cost vs number of involved nodes — NodePSNList
+    coordination (§2.3.4). *)
+
+val e6 : ?quick:bool -> unit -> Report.t
+(** Log space management keeps small logs alive (§2.5). *)
+
+val e7 : ?quick:bool -> unit -> Report.t
+(** Independent fuzzy checkpoints: frequency costs no messages and
+    bounds restart analysis (§2.2, §4 advantage 4). *)
+
+val e8 : ?quick:bool -> unit -> Report.t
+(** Multiple simultaneous node crashes (§2.4). *)
+
+val e9 : ?quick:bool -> unit -> Report.t
+(** Inter-transaction caching of locks and pages cuts lock messages
+    (§2.1/§2.2). *)
+
+val e10 : ?quick:bool -> unit -> Report.t
+(** Pages exchanged between nodes without disk forces (§3.2 vs
+    Rdb/VMS and the medium scheme of Mohan–Narang). *)
+
+val all : ?quick:bool -> unit -> Report.t list
+(** Every experiment, in order. *)
+
+val by_id : string -> (?quick:bool -> unit -> Report.t) option
+(** Lookup by "F1" / "E1" ... (case-insensitive). *)
+
+val ids : string list

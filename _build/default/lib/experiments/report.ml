@@ -1,0 +1,20 @@
+type t = {
+  id : string;
+  title : string;
+  claim : string;
+  header : string list;
+  rows : string list list;
+  notes : string list;
+}
+
+let render ppf t =
+  Format.fprintf ppf "@.== %s: %s ==@." t.id t.title;
+  Format.fprintf ppf "claim: %s@.@." t.claim;
+  Repro_util.Pretty.table ~header:t.header ~rows:t.rows ppf ();
+  List.iter (fun n -> Format.fprintf ppf "note: %s@." n) t.notes;
+  Format.fprintf ppf "@."
+
+let f v = Format.asprintf "%.3g" v
+let f2 v = Format.asprintf "%.2f" v
+let per count n = if n = 0 then "-" else Format.asprintf "%.2f" (float_of_int count /. float_of_int n)
+let ms v = Format.asprintf "%.2f" (v *. 1e3)

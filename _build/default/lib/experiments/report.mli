@@ -1,0 +1,25 @@
+(** Experiment reports: one table per claim-derived experiment, rendered
+    exactly as recorded in EXPERIMENTS.md. *)
+
+type t = {
+  id : string;  (** "E1", "F1", ... *)
+  title : string;
+  claim : string;  (** the paper claim being checked, with its section *)
+  header : string list;
+  rows : string list list;
+  notes : string list;  (** observations / pass-fail statements *)
+}
+
+val render : Format.formatter -> t -> unit
+
+val f : float -> string
+(** "%.3g" *)
+
+val f2 : float -> string
+(** "%.2f" *)
+
+val per : int -> int -> string
+(** [per count n] — count divided by n, 2 decimals ("-" if n = 0). *)
+
+val ms : float -> string
+(** seconds rendered as milliseconds, 2 decimals *)

@@ -1,0 +1,1 @@
+lib/lock/global_locks.ml: Format Hashtbl List Mode Page_id Repro_storage

@@ -1,0 +1,1 @@
+lib/lock/global_locks.mli: Mode Page_id Repro_storage

@@ -1,0 +1,1 @@
+lib/lock/local_locks.ml: Format Hashtbl List Mode Option Page_id Repro_storage

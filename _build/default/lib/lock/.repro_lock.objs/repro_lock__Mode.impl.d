@@ -1,0 +1,1 @@
+lib/lock/mode.ml: Format Int

@@ -1,0 +1,1 @@
+lib/lock/mode.mli: Format

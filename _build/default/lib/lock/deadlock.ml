@@ -1,0 +1,50 @@
+type t = { edges : (int, int list) Hashtbl.t }
+
+let create () = { edges = Hashtbl.create 16 }
+
+let set_waits t ~waiter ~blockers =
+  if blockers = [] then Hashtbl.remove t.edges waiter
+  else Hashtbl.replace t.edges waiter (List.sort_uniq Int.compare blockers)
+
+let clear_waits t txn = Hashtbl.remove t.edges txn
+
+let remove_txn t txn =
+  Hashtbl.remove t.edges txn;
+  Hashtbl.iter
+    (fun waiter blockers ->
+      if List.mem txn blockers then
+        Hashtbl.replace t.edges waiter (List.filter (fun b -> b <> txn) blockers))
+    t.edges;
+  (* Prune waiters left with no blockers. *)
+  let empty = Hashtbl.fold (fun w bs acc -> if bs = [] then w :: acc else acc) t.edges [] in
+  List.iter (Hashtbl.remove t.edges) empty
+
+let successors t n = match Hashtbl.find_opt t.edges n with None -> [] | Some l -> l
+
+let find_cycle t =
+  (* DFS with colouring; path reconstruction on back edge. *)
+  let color = Hashtbl.create 16 in
+  (* 0 absent = white, 1 = on stack, 2 = done *)
+  let exception Found of int list in
+  let rec visit path n =
+    match Hashtbl.find_opt color n with
+    | Some 1 ->
+      (* Back edge: the cycle is [n] plus the path entries pushed since
+         visiting [n] ([path] is newest-first). *)
+      let rec upto acc = function
+        | [] -> acc
+        | x :: rest -> if x = n then acc else upto (x :: acc) rest
+      in
+      raise (Found (n :: upto [] path))
+    | Some _ -> ()
+    | None ->
+      Hashtbl.replace color n 1;
+      List.iter (visit (n :: path)) (successors t n);
+      Hashtbl.replace color n 2
+  in
+  match Hashtbl.iter (fun n _ -> visit [] n) t.edges with
+  | () -> None
+  | exception Found cycle -> Some cycle
+
+let victim cycle = List.fold_left max (List.hd cycle) cycle
+let waiters t = Hashtbl.fold (fun w _ acc -> w :: acc) t.edges []

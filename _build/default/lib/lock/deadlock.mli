@@ -1,0 +1,33 @@
+(** Waits-for deadlock detection.
+
+    The driver maintains one global waits-for graph: when a transaction's
+    step is refused because other transactions hold conflicting locks, an
+    edge is recorded per blocker.  Cycles are resolved by aborting the
+    {e youngest} transaction on the cycle (highest id — ids are issued in
+    start order).
+
+    This is detector-as-oracle: the paper assumes some deadlock handling
+    exists but does not specify one, so we keep it outside the protocol
+    proper. *)
+
+type t
+
+val create : unit -> t
+
+val set_waits : t -> waiter:int -> blockers:int list -> unit
+(** Replaces the waiter's outgoing edges (its latest refusal). *)
+
+val clear_waits : t -> int -> unit
+(** The transaction proceeded, committed or aborted. *)
+
+val remove_txn : t -> int -> unit
+(** Drops the transaction as waiter {e and} blocker. *)
+
+val find_cycle : t -> int list option
+(** Some cycle (each member waits on the next, last waits on first), or
+    [None]. *)
+
+val victim : int list -> int
+(** Youngest member (max id). *)
+
+val waiters : t -> int list

@@ -1,0 +1,111 @@
+open Repro_storage
+
+type entry = {
+  mutable cached : Mode.t;
+  txns : (int, Mode.t) Hashtbl.t;
+  mutable revoke_pending : (Mode.t * int * int) option; (* mode, txn, node *)
+}
+
+type t = { table : entry Page_id.Tbl.t }
+
+let create () = { table = Page_id.Tbl.create 64 }
+
+let entry_opt t pid = Page_id.Tbl.find_opt t.table pid
+
+let entry t pid =
+  match entry_opt t pid with
+  | Some e -> e
+  | None ->
+    let e = { cached = Mode.S; txns = Hashtbl.create 4; revoke_pending = None } in
+    Page_id.Tbl.replace t.table pid e;
+    e
+
+let cached_mode t pid = Option.map (fun e -> e.cached) (entry_opt t pid)
+
+let cache_covers t pid mode =
+  match cached_mode t pid with None -> false | Some held -> Mode.covers held mode
+
+let set_cached_mode t pid mode =
+  let e = entry t pid in
+  e.cached <- (match cached_mode t pid with None -> mode | Some held -> Mode.max held mode)
+
+let drop_cached t pid = Page_id.Tbl.remove t.table pid
+
+let demote_cached_to_s t pid =
+  match entry_opt t pid with None -> () | Some e -> e.cached <- Mode.S
+
+let set_revoke_pending t pid ~mode ~txn ~node =
+  let e = entry t pid in
+  match e.revoke_pending with
+  | Some (m, existing, _) when existing <= txn ->
+    (* keep the oldest requester; strengthen the mode if needed *)
+    if Mode.compare mode m > 0 && existing = txn then e.revoke_pending <- Some (mode, txn, node)
+  | Some _ | None -> e.revoke_pending <- Some (mode, txn, node)
+
+let revoke_pending t pid =
+  match entry_opt t pid with None -> None | Some e -> e.revoke_pending
+
+let clear_revoke_pending t pid =
+  match entry_opt t pid with None -> () | Some e -> e.revoke_pending <- None
+
+let cached_pages t = Page_id.Tbl.fold (fun pid e acc -> (pid, e.cached) :: acc) t.table []
+
+let cached_pages_owned_by t owner =
+  List.filter (fun (pid, _) -> Page_id.owner pid = owner) (cached_pages t)
+
+type conflict = { holders : int list }
+
+let holders_of t pid =
+  match entry_opt t pid with
+  | None -> []
+  | Some e -> Hashtbl.fold (fun txn mode acc -> (txn, mode) :: acc) e.txns []
+
+let acquire t ~txn ~pid ~mode =
+  if not (cache_covers t pid mode) then
+    invalid_arg "Local_locks.acquire: node-level lock does not cover the request";
+  let e = entry t pid in
+  let conflicting =
+    Hashtbl.fold
+      (fun other held acc ->
+        if other <> txn && not (Mode.compatible held mode) then other :: acc else acc)
+      e.txns []
+  in
+  if conflicting <> [] then Error { holders = conflicting }
+  else begin
+    let new_mode =
+      match Hashtbl.find_opt e.txns txn with None -> mode | Some held -> Mode.max held mode
+    in
+    Hashtbl.replace e.txns txn new_mode;
+    Ok ()
+  end
+
+let txn_mode t ~txn ~pid =
+  match entry_opt t pid with None -> None | Some e -> Hashtbl.find_opt e.txns txn
+
+let txn_locks t ~txn =
+  Page_id.Tbl.fold
+    (fun pid e acc ->
+      match Hashtbl.find_opt e.txns txn with None -> acc | Some mode -> (pid, mode) :: acc)
+    t.table []
+
+let any_txn_holds t pid =
+  match entry_opt t pid with None -> false | Some e -> Hashtbl.length e.txns > 0
+
+let release_txn t ~txn =
+  Page_id.Tbl.iter (fun _ e -> Hashtbl.remove e.txns txn) t.table
+
+let clear t = Page_id.Tbl.reset t.table
+
+let check_invariants t =
+  Page_id.Tbl.iter
+    (fun pid e ->
+      let xs = Hashtbl.fold (fun _ m acc -> if Mode.equal m Mode.X then acc + 1 else acc) e.txns 0 in
+      if xs > 1 then invalid_arg (Format.asprintf "two local X holders on %a" Page_id.pp pid);
+      Hashtbl.iter
+        (fun _ m ->
+          if not (Mode.covers e.cached m) then
+            invalid_arg
+              (Format.asprintf "txn lock %a exceeds cached mode %a on %a" Mode.pp m Mode.pp
+                 e.cached Page_id.pp pid))
+        e.txns)
+    t.table

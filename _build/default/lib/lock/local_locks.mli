@@ -1,0 +1,76 @@
+(** Node-side lock cache and transaction-level lock table.
+
+    Two layers per §2.1:
+    - the {b node-level cached mode} — retained across transaction
+      boundaries (inter-transaction caching), dropped or demoted only by
+      owner callbacks;
+    - the {b transaction-level holders} — strict 2PL locks of local
+      transactions, released at commit/abort (the cached mode stays).
+
+    A local transaction needing mode [m] on a page can proceed without
+    any message iff the cached mode covers [m] ({!cache_covers}) and no
+    conflicting local transaction holds the page — the message saving
+    the paper and Rdb's lock carry-over both celebrate (E9). *)
+
+open Repro_storage
+
+type t
+
+val create : unit -> t
+
+(** {1 Node-level cache} *)
+
+val cached_mode : t -> Page_id.t -> Mode.t option
+val cache_covers : t -> Page_id.t -> Mode.t -> bool
+val set_cached_mode : t -> Page_id.t -> Mode.t -> unit
+(** Keeps the stronger of the existing and the new mode. *)
+
+val drop_cached : t -> Page_id.t -> unit
+val demote_cached_to_s : t -> Page_id.t -> unit
+val cached_pages : t -> (Page_id.t * Mode.t) list
+val cached_pages_owned_by : t -> int -> (Page_id.t * Mode.t) list
+
+(** {1 Pending revocations}
+
+    When an owner callback is refused because a local transaction still
+    holds the lock, the cached lock is marked {e revoke-pending}: new
+    local acquisitions that would conflict with the callback's mode are
+    refused until the revocation completes.  Without this, a steady
+    stream of local cache-hit acquisitions starves the remote requester
+    forever.  The pending mark remembers the remote requester
+    ([txn], [node]) so a stale mark (requester died) can be detected and
+    dropped. *)
+
+val set_revoke_pending : t -> Page_id.t -> mode:Mode.t -> txn:int -> node:int -> unit
+(** Keeps the mark of the {e oldest} requesting transaction. *)
+
+val revoke_pending : t -> Page_id.t -> (Mode.t * int * int) option
+(** [(mode, txn, node)] of the pending revocation, if any. *)
+
+val clear_revoke_pending : t -> Page_id.t -> unit
+
+(** {1 Transaction-level locks} *)
+
+type conflict = { holders : int list (** conflicting local transactions *) }
+
+val acquire : t -> txn:int -> pid:Page_id.t -> mode:Mode.t -> (unit, conflict) result
+(** Requires the cached mode to cover [mode] (the caller obtains it from
+    the owner first).  Fails with the conflicting local transactions if
+    strict 2PL forbids the grant; upgrading own [S] to [X] is allowed
+    when no other holder exists. *)
+
+val txn_mode : t -> txn:int -> pid:Page_id.t -> Mode.t option
+val txn_locks : t -> txn:int -> (Page_id.t * Mode.t) list
+val holders_of : t -> Page_id.t -> (int * Mode.t) list
+val any_txn_holds : t -> Page_id.t -> bool
+(** True iff some local transaction holds the page — an owner callback
+    must wait (be refused for now) in that case (§2.2). *)
+
+val release_txn : t -> txn:int -> unit
+(** Strict 2PL release at end of transaction; cached modes persist. *)
+
+val clear : t -> unit
+(** Node crash. *)
+
+val check_invariants : t -> unit
+(** Txn-level locks never exceed the cached mode; no two X holders. *)

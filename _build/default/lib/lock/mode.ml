@@ -1,0 +1,10 @@
+type t = S | X
+
+let compatible held requested = match (held, requested) with S, S -> true | _, X | X, _ -> false
+let covers held needed = match (held, needed) with X, _ -> true | S, S -> true | S, X -> false
+let max a b = match (a, b) with X, _ | _, X -> X | S, S -> S
+let rank = function S -> 0 | X -> 1
+let compare a b = Int.compare (rank a) (rank b)
+let equal a b = compare a b = 0
+let to_string = function S -> "S" | X -> "X"
+let pp ppf t = Format.pp_print_string ppf (to_string t)

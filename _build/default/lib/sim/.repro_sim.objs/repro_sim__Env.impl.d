@@ -1,0 +1,1 @@
+lib/sim/env.ml: Clock Config Metrics Repro_util Trace

@@ -1,0 +1,1 @@
+lib/sim/env.mli: Clock Config Format Metrics Repro_util Trace

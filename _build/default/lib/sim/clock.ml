@@ -1,0 +1,10 @@
+type t = { mutable now : float }
+
+let create () = { now = 0. }
+let now t = t.now
+
+let advance t dt =
+  assert (dt >= 0.);
+  t.now <- t.now +. dt
+
+let reset t = t.now <- 0.

@@ -1,0 +1,15 @@
+(** The simulated clock.
+
+    There is one clock per cluster.  Protocol code never reads it — the
+    paper's algorithms explicitly require no synchronised time — only the
+    cost-charging layer advances it and the measurement harness samples
+    it.  Time is a float in simulated seconds. *)
+
+type t
+
+val create : unit -> t
+val now : t -> float
+val advance : t -> float -> unit
+(** [advance t dt] moves time forward by [dt >= 0] simulated seconds. *)
+
+val reset : t -> unit

@@ -1,0 +1,42 @@
+type t = {
+  net_latency : float;
+  net_per_byte : float;
+  disk_seek : float;
+  disk_per_byte : float;
+  log_force_seek : float;
+  cpu_per_log_record : float;
+  cpu_per_lock_op : float;
+  page_size : int;
+}
+
+let default =
+  {
+    net_latency = 1.0e-3;
+    net_per_byte = 0.8e-6 (* ~10 Mb/s *);
+    disk_seek = 10.0e-3;
+    disk_per_byte = 0.05e-6 (* ~20 MB/s transfer *);
+    log_force_seek = 2.0e-3;
+    cpu_per_log_record = 20.0e-6;
+    cpu_per_lock_op = 5.0e-6;
+    page_size = 8192;
+  }
+
+let instant =
+  {
+    net_latency = 0.;
+    net_per_byte = 0.;
+    disk_seek = 0.;
+    disk_per_byte = 0.;
+    log_force_seek = 0.;
+    cpu_per_log_record = 0.;
+    cpu_per_lock_op = 0.;
+    page_size = 512;
+  }
+
+let with_net_latency t v = { t with net_latency = v }
+let with_page_size t v = { t with page_size = v }
+
+let pp ppf t =
+  Format.fprintf ppf
+    "net=%.2gs+%.2gs/B disk_seek=%.2gs log_force=%.2gs cpu/rec=%.2gs page=%dB" t.net_latency
+    t.net_per_byte t.disk_seek t.log_force_seek t.cpu_per_log_record t.page_size

@@ -1,0 +1,37 @@
+(** Cost model for the simulated cluster.
+
+    The paper's claims are about counts — messages on the commit path,
+    forced I/Os, log records scanned at recovery — and about how those
+    counts translate into latency and throughput on given hardware.  The
+    simulator therefore charges every primitive action a configurable cost
+    in simulated seconds; sweeping these knobs regenerates the latency /
+    throughput experiments (E2, E3, E7).
+
+    Defaults approximate mid-1990s hardware from the paper's era
+    (10 Mb/s LAN, ~10 ms disk): the absolute numbers do not matter, only
+    the ratios between schemes. *)
+
+type t = {
+  net_latency : float;  (** one-way message latency, seconds *)
+  net_per_byte : float;  (** transmission cost per payload byte, seconds *)
+  disk_seek : float;  (** positioning cost of a random page read/write *)
+  disk_per_byte : float;  (** sequential transfer cost per byte *)
+  log_force_seek : float;
+      (** positioning cost of a log force; lower than [disk_seek]
+          because the log head stays put between forces *)
+  cpu_per_log_record : float;  (** CPU to build / apply one log record *)
+  cpu_per_lock_op : float;  (** CPU of a lock table operation *)
+  page_size : int;  (** bytes per database page *)
+}
+
+val default : t
+(** 1 ms one-way LAN latency, 10 ms disk seek, 2 ms log force, 8 KiB
+    pages. *)
+
+val instant : t
+(** All costs zero — used by unit tests that only check behaviour, and by
+    property tests where simulated time is irrelevant. *)
+
+val with_net_latency : t -> float -> t
+val with_page_size : t -> int -> t
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,86 @@
+type t = {
+  config : Config.t;
+  clock : Clock.t;
+  trace : Trace.t;
+  rng : Repro_util.Rng.t;
+  global : Metrics.t;
+}
+
+let create ?(trace = false) ?(seed = 42) config =
+  {
+    config;
+    clock = Clock.create ();
+    trace = Trace.create ~enabled:trace ();
+    rng = Repro_util.Rng.create seed;
+    global = Metrics.create ();
+  }
+
+let config t = t.config
+let clock t = t.clock
+let now t = Clock.now t.clock
+let trace t = t.trace
+let rng t = t.rng
+let global_metrics t = t.global
+let tracef t fmt = Trace.event t.trace fmt
+
+let both t m f =
+  f m;
+  f t.global
+
+let busy t m dt =
+  m.Metrics.busy_seconds <- m.Metrics.busy_seconds +. dt;
+  t.global.Metrics.busy_seconds <- t.global.Metrics.busy_seconds +. dt
+
+let charge_message t m ?(commit_path = false) ?(recovery = false) ~bytes () =
+  let dt = t.config.net_latency +. (t.config.net_per_byte *. float_of_int bytes) in
+  Clock.advance t.clock dt;
+  busy t m dt;
+  both t m (fun c ->
+      c.Metrics.messages_sent <- c.Metrics.messages_sent + 1;
+      c.Metrics.message_bytes <- c.Metrics.message_bytes + bytes;
+      if commit_path then c.Metrics.commit_messages <- c.Metrics.commit_messages + 1;
+      if recovery then c.Metrics.recovery_messages <- c.Metrics.recovery_messages + 1)
+
+let charge_page_read t m =
+  let dt = t.config.disk_seek +. (t.config.disk_per_byte *. float_of_int t.config.page_size) in
+  Clock.advance t.clock dt;
+  busy t m dt;
+  both t m (fun c -> c.Metrics.page_disk_reads <- c.Metrics.page_disk_reads + 1)
+
+let charge_page_write t m ?(commit_path = false) () =
+  let dt = t.config.disk_seek +. (t.config.disk_per_byte *. float_of_int t.config.page_size) in
+  Clock.advance t.clock dt;
+  busy t m dt;
+  both t m (fun c ->
+      c.Metrics.page_disk_writes <- c.Metrics.page_disk_writes + 1;
+      if commit_path then c.Metrics.commit_page_writes <- c.Metrics.commit_page_writes + 1)
+
+let charge_log_append t m ~bytes =
+  Clock.advance t.clock t.config.cpu_per_log_record;
+  busy t m t.config.cpu_per_log_record;
+  both t m (fun c ->
+      c.Metrics.log_appends <- c.Metrics.log_appends + 1;
+      c.Metrics.log_bytes <- c.Metrics.log_bytes + bytes)
+
+let charge_log_force t m ~bytes =
+  let dt = t.config.log_force_seek +. (t.config.disk_per_byte *. float_of_int bytes) in
+  Clock.advance t.clock dt;
+  busy t m dt;
+  both t m (fun c -> c.Metrics.log_forces <- c.Metrics.log_forces + 1)
+
+let charge_log_scan_record t m ~bytes =
+  let dt = t.config.cpu_per_log_record +. (t.config.disk_per_byte *. float_of_int bytes) in
+  Clock.advance t.clock dt;
+  busy t m dt;
+  both t m (fun c ->
+      c.Metrics.recovery_log_records_scanned <- c.Metrics.recovery_log_records_scanned + 1)
+
+let charge_lock_op t m =
+  Clock.advance t.clock t.config.cpu_per_lock_op;
+  busy t m t.config.cpu_per_lock_op
+
+let charge_cpu t dt = Clock.advance t.clock dt
+
+let charge_cpu_for t m dt =
+  Clock.advance t.clock dt;
+  busy t m dt

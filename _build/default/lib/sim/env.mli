@@ -1,0 +1,43 @@
+(** The shared simulation environment: one per cluster.
+
+    Bundles the cost model, the simulated clock, the trace and the global
+    metrics aggregate, and exposes the charging primitives that all
+    substrates use.  Each charge advances the clock by the configured
+    cost and bumps the relevant counters both in the caller's (per-node)
+    metrics and in the global aggregate. *)
+
+type t
+
+val create : ?trace:bool -> ?seed:int -> Config.t -> t
+val config : t -> Config.t
+val clock : t -> Clock.t
+val now : t -> float
+val trace : t -> Trace.t
+val rng : t -> Repro_util.Rng.t
+val global_metrics : t -> Metrics.t
+
+val tracef : t -> ('a, Format.formatter, unit, unit) format4 -> 'a
+(** Shorthand for [Trace.event (trace t)]. *)
+
+(** {1 Charging primitives}
+
+    Every primitive takes the per-node metrics of the node doing the
+    work.  [recovery] marks counters that should land in the recovery
+    columns instead of the normal-processing ones. *)
+
+val charge_message : t -> Metrics.t -> ?commit_path:bool -> ?recovery:bool -> bytes:int -> unit -> unit
+val charge_page_read : t -> Metrics.t -> unit
+val charge_page_write : t -> Metrics.t -> ?commit_path:bool -> unit -> unit
+val charge_log_append : t -> Metrics.t -> bytes:int -> unit
+val charge_log_force : t -> Metrics.t -> bytes:int -> unit
+(** A synchronous force of [bytes] of buffered log. *)
+
+val charge_log_scan_record : t -> Metrics.t -> bytes:int -> unit
+(** Reading one record during a recovery scan. *)
+
+val charge_lock_op : t -> Metrics.t -> unit
+val charge_cpu : t -> float -> unit
+(** Raw CPU time, for costs with no dedicated counter. *)
+
+val charge_cpu_for : t -> Metrics.t -> float -> unit
+(** Raw CPU time attributed to a node's busy-time accounting. *)

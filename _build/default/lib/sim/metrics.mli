@@ -1,0 +1,54 @@
+(** Counters that back every experiment.
+
+    Each node carries a [t]; the cluster also aggregates one.  Counters
+    are plain mutable ints bumped on the hot paths; a snapshot is a
+    copy, and [diff] subtracts snapshots so a bench can measure exactly
+    the interval it cares about. *)
+
+type t = {
+  mutable messages_sent : int;  (** inter-node protocol messages *)
+  mutable message_bytes : int;
+  mutable commit_messages : int;  (** messages on the commit path only — the paper's headline count *)
+  mutable log_appends : int;
+  mutable log_bytes : int;
+  mutable log_forces : int;  (** synchronous log-disk forces *)
+  mutable log_records_shipped : int;  (** records sent to a remote log (baselines only) *)
+  mutable page_disk_reads : int;
+  mutable page_disk_writes : int;
+  mutable commit_page_writes : int;  (** pages forced at commit (forced-write baselines) *)
+  mutable pages_shipped : int;  (** pages moved between node caches *)
+  mutable callbacks_sent : int;
+  mutable lock_requests_remote : int;  (** lock requests that left the node *)
+  mutable lock_requests_local : int;  (** satisfied from the local lock cache *)
+  mutable cache_hits : int;
+  mutable cache_misses : int;
+  mutable txn_committed : int;
+  mutable txn_aborted : int;
+  mutable recovery_log_records_scanned : int;
+  mutable recovery_pages_redone : int;
+  mutable recovery_messages : int;
+  mutable recovery_page_transfers : int;
+  mutable checkpoints_taken : int;
+  mutable log_space_stalls : int;  (** times a txn waited for log space (E6) *)
+  mutable flush_requests : int;  (** §2.5 owner-force requests *)
+  mutable busy_seconds : float;
+      (** simulated seconds of work performed {e by this node} — the
+          makespan of a run is bounded below by the busiest node's
+          [busy_seconds], which is how the throughput experiments (E2)
+          expose the server bottleneck without a full parallel DES *)
+}
+
+val create : unit -> t
+val reset : t -> unit
+val snapshot : t -> t
+val diff : after:t -> before:t -> t
+(** Field-wise subtraction. *)
+
+val merge_into : dst:t -> t -> unit
+(** Field-wise addition, for cluster aggregates. *)
+
+val pp : Format.formatter -> t -> unit
+(** One counter per line, zero-valued counters omitted. *)
+
+val to_alist : t -> (string * int) list
+(** Stable field order; used by the bench harness to print table rows. *)

@@ -1,0 +1,22 @@
+type t = { mutable enabled : bool; mutable items : string list (* newest first *) }
+
+let create ?(enabled = false) () = { enabled; items = [] }
+let enabled t = t.enabled
+let set_enabled t v = t.enabled <- v
+
+let event t fmt =
+  if t.enabled then Format.kasprintf (fun s -> t.items <- s :: t.items) fmt
+  else Format.ikfprintf (fun _ -> ()) Format.str_formatter fmt
+
+let events t = List.rev t.items
+let clear t = t.items <- []
+
+let contains t needle =
+  let has s =
+    let n = String.length needle and m = String.length s in
+    let rec go i = i + n <= m && (String.sub s i n = needle || go (i + 1)) in
+    n = 0 || go 0
+  in
+  List.exists has t.items
+
+let dump ppf t = List.iter (fun e -> Format.fprintf ppf "%s@." e) (events t)

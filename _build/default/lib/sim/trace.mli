@@ -1,0 +1,26 @@
+(** Structured event trace.
+
+    When enabled, protocol code records one line per interesting event
+    (lock grant, callback, crash, recovery step).  Tests assert on the
+    presence / order of events; the CLI's [--trace] flag prints them.
+    Disabled tracing costs a single branch. *)
+
+type t
+
+val create : ?enabled:bool -> unit -> t
+val enabled : t -> bool
+val set_enabled : t -> bool -> unit
+
+val event : t -> ('a, Format.formatter, unit, unit) format4 -> 'a
+(** Records a formatted event (no-op when disabled). *)
+
+val events : t -> string list
+(** All recorded events, oldest first. *)
+
+val clear : t -> unit
+
+val contains : t -> string -> bool
+(** [contains t needle] — substring search over recorded events; the
+    test-suite's main assertion primitive. *)
+
+val dump : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/storage/alloc_map.ml: Hashtbl Page Page_id

@@ -1,0 +1,1 @@
+lib/storage/alloc_map.mli: Page Page_id

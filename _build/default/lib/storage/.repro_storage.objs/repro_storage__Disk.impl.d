@@ -1,0 +1,1 @@
+lib/storage/disk.ml: Option Page Page_id Repro_sim

@@ -1,0 +1,1 @@
+lib/storage/disk.mli: Page Page_id Repro_sim

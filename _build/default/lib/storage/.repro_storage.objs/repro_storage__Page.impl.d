@@ -1,0 +1,1 @@
+lib/storage/page.ml: Bytes Format Int64 Page_id Repro_util String

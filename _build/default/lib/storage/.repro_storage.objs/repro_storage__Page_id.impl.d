@@ -1,0 +1,1 @@
+lib/storage/page_id.ml: Format Hashtbl Int Map Repro_util Set

@@ -1,0 +1,1 @@
+lib/storage/page_id.mli: Format Hashtbl Map Repro_util Set

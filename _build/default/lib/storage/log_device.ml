@@ -1,0 +1,50 @@
+type t = {
+  buf : Buffer.t; (* logical offset 0 is buffer index 0; history kept in memory *)
+  mutable durable : int;
+  mutable low_water : int;
+  capacity : int option;
+}
+
+exception Log_full
+
+let create ?capacity () = { buf = Buffer.create 4096; durable = 0; low_water = 0; capacity }
+
+let end_offset t = Buffer.length t.buf
+let durable_offset t = t.durable
+let low_water t = t.low_water
+let used t = end_offset t - t.low_water
+
+let available t =
+  match t.capacity with None -> None | Some cap -> Some (max 0 (cap - used t))
+
+let append ?(overdraft = false) t s =
+  (match t.capacity with
+  | Some cap when (not overdraft) && used t + String.length s > cap -> raise Log_full
+  | Some _ | None -> ());
+  let off = Buffer.length t.buf in
+  Buffer.add_string t.buf s;
+  off
+
+let force t ~upto =
+  let target = min upto (end_offset t) in
+  if target <= t.durable then 0
+  else begin
+    let moved = target - t.durable in
+    t.durable <- target;
+    moved
+  end
+
+let read t ~pos ~len =
+  if pos < t.low_water then
+    invalid_arg (Printf.sprintf "Log_device.read: offset %d below low water %d" pos t.low_water);
+  if pos < 0 || len < 0 || pos + len > end_offset t then
+    invalid_arg (Printf.sprintf "Log_device.read: [%d,%d) beyond end %d" pos (pos + len) (end_offset t));
+  Buffer.sub t.buf pos len
+
+let truncate_to t off =
+  if off > t.low_water then t.low_water <- min off t.durable
+
+let crash t =
+  let keep = Buffer.sub t.buf 0 t.durable in
+  Buffer.clear t.buf;
+  Buffer.add_string t.buf keep

@@ -1,0 +1,61 @@
+(** The append-only log device of one node.
+
+    Models a circular log file with crash semantics:
+
+    - appended bytes live in a volatile tail until {!force} makes them
+      durable; a {!crash} discards the unforced tail;
+    - offsets are logical and monotonically increasing — they are the
+      LSNs of the paper (§2.1: "a log sequence number that corresponds to
+      the address of the log record in the local log file");
+    - an optional {!capacity} bounds the live region
+      [low_water, end).  Appends beyond it raise {!Log_full}; the §2.5
+      log-space-management protocol advances [low_water]
+      ({!truncate_to}) to free space.
+
+    The device stores raw bytes; record framing and checksums are the
+    {!Repro_wal.Log_manager}'s business. *)
+
+type t
+
+exception Log_full
+(** Raised by {!append} when the live region would exceed capacity. *)
+
+val create : ?capacity:int -> unit -> t
+(** Unbounded unless [capacity] (in bytes) is given. *)
+
+val append : ?overdraft:bool -> t -> string -> int
+(** [append t s] appends [s] to the volatile tail and returns the
+    logical offset of its first byte.  [overdraft] (default false)
+    bypasses the capacity check — the reserved space that guarantees a
+    rollback can always log its compensation records. *)
+
+val force : t -> upto:int -> int
+(** [force t ~upto] makes everything below offset [upto] durable and
+    returns the number of bytes that actually moved (0 if already
+    durable) — the caller charges I/O for exactly that. *)
+
+val read : t -> pos:int -> len:int -> string
+(** Reads [len] bytes at logical offset [pos].  Reading the volatile
+    tail is allowed (rollback reads records it has not forced);
+    reading beyond [end_offset] or below 0 raises [Invalid_argument].
+    Reading below [low_water] also raises: those bytes were reclaimed. *)
+
+val end_offset : t -> int
+(** Offset one past the last appended byte: the next record's LSN. *)
+
+val durable_offset : t -> int
+(** Offset one past the last durable byte. *)
+
+val low_water : t -> int
+val truncate_to : t -> int -> unit
+(** Advance [low_water]; never moves backwards. *)
+
+val used : t -> int
+(** Bytes in the live region, [end_offset - low_water]. *)
+
+val available : t -> int option
+(** Remaining capacity, or [None] if unbounded. *)
+
+val crash : t -> unit
+(** Discards the volatile tail: [end_offset] snaps back to
+    [durable_offset]. *)

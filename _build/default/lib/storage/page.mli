@@ -1,0 +1,53 @@
+(** Database pages.
+
+    A page is a fixed-size byte array plus a header holding its id and a
+    {b page sequence number} (PSN).  Per the paper (§2.1) the PSN is
+    incremented by one on every update; it is the sole ordering mechanism
+    used during multi-node recovery, replacing synchronised clocks.
+
+    The PSN is only ever changed through {!bump_psn} (normal updates) or
+    {!set_psn} (redo installing a recovered state), keeping the
+    "incremented by one every time the page is updated" invariant
+    auditable. *)
+
+type t
+
+val create : id:Page_id.t -> psn:int -> size:int -> t
+(** A zero-filled page.  [psn] comes from the owner's allocation map. *)
+
+val id : t -> Page_id.t
+val psn : t -> int
+val size : t -> int
+
+val bump_psn : t -> unit
+(** PSN := PSN + 1; call exactly once per applied update. *)
+
+val set_psn : t -> int -> unit
+(** Used only by redo/undo when installing a logged state. *)
+
+val copy : t -> t
+(** Deep copy; shipping a page between nodes or to disk always copies so
+    that cached and durable versions cannot alias. *)
+
+(** {1 Data access} *)
+
+val read : t -> off:int -> len:int -> string
+val write : t -> off:int -> string -> unit
+
+val get_cell : t -> off:int -> int64
+(** Reads the 8-byte little-endian integer cell at [off]. *)
+
+val set_cell : t -> off:int -> int64 -> unit
+
+val add_cell : t -> off:int -> int64 -> unit
+(** [add_cell p ~off d] adds [d] to the cell — the "logical" update
+    operation whose undo is adding [-d] (§3.2: the scheme supports both
+    physical and logical logging). *)
+
+val equal_contents : t -> t -> bool
+(** Same id, PSN and bytes; the test oracle's comparison. *)
+
+val pp : Format.formatter -> t -> unit
+
+val encode : Repro_util.Codec.encoder -> t -> unit
+val decode : Repro_util.Codec.decoder -> t

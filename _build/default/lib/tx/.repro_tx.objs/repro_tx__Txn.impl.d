@@ -1,0 +1,1 @@
+lib/tx/txn.ml: Format List Repro_storage Repro_wal

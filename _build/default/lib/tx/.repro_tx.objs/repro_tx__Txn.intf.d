@@ -1,0 +1,1 @@
+lib/tx/txn.mli: Format Repro_storage Repro_wal

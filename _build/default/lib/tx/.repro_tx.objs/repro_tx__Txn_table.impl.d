@@ -1,0 +1,1 @@
+lib/tx/txn_table.ml: Hashtbl List Printf Repro_wal Txn

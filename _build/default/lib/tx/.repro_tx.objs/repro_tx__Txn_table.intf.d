@@ -1,0 +1,1 @@
+lib/tx/txn_table.mli: Repro_wal Txn

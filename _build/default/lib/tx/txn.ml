@@ -1,0 +1,45 @@
+module Lsn = Repro_wal.Lsn
+
+type state = Active | Committed | Aborted
+
+type t = {
+  id : int;
+  node : int;
+  mutable state : state;
+  mutable last_lsn : Lsn.t;
+  mutable first_lsn : Lsn.t;
+  mutable savepoints : (string * Lsn.t) list;
+  mutable logged_records : int;
+  mutable logged_bytes : int;
+  mutable remote_updated : Repro_storage.Page_id.Set.t;
+}
+
+let make ~id ~node =
+  {
+    id;
+    node;
+    state = Active;
+    last_lsn = Lsn.nil;
+    first_lsn = Lsn.nil;
+    savepoints = [];
+    logged_records = 0;
+    logged_bytes = 0;
+    remote_updated = Repro_storage.Page_id.Set.empty;
+  }
+let is_active t = t.state = Active
+let record_logged t lsn =
+  t.last_lsn <- lsn;
+  if Lsn.is_nil t.first_lsn then t.first_lsn <- lsn
+let add_savepoint t name lsn = t.savepoints <- (name, lsn) :: t.savepoints
+let savepoint_lsn t name = List.assoc_opt name t.savepoints
+
+let release_savepoints_after t lsn =
+  t.savepoints <- List.filter (fun (_, sp) -> Lsn.compare sp lsn <= 0) t.savepoints
+
+let pp_state ppf = function
+  | Active -> Format.pp_print_string ppf "active"
+  | Committed -> Format.pp_print_string ppf "committed"
+  | Aborted -> Format.pp_print_string ppf "aborted"
+
+let pp ppf t =
+  Format.fprintf ppf "T%d@@node%d %a last=%a" t.id t.node pp_state t.state Lsn.pp t.last_lsn

@@ -1,0 +1,98 @@
+exception Corrupt of string
+
+let corrupt fmt = Format.kasprintf (fun s -> raise (Corrupt s)) fmt
+
+type encoder = Buffer.t
+
+let encoder () = Buffer.create 128
+let to_string = Buffer.contents
+let length = Buffer.length
+
+let u8 e v = Buffer.add_char e (Char.chr (v land 0xFF))
+
+let u16 e v =
+  u8 e v;
+  u8 e (v lsr 8)
+
+let u32 e v =
+  assert (v >= 0);
+  u16 e v;
+  u16 e (v lsr 16)
+
+let i64 e v =
+  for shift = 0 to 7 do
+    u8 e (Int64.to_int (Int64.shift_right_logical v (8 * shift)))
+  done
+
+let int_as_i64 e v = i64 e (Int64.of_int v)
+
+let bool e b = u8 e (if b then 1 else 0)
+
+let bytes e s =
+  u32 e (String.length s);
+  Buffer.add_string e s
+
+let opt f e = function
+  | None -> bool e false
+  | Some v ->
+    bool e true;
+    f e v
+
+let list f e xs =
+  u32 e (List.length xs);
+  List.iter (f e) xs
+
+type decoder = { src : string; mutable cur : int }
+
+let decoder ?(pos = 0) src = { src; cur = pos }
+let pos d = d.cur
+let remaining d = String.length d.src - d.cur
+
+let need d n = if remaining d < n then corrupt "truncated input: need %d bytes, have %d" n (remaining d)
+
+let read_u8 d =
+  need d 1;
+  let v = Char.code d.src.[d.cur] in
+  d.cur <- d.cur + 1;
+  v
+
+let read_u16 d =
+  let lo = read_u8 d in
+  let hi = read_u8 d in
+  lo lor (hi lsl 8)
+
+let read_u32 d =
+  let lo = read_u16 d in
+  let hi = read_u16 d in
+  lo lor (hi lsl 16)
+
+let read_i64 d =
+  need d 8;
+  let v = ref 0L in
+  for shift = 7 downto 0 do
+    v := Int64.logor (Int64.shift_left !v 8) (Int64.of_int (Char.code d.src.[d.cur + shift]))
+  done;
+  d.cur <- d.cur + 8;
+  !v
+
+let read_int_as_i64 d = Int64.to_int (read_i64 d)
+
+let read_bool d =
+  match read_u8 d with
+  | 0 -> false
+  | 1 -> true
+  | n -> corrupt "bad bool tag %d" n
+
+let read_bytes d =
+  let len = read_u32 d in
+  need d len;
+  let s = String.sub d.src d.cur len in
+  d.cur <- d.cur + len;
+  s
+
+let read_opt f d = if read_bool d then Some (f d) else None
+
+let read_list f d =
+  let len = read_u32 d in
+  if len > remaining d then corrupt "bad list length %d" len;
+  List.init len (fun _ -> f d)

@@ -1,0 +1,54 @@
+(** Binary encoding and decoding of on-"disk" structures.
+
+    Log records and page headers are serialised through this module.  The
+    format is little-endian with fixed-width integers; collections carry a
+    32-bit length prefix.  Decoding raises {!Corrupt} on any structural
+    violation (truncated buffer, negative length, bad tag), which the log
+    manager interprets as "end of valid log". *)
+
+exception Corrupt of string
+(** Raised by decoders when the input cannot be parsed. *)
+
+(** {1 Encoding} *)
+
+type encoder
+(** An append-only byte sink. *)
+
+val encoder : unit -> encoder
+val to_string : encoder -> string
+val length : encoder -> int
+
+val u8 : encoder -> int -> unit
+(** Writes the low 8 bits. *)
+
+val u16 : encoder -> int -> unit
+val u32 : encoder -> int -> unit
+(** Writes the low 32 bits; values must be non-negative. *)
+
+val i64 : encoder -> int64 -> unit
+val int_as_i64 : encoder -> int -> unit
+val bool : encoder -> bool -> unit
+val bytes : encoder -> string -> unit
+(** Length-prefixed byte string. *)
+
+val opt : (encoder -> 'a -> unit) -> encoder -> 'a option -> unit
+val list : (encoder -> 'a -> unit) -> encoder -> 'a list -> unit
+
+(** {1 Decoding} *)
+
+type decoder
+(** A cursor over an immutable byte string. *)
+
+val decoder : ?pos:int -> string -> decoder
+val pos : decoder -> int
+val remaining : decoder -> int
+
+val read_u8 : decoder -> int
+val read_u16 : decoder -> int
+val read_u32 : decoder -> int
+val read_i64 : decoder -> int64
+val read_int_as_i64 : decoder -> int
+val read_bool : decoder -> bool
+val read_bytes : decoder -> string
+val read_opt : (decoder -> 'a) -> decoder -> 'a option
+val read_list : (decoder -> 'a) -> decoder -> 'a list

@@ -1,0 +1,11 @@
+(** CRC-32 (IEEE 802.3 polynomial) over byte buffers.
+
+    Every log record carries a CRC of its payload so that a partially
+    written tail — the torn write a crash can leave behind — is detected
+    and treated as the end of the log, exactly as a production WAL does. *)
+
+val bytes : Bytes.t -> pos:int -> len:int -> int32
+(** [bytes b ~pos ~len] computes the CRC of the slice [b[pos, pos+len)]. *)
+
+val string : string -> int32
+(** CRC of a whole string. *)

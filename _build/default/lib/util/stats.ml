@@ -1,0 +1,73 @@
+type summary = {
+  count : int;
+  mean : float;
+  stddev : float;
+  min : float;
+  max : float;
+  p50 : float;
+  p90 : float;
+  p99 : float;
+}
+
+let empty_summary =
+  { count = 0; mean = 0.; stddev = 0.; min = 0.; max = 0.; p50 = 0.; p90 = 0.; p99 = 0. }
+
+let percentile sorted p =
+  let n = Array.length sorted in
+  if n = 0 then 0.
+  else
+    let idx = int_of_float (p *. float_of_int (n - 1)) in
+    sorted.(idx)
+
+let summarize samples =
+  let n = Array.length samples in
+  if n = 0 then empty_summary
+  else begin
+    let sorted = Array.copy samples in
+    Array.sort compare sorted;
+    let sum = Array.fold_left ( +. ) 0. sorted in
+    let mean = sum /. float_of_int n in
+    let sq = Array.fold_left (fun acc x -> acc +. ((x -. mean) *. (x -. mean))) 0. sorted in
+    let stddev = if n > 1 then sqrt (sq /. float_of_int (n - 1)) else 0. in
+    {
+      count = n;
+      mean;
+      stddev;
+      min = sorted.(0);
+      max = sorted.(n - 1);
+      p50 = percentile sorted 0.50;
+      p90 = percentile sorted 0.90;
+      p99 = percentile sorted 0.99;
+    }
+  end
+
+let pp_summary ppf s =
+  Format.fprintf ppf "n=%d mean=%.3f sd=%.3f min=%.3f p50=%.3f p90=%.3f p99=%.3f max=%.3f"
+    s.count s.mean s.stddev s.min s.p50 s.p90 s.p99 s.max
+
+type histogram = { lo : float; hi : float; counts : int array; mutable n : int }
+
+let histogram ~lo ~hi ~buckets =
+  assert (buckets > 0 && hi > lo);
+  { lo; hi; counts = Array.make buckets 0; n = 0 }
+
+let record h x =
+  let b = Array.length h.counts in
+  let raw = int_of_float (float_of_int b *. (x -. h.lo) /. (h.hi -. h.lo)) in
+  let idx = if raw < 0 then 0 else if raw >= b then b - 1 else raw in
+  h.counts.(idx) <- h.counts.(idx) + 1;
+  h.n <- h.n + 1
+
+let bucket_counts h = Array.copy h.counts
+let total h = h.n
+
+let pp_histogram ppf h =
+  let b = Array.length h.counts in
+  let peak = Array.fold_left max 1 h.counts in
+  let width = (h.hi -. h.lo) /. float_of_int b in
+  for i = 0 to b - 1 do
+    let bar = 40 * h.counts.(i) / peak in
+    Format.fprintf ppf "[%8.2f,%8.2f) %6d %s@." (h.lo +. (width *. float_of_int i))
+      (h.lo +. (width *. float_of_int (i + 1)))
+      h.counts.(i) (String.make bar '#')
+  done

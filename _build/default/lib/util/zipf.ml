@@ -1,0 +1,29 @@
+type t = { cdf : float array }
+
+let create ~n ~theta =
+  assert (n > 0);
+  assert (theta >= 0.);
+  let cdf = Array.make n 0. in
+  let acc = ref 0. in
+  for i = 0 to n - 1 do
+    acc := !acc +. (1. /. Float.pow (float_of_int (i + 1)) theta);
+    cdf.(i) <- !acc
+  done;
+  let total = !acc in
+  for i = 0 to n - 1 do
+    cdf.(i) <- cdf.(i) /. total
+  done;
+  { cdf }
+
+let sample t rng =
+  let u = Rng.float rng 1.0 in
+  (* Smallest index whose cumulative mass covers [u]. *)
+  let rec search lo hi =
+    if lo >= hi then lo
+    else
+      let mid = (lo + hi) / 2 in
+      if t.cdf.(mid) < u then search (mid + 1) hi else search lo mid
+  in
+  search 0 (Array.length t.cdf - 1)
+
+let n t = Array.length t.cdf

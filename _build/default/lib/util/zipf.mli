@@ -1,0 +1,18 @@
+(** Zipfian distribution sampler.
+
+    Database workloads are famously skewed: a few hot pages take most of
+    the traffic.  The benchmark workloads use a Zipf(θ) distribution over
+    the page population to model this (θ = 0 degenerates to uniform). *)
+
+type t
+
+val create : n:int -> theta:float -> t
+(** [create ~n ~theta] prepares a sampler over ranks [0, n).  Rank 0 is
+    the hottest item.  [n] must be positive and [theta >= 0.].  Setup is
+    O(n) (a cumulative table), sampling is O(log n). *)
+
+val sample : t -> Rng.t -> int
+(** Draw a rank in [0, n). *)
+
+val n : t -> int
+(** Population size the sampler was built for. *)

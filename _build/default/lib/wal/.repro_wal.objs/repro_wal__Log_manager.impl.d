@@ -1,0 +1,1 @@
+lib/wal/log_manager.ml: Int32 Lsn Printf Record Repro_sim Repro_storage Repro_util String

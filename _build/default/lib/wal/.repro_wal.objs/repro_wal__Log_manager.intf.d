@@ -1,0 +1,1 @@
+lib/wal/log_manager.mli: Lsn Record Repro_sim

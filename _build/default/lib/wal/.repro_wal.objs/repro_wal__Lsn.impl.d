@@ -1,0 +1,1 @@
+lib/wal/lsn.ml: Format Int Repro_util Stdlib

@@ -1,0 +1,1 @@
+lib/wal/record.ml: Format Int64 List Lsn Page Page_id Printf Repro_storage Repro_util String

@@ -1,0 +1,1 @@
+lib/wal/record.mli: Format Lsn Page Page_id Repro_storage

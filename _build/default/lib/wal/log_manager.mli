@@ -1,0 +1,64 @@
+(** Per-node log manager: framing, checksums, forces and scans on top of
+    {!Repro_storage.Log_device}.
+
+    Framing is [u32 payload-length | u32 CRC-32 | payload].  A record's
+    LSN is the device offset of its length field, so LSNs order records
+    and [lsn + framed_size] is the next record — which gives cheap
+    forward scans.  A CRC mismatch or truncated frame during a scan is
+    treated as end-of-log (torn tail). *)
+
+type t
+
+val create : Repro_sim.Env.t -> Repro_sim.Metrics.t -> ?capacity:int -> unit -> t
+(** [capacity] bounds the live log region in bytes (experiment E6). *)
+
+(** {1 Writing} *)
+
+exception Log_full
+(** Re-raised from the device when an append would exceed capacity; the
+    §2.5 log-space manager catches it. *)
+
+val append : ?overdraft:bool -> t -> Record.t -> Lsn.t
+(** Appends to the volatile tail (WAL buffer), charging CPU.
+    [overdraft] bypasses the capacity limit — rollback records must
+    always fit (reserved undo space). *)
+
+val force : t -> upto:Lsn.t -> unit
+(** Makes all records at LSN <= [upto] durable.  Charges one log force
+    if any bytes actually move; a no-op (already durable) charges
+    nothing. *)
+
+val force_all : t -> unit
+
+(** {1 Reading} *)
+
+val read : t -> Lsn.t -> Record.t
+(** Random access by exact LSN — the undo path follows [prev]/[undo_next]
+    chains with this.  Charges per-record CPU, not a recovery-scan
+    count. *)
+
+val next_lsn : t -> Lsn.t -> Lsn.t
+(** LSN immediately after the record at the given LSN. *)
+
+val fold : t -> ?upto:Lsn.t -> from:Lsn.t -> init:'a -> ('a -> Lsn.t -> Record.t -> 'a) -> 'a
+(** Forward scan for analysis / redo passes.  [from = Lsn.nil] starts at
+    the low-water mark.  Each record charges a recovery-scan cost and
+    bumps [recovery_log_records_scanned].  Stops before [upto]
+    (exclusive) or at the end of the log. *)
+
+(** {1 Positions and space} *)
+
+val end_lsn : t -> Lsn.t
+(** LSN the next append will get. *)
+
+val durable_lsn : t -> Lsn.t
+val low_water : t -> Lsn.t
+val used_bytes : t -> int
+val available_bytes : t -> int option
+val truncate_to : t -> Lsn.t -> unit
+(** Reclaim space below the given LSN (min RedoLSN of the node's DPT). *)
+
+(** {1 Failure} *)
+
+val crash : t -> unit
+(** Loses the volatile tail. *)

@@ -1,0 +1,170 @@
+open Repro_storage
+module Codec = Repro_util.Codec
+
+type update_op =
+  | Physical of { off : int; before : string; after : string }
+  | Delta of { off : int; delta : int64 }
+
+let apply_op page = function
+  | Physical { off; after; _ } -> Page.write page ~off after
+  | Delta { off; delta } -> Page.add_cell page ~off delta
+
+let invert = function
+  | Physical { off; before; after } -> Physical { off; before = after; after = before }
+  | Delta { off; delta } -> Delta { off; delta = Int64.neg delta }
+
+let pp_op ppf = function
+  | Physical { off; before; after } ->
+    Format.fprintf ppf "phys@@%d %dB->%dB" off (String.length before) (String.length after)
+  | Delta { off; delta } -> Format.fprintf ppf "delta@@%d %+Ld" off delta
+
+type dpt_entry = { pid : Page_id.t; psn_first : int; curr_psn : int; redo_lsn : Lsn.t }
+type active_txn = { txn : int; last_lsn : Lsn.t }
+
+let pp_dpt_entry ppf e =
+  Format.fprintf ppf "{%a psn=%d curr=%d redo=%a}" Page_id.pp e.pid e.psn_first e.curr_psn Lsn.pp
+    e.redo_lsn
+
+type body =
+  | Update of { pid : Page_id.t; psn_before : int; op : update_op }
+  | Clr of { pid : Page_id.t; psn_before : int; op : update_op; undo_next : Lsn.t }
+  | Commit
+  | Abort
+  | Savepoint of string
+  | Checkpoint_begin of { dpt : dpt_entry list; active : active_txn list }
+  | Checkpoint_end
+
+type t = { txn : int; prev : Lsn.t; body : body }
+
+let system_txn = -1
+
+let page_of t =
+  match t.body with
+  | Update { pid; _ } | Clr { pid; _ } -> Some pid
+  | Commit | Abort | Savepoint _ | Checkpoint_begin _ | Checkpoint_end -> None
+
+let psn_before_of t =
+  match t.body with
+  | Update { psn_before; _ } | Clr { psn_before; _ } -> Some psn_before
+  | Commit | Abort | Savepoint _ | Checkpoint_begin _ | Checkpoint_end -> None
+
+let pp ppf t =
+  let body ppf = function
+    | Update { pid; psn_before; op } ->
+      Format.fprintf ppf "update %a psn<%d %a" Page_id.pp pid psn_before pp_op op
+    | Clr { pid; psn_before; op; undo_next } ->
+      Format.fprintf ppf "clr %a psn<%d %a undo_next=%a" Page_id.pp pid psn_before pp_op op
+        Lsn.pp undo_next
+    | Commit -> Format.pp_print_string ppf "commit"
+    | Abort -> Format.pp_print_string ppf "abort"
+    | Savepoint name -> Format.fprintf ppf "savepoint %s" name
+    | Checkpoint_begin { dpt; active } ->
+      Format.fprintf ppf "ckpt_begin dpt=%d active=%d" (List.length dpt) (List.length active)
+    | Checkpoint_end -> Format.pp_print_string ppf "ckpt_end"
+  in
+  Format.fprintf ppf "[txn=%d prev=%a %a]" t.txn Lsn.pp t.prev body t.body
+
+(* Wire format: tag byte per variant; see .mli for semantics. *)
+
+let encode_op e = function
+  | Physical { off; before; after } ->
+    Codec.u8 e 0;
+    Codec.u32 e off;
+    Codec.bytes e before;
+    Codec.bytes e after
+  | Delta { off; delta } ->
+    Codec.u8 e 1;
+    Codec.u32 e off;
+    Codec.i64 e delta
+
+let decode_op d =
+  match Codec.read_u8 d with
+  | 0 ->
+    let off = Codec.read_u32 d in
+    let before = Codec.read_bytes d in
+    let after = Codec.read_bytes d in
+    Physical { off; before; after }
+  | 1 ->
+    let off = Codec.read_u32 d in
+    let delta = Codec.read_i64 d in
+    Delta { off; delta }
+  | n -> raise (Codec.Corrupt (Printf.sprintf "bad update_op tag %d" n))
+
+let encode_dpt_entry e (en : dpt_entry) =
+  Page_id.encode e en.pid;
+  Codec.int_as_i64 e en.psn_first;
+  Codec.int_as_i64 e en.curr_psn;
+  Lsn.encode e en.redo_lsn
+
+let decode_dpt_entry d =
+  let pid = Page_id.decode d in
+  let psn_first = Codec.read_int_as_i64 d in
+  let curr_psn = Codec.read_int_as_i64 d in
+  let redo_lsn = Lsn.decode d in
+  { pid; psn_first; curr_psn; redo_lsn }
+
+let encode_active e (a : active_txn) =
+  Codec.int_as_i64 e a.txn;
+  Lsn.encode e a.last_lsn
+
+let decode_active d =
+  let txn = Codec.read_int_as_i64 d in
+  let last_lsn = Lsn.decode d in
+  { txn; last_lsn }
+
+let encode t =
+  let e = Codec.encoder () in
+  Codec.int_as_i64 e t.txn;
+  Lsn.encode e t.prev;
+  (match t.body with
+  | Update { pid; psn_before; op } ->
+    Codec.u8 e 1;
+    Page_id.encode e pid;
+    Codec.int_as_i64 e psn_before;
+    encode_op e op
+  | Clr { pid; psn_before; op; undo_next } ->
+    Codec.u8 e 2;
+    Page_id.encode e pid;
+    Codec.int_as_i64 e psn_before;
+    encode_op e op;
+    Lsn.encode e undo_next
+  | Commit -> Codec.u8 e 3
+  | Abort -> Codec.u8 e 4
+  | Savepoint name ->
+    Codec.u8 e 5;
+    Codec.bytes e name
+  | Checkpoint_begin { dpt; active } ->
+    Codec.u8 e 6;
+    Codec.list encode_dpt_entry e dpt;
+    Codec.list encode_active e active
+  | Checkpoint_end -> Codec.u8 e 7);
+  Codec.to_string e
+
+let decode s =
+  let d = Codec.decoder s in
+  let txn = Codec.read_int_as_i64 d in
+  let prev = Lsn.decode d in
+  let body =
+    match Codec.read_u8 d with
+    | 1 ->
+      let pid = Page_id.decode d in
+      let psn_before = Codec.read_int_as_i64 d in
+      let op = decode_op d in
+      Update { pid; psn_before; op }
+    | 2 ->
+      let pid = Page_id.decode d in
+      let psn_before = Codec.read_int_as_i64 d in
+      let op = decode_op d in
+      let undo_next = Lsn.decode d in
+      Clr { pid; psn_before; op; undo_next }
+    | 3 -> Commit
+    | 4 -> Abort
+    | 5 -> Savepoint (Codec.read_bytes d)
+    | 6 ->
+      let dpt = Codec.read_list decode_dpt_entry d in
+      let active = Codec.read_list decode_active d in
+      Checkpoint_begin { dpt; active }
+    | 7 -> Checkpoint_end
+    | n -> raise (Codec.Corrupt (Printf.sprintf "bad record tag %d" n))
+  in
+  { txn; prev; body }

@@ -1,0 +1,1 @@
+lib/workload/driver.ml: Array Engine Format Hashtbl Int64 List Op Option Repro_cbl Repro_lock Repro_sim Repro_storage Repro_util

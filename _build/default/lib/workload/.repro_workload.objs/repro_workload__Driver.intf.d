@@ -1,0 +1,1 @@
+lib/workload/driver.mli: Engine Format Op Repro_storage Repro_util

@@ -1,0 +1,1 @@
+lib/workload/engine.ml: Page_id Repro_cbl Repro_lock Repro_sim Repro_storage

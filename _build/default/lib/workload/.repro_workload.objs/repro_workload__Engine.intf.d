@@ -1,0 +1,1 @@
+lib/workload/engine.mli: Page_id Repro_cbl Repro_lock Repro_sim Repro_storage

@@ -1,0 +1,1 @@
+lib/workload/generators.ml: Array Int64 List Op Repro_util

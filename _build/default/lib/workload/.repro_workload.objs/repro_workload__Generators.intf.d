@@ -1,0 +1,1 @@
+lib/workload/generators.mli: Op Page_id Repro_storage Repro_util

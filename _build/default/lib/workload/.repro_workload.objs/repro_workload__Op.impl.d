@@ -1,0 +1,1 @@
+lib/workload/op.ml: Format List Page_id Repro_storage String

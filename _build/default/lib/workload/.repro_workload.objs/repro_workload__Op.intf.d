@@ -1,0 +1,1 @@
+lib/workload/op.mli: Format Page_id Repro_storage

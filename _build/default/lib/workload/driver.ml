@@ -1,0 +1,305 @@
+module Page_id = Repro_storage.Page_id
+module Deadlock = Repro_lock.Deadlock
+module Block = Repro_cbl.Block
+module Env = Repro_sim.Env
+module Stats = Repro_util.Stats
+
+type event = Crash of int | Recover of int list | Checkpoint of int
+
+type conflict_policy = Wound_wait | Detect
+
+type outcome = {
+  engine : Engine.t;
+  committed : int;
+  voluntary_aborts : int;
+  deadlock_aborts : int;
+  stuck : int;
+  rounds : int;
+  sim_seconds : float;
+  latencies : Stats.summary;
+  shadow : ((Page_id.t * int) * int64) list;
+}
+
+(* Per-transaction effects buffered until commit; savepoint marks let a
+   partial rollback discard exactly the suffix. *)
+type effect = Delta of (Page_id.t * int) * int64 | Mark of string
+
+type status = Running | Committed | Aborted
+
+type prog = {
+  script : Op.script;
+  mutable txn : int option;
+  mutable step : int;
+  mutable effects : effect list; (* newest first *)
+  mutable status : status;
+  mutable retries : int;
+  mutable began_at : float;
+  mutable cooldown : int;  (* rounds to sit out after a deadlock abort *)
+  mutable last_block : string;
+}
+
+let reset_prog p =
+  p.txn <- None;
+  p.step <- 0;
+  p.effects <- [];
+  p.retries <- p.retries + 1;
+  (* Backoff breaks the symmetry that would otherwise re-create the
+     same deadlock cycle on the very next round. *)
+  p.cooldown <- min 32 (3 * p.retries)
+
+let rec drop_to_mark name = function
+  | [] -> []
+  | Mark m :: rest when m = name -> Mark m :: rest
+  | (Delta _ | Mark _) :: rest -> drop_to_mark name rest
+
+let run (engine : Engine.t) ?(events = []) ?(max_rounds = 100_000) ?(policy = Wound_wait)
+    ?(mpl = max_int) scripts =
+  let progs =
+    List.map
+      (fun script ->
+        {
+          script;
+          txn = None;
+          step = 0;
+          effects = [];
+          status = Running;
+          retries = 0;
+          began_at = 0.;
+          cooldown = 0;
+          last_block = "";
+        })
+      scripts
+  in
+  let actions = List.map (fun (s : Op.script) -> Array.of_list s.Op.actions) scripts in
+  let progs = Array.of_list progs in
+  let actions = Array.of_list actions in
+  let shadow : (Page_id.t * int, int64) Hashtbl.t = Hashtbl.create 64 in
+  let committed = ref 0 in
+  let voluntary = ref 0 in
+  let deadlock_aborts = ref 0 in
+  let latencies = ref [] in
+  let t0 = Env.now engine.Engine.env in
+  let find_prog_by_txn txn =
+    let found = ref None in
+    Array.iter (fun p -> if p.txn = Some txn then found := Some p) progs;
+    !found
+  in
+  let apply_effects p =
+    List.iter
+      (function
+        | Delta (key, d) ->
+          let cur = Option.value (Hashtbl.find_opt shadow key) ~default:0L in
+          Hashtbl.replace shadow key (Int64.add cur d)
+        | Mark _ -> ())
+      (List.rev p.effects)
+  in
+  let finish_commit p txn =
+    engine.Engine.commit ~txn;
+    Deadlock.clear_waits engine.Engine.deadlock txn;
+    apply_effects p;
+    p.status <- Committed;
+    incr committed;
+    latencies := (Env.now engine.Engine.env -. p.began_at) :: !latencies
+  in
+  let resolve_deadlocks () =
+    let rec loop () =
+      match Deadlock.find_cycle engine.Engine.deadlock with
+      | None -> ()
+      | Some cycle ->
+        let victim = Deadlock.victim cycle in
+        (match find_prog_by_txn victim with
+        | Some p ->
+          engine.Engine.abort ~txn:victim;
+          Deadlock.remove_txn engine.Engine.deadlock victim;
+          incr deadlock_aborts;
+          reset_prog p
+        | None -> Deadlock.remove_txn engine.Engine.deadlock victim);
+        loop ()
+    in
+    loop ()
+  in
+  (* One attempt to advance a script by one action.  Returns true if
+     the step made progress. *)
+  let advance p idx =
+    let acts = actions.(idx) in
+    match p.txn with
+    | None ->
+      let txn = engine.Engine.begin_txn ~node:p.script.Op.node in
+      p.txn <- Some txn;
+      p.began_at <- Env.now engine.Engine.env;
+      true
+    | Some txn ->
+      if p.step >= Array.length acts then begin
+        finish_commit p txn;
+        true
+      end
+      else begin
+        (match acts.(p.step) with
+        | Op.Read { pid; off } -> ignore (engine.Engine.read_cell ~txn ~pid ~off)
+        | Op.Update { pid; off; delta } ->
+          engine.Engine.update_delta ~txn ~pid ~off delta;
+          p.effects <- Delta ((pid, off), delta) :: p.effects
+        | Op.Write { pid; off; data } -> engine.Engine.update_bytes ~txn ~pid ~off data
+        | Op.Savepoint name ->
+          engine.Engine.savepoint ~txn name;
+          p.effects <- Mark name :: p.effects
+        | Op.Rollback_to name ->
+          engine.Engine.rollback_to ~txn name;
+          p.effects <- drop_to_mark name p.effects
+        | Op.Abort_self ->
+          engine.Engine.abort ~txn;
+          Deadlock.clear_waits engine.Engine.deadlock txn;
+          p.status <- Aborted;
+          incr voluntary);
+        if p.status = Running then begin
+          p.step <- p.step + 1;
+          Deadlock.clear_waits engine.Engine.deadlock txn
+        end;
+        true
+      end
+  in
+  let fire = function
+    | Crash node ->
+      (* Scripts homed at the node lose their in-flight transaction. *)
+      Array.iter
+        (fun p ->
+          if p.status = Running && p.script.Op.node = node && p.txn <> None then reset_prog p)
+        progs;
+      engine.Engine.crash ~node
+    | Recover nodes -> engine.Engine.recover ~nodes
+    | Checkpoint node -> if engine.Engine.is_up ~node then engine.Engine.checkpoint ~node
+  in
+  let round = ref 0 in
+  let stalled = ref 0 in
+  let unfinished () = Array.exists (fun p -> p.status = Running) progs in
+  let events = ref events in
+  while unfinished () && !round < max_rounds && !stalled < 1000 do
+    let due, later = List.partition (fun (r, _) -> r <= !round) !events in
+    events := later;
+    List.iter (fun (_, e) -> fire e) due;
+    let progressed = ref false in
+    (* multiprogramming limit: at most [mpl] in-flight transactions per
+       node; surplus scripts wait to begin *)
+    let active_per_node = Hashtbl.create 8 in
+    Array.iter
+      (fun p ->
+        if p.status = Running && p.txn <> None then
+          Hashtbl.replace active_per_node p.script.Op.node
+            (1 + Option.value (Hashtbl.find_opt active_per_node p.script.Op.node) ~default:0))
+      progs;
+    Array.iteri
+      (fun idx p ->
+        if p.status = Running && p.cooldown > 0 then p.cooldown <- p.cooldown - 1
+        else if
+          p.status = Running
+          && (p.txn <> None
+             || Option.value (Hashtbl.find_opt active_per_node p.script.Op.node) ~default:0 < mpl
+             )
+        then begin
+          if p.txn = None then
+            Hashtbl.replace active_per_node p.script.Op.node
+              (1 + Option.value (Hashtbl.find_opt active_per_node p.script.Op.node) ~default:0);
+          match advance p idx with
+          | made -> if made then progressed := true
+          | exception Block.Would_block reason ->
+            (* A real system would queue the request; polling every
+               round would melt the network, so a blocked script sits
+               out a few rounds before retrying. *)
+            p.cooldown <- 4;
+            p.last_block <- Format.asprintf "%a" Block.pp_reason reason;
+            (match (reason, p.txn) with
+            | Block.Lock_conflict { blockers }, Some txn when blockers = [ txn ] ->
+              (* self-blocking (e.g. the transaction's own undo chain
+                 pins a full log): forced abort and restart *)
+              (match engine.Engine.abort ~txn with
+              | () ->
+                Deadlock.remove_txn engine.Engine.deadlock txn;
+                incr deadlock_aborts;
+                reset_prog p
+              | exception Block.Would_block _ -> ())
+            | Block.Lock_conflict { blockers }, Some txn -> begin
+              match policy with
+              | Wound_wait ->
+                (* Older transactions wound younger blockers; younger
+                   waiters simply wait.  Starvation-free, no cycles. *)
+                List.iter
+                  (fun blocker ->
+                    if blocker > txn then
+                      match find_prog_by_txn blocker with
+                      | Some q -> begin
+                        (* The wound itself can block (e.g. its undo
+                           needs a crashed owner); retry it later. *)
+                        match engine.Engine.abort ~txn:blocker with
+                        | () ->
+                          Deadlock.remove_txn engine.Engine.deadlock blocker;
+                          incr deadlock_aborts;
+                          reset_prog q
+                        | exception Block.Would_block _ -> ()
+                      end
+                      | None -> ())
+                  blockers
+              | Detect ->
+                Deadlock.set_waits engine.Engine.deadlock ~waiter:txn ~blockers;
+                resolve_deadlocks ()
+            end
+            | (Block.Lock_conflict _ | Block.Node_down _ | Block.Log_space _
+              | Block.Page_recovering _), _ -> ())
+        end)
+      progs;
+    if !progressed then stalled := 0 else incr stalled;
+    incr round
+  done;
+  let stuck = Array.fold_left (fun acc p -> if p.status = Running then acc + 1 else acc) 0 progs in
+  if stuck > 0 then
+    Array.iteri
+      (fun i p ->
+        if p.status = Running then
+          Env.tracef engine.Engine.env "stuck script %d (txn=%s) at node %d step %d retries %d: %s"
+            i
+            (match p.txn with Some t -> string_of_int t | None -> "-")
+            p.script.Op.node p.step p.retries p.last_block)
+      progs;
+  {
+    engine;
+    committed = !committed;
+    voluntary_aborts = !voluntary;
+    deadlock_aborts = !deadlock_aborts;
+    stuck;
+    rounds = !round;
+    sim_seconds = Env.now engine.Engine.env -. t0;
+    latencies = Stats.summarize (Array.of_list !latencies);
+    shadow = Hashtbl.fold (fun k v acc -> (k, v) :: acc) shadow [];
+  }
+
+let verify outcome =
+  let engine = outcome.engine in
+  let reader_node =
+    let rec find i = if engine.Engine.is_up ~node:i then i else find (i + 1) in
+    find 0
+  in
+  let txn = engine.Engine.begin_txn ~node:reader_node in
+  let errors =
+    List.filter_map
+      (fun (((pid : Page_id.t), off), expected) ->
+        let rec read attempts =
+          if attempts > 10_000 then failwith "Driver.verify: blocked forever"
+          else
+            match engine.Engine.read_cell ~txn ~pid ~off with
+            | v -> v
+            | exception Block.Would_block _ -> read (attempts + 1)
+        in
+        let actual = read 0 in
+        if Int64.equal actual expected then None
+        else
+          Some
+            (Format.asprintf "%a@@%d: expected %Ld, found %Ld" Page_id.pp pid off expected actual))
+      (List.sort compare outcome.shadow)
+  in
+  engine.Engine.commit ~txn:txn;
+  if errors = [] then Ok () else Error errors
+
+let pp_outcome ppf o =
+  Format.fprintf ppf
+    "%s: committed=%d voluntary_aborts=%d deadlock_aborts=%d stuck=%d rounds=%d sim=%a@ latency: %a"
+    o.engine.Engine.name o.committed o.voluntary_aborts o.deadlock_aborts o.stuck o.rounds
+    Repro_util.Pretty.seconds o.sim_seconds Stats.pp_summary o.latencies

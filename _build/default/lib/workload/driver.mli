@@ -1,0 +1,61 @@
+(** The workload driver: runs scripts against an engine, with retry,
+    deadlock resolution and a durability oracle.
+
+    Scripts are interleaved round-robin, one action per round, which
+    manufactures realistic lock contention.  A step that raises
+    [Would_block] is retried on a later round; lock conflicts feed the
+    waits-for graph and cycles abort the youngest member (whose script
+    restarts from the top with a fresh transaction).
+
+    The driver maintains a {b shadow} of every delta-updated cell,
+    applied only at commit.  {!verify} re-reads all shadow cells through
+    the engine and reports mismatches — the central correctness oracle:
+    after any crash / recovery schedule, committed effects must be
+    exactly present and uncommitted effects exactly absent. *)
+
+type event =
+  | Crash of int
+  | Recover of int list
+  | Checkpoint of int
+
+type conflict_policy =
+  | Wound_wait
+      (** On a conflict, a transaction wounds (aborts) every {e younger}
+          blocker and retries; younger waiters wait.  Starvation-free
+          and deadlock-free — the default.  Wounded scripts restart. *)
+  | Detect
+      (** Maintain the waits-for graph and abort the youngest member of
+          any cycle.  Subject to starvation under heavy S-lock churn;
+          kept for the concurrency-control ablation. *)
+
+type outcome = {
+  engine : Engine.t;
+  committed : int;
+  voluntary_aborts : int;
+  deadlock_aborts : int;  (** victim restarts (the scripts still finish) *)
+  stuck : int;  (** scripts that could not finish — 0 on a healthy run *)
+  rounds : int;
+  sim_seconds : float;  (** simulated time consumed by the run *)
+  latencies : Repro_util.Stats.summary;  (** commit latency, simulated seconds *)
+  shadow : ((Repro_storage.Page_id.t * int) * int64) list;  (** expected committed cell values *)
+}
+
+val run :
+  Engine.t ->
+  ?events:(int * event) list ->
+  ?max_rounds:int ->
+  ?policy:conflict_policy ->
+  ?mpl:int ->
+  Op.script list ->
+  outcome
+(** [events] fire at the start of the given round (0-based).
+    [max_rounds] defaults to a generous bound; exceeding it marks the
+    remaining scripts stuck rather than looping forever.  [mpl] caps
+    the in-flight transactions per node (multiprogramming level);
+    surplus scripts queue to begin. *)
+
+val verify : outcome -> (unit, string list) result
+(** Reads every shadow cell back through the engine (at the first
+    operational node) and compares. *)
+
+val pp_outcome : Format.formatter -> outcome -> unit

@@ -1,0 +1,64 @@
+(** Workload generators for the experiments and examples.
+
+    All generators are deterministic given the {!Repro_util.Rng.t}.
+    Pages must have been allocated beforehand (see
+    {!Repro_cbl.Cluster.allocate_pages}); generators only pick from the
+    given page population. *)
+
+open Repro_storage
+
+type mix = {
+  ops_per_txn : int;
+  update_fraction : float;  (** probability an access is an update *)
+  remote_fraction : float;
+      (** probability an access goes to a page owned by another node
+          (0 = fully partitioned, 1 = all accesses remote) *)
+  theta : float;  (** Zipf skew within the chosen partition; 0 = uniform *)
+  savepoint_fraction : float;
+      (** probability a transaction brackets its second half in a
+          savepoint and rolls back to it (§2.2 partial rollback) *)
+  abort_fraction : float;  (** probability a transaction ends in a voluntary abort *)
+}
+
+val default_mix : mix
+(** 8 ops/txn, 50% updates, 30% remote, uniform, no savepoints/aborts. *)
+
+val partitioned :
+  Repro_util.Rng.t ->
+  pages_by_owner:(int * Page_id.t list) list ->
+  clients:int list ->
+  txns_per_client:int ->
+  mix:mix ->
+  Op.script list
+(** The paper's engineering/corporate workload: each client has a home
+    partition (the owner list is cycled over the clients) and visits
+    other partitions with probability [remote_fraction].  The offsets
+    updated are 8-byte cells spread across each page. *)
+
+val hotspot :
+  Repro_util.Rng.t ->
+  pages:Page_id.t list ->
+  clients:int list ->
+  txns_per_client:int ->
+  mix:mix ->
+  Op.script list
+(** All clients draw from one shared page population with Zipf skew
+    [mix.theta] — the contention workload (E9). *)
+
+val checkout :
+  Repro_util.Rng.t ->
+  pages:Page_id.t list ->
+  client:int ->
+  documents:int ->
+  revisions:int ->
+  Op.script list
+(** CAD/CASE check-out: the client claims [documents] pages and then
+    runs [revisions] transactions that repeatedly revise them — the
+    inter-transaction-caching showcase (§1.2): after the first
+    transaction, no lock or page message should leave the client. *)
+
+val ping_pong :
+  pages:Page_id.t list -> nodes:int * int -> rounds:int -> Op.script list
+(** Two nodes alternately update the same pages — the page transfer
+    workload (E10): every hand-over is a callback + page ship, and under
+    CBL never a disk force. *)

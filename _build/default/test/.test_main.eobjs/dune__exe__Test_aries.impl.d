@@ -1,0 +1,1 @@
+test/test_aries.ml: Alcotest List Repro_aries Repro_sim Repro_storage Repro_tx Repro_wal

@@ -1,0 +1,1 @@
+test/test_buffer.ml: Alcotest List Option Repro_buffer Repro_storage Repro_wal

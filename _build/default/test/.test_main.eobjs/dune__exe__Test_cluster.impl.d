@@ -1,0 +1,1 @@
+test/test_cluster.ml: Alcotest List Repro_buffer Repro_cbl Repro_lock Repro_sim

@@ -1,0 +1,1 @@
+test/test_lock.ml: Alcotest List Repro_lock Repro_storage

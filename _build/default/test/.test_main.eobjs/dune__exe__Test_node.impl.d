@@ -1,0 +1,1 @@
+test/test_node.ml: Alcotest Int64 List Repro_cbl Repro_sim Repro_storage

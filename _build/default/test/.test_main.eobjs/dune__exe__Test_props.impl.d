@@ -1,0 +1,1 @@
+test/test_props.ml: Char List Printf QCheck QCheck_alcotest Repro_cbl Repro_sim Repro_storage Repro_util Repro_wal Repro_workload String

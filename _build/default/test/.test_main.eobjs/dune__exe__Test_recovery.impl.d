@@ -1,0 +1,1 @@
+test/test_recovery.ml: Alcotest Int64 List Repro_cbl Repro_lock Repro_sim Repro_storage Repro_wal

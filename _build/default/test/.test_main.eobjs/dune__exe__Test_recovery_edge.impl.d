@@ -1,0 +1,1 @@
+test/test_recovery_edge.ml: Alcotest List Repro_buffer Repro_cbl Repro_sim Repro_storage

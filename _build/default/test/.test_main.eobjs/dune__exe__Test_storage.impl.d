@@ -1,0 +1,1 @@
+test/test_storage.ml: Alcotest QCheck QCheck_alcotest Repro_sim Repro_storage Repro_util

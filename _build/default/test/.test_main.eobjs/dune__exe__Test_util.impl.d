@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Bytes List QCheck QCheck_alcotest Repro_util String

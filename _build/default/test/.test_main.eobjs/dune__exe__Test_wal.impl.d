@@ -1,0 +1,1 @@
+test/test_wal.ml: Alcotest Format Int64 List Option QCheck QCheck_alcotest Repro_sim Repro_storage Repro_util Repro_wal

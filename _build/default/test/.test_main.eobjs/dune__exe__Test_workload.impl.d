@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest List Repro_cbl Repro_sim Repro_storage Repro_util Repro_workload String

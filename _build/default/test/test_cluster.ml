@@ -1,0 +1,227 @@
+(* Multi-node normal processing: callback locking, page shipping,
+   inter-transaction caching, the baseline schemes. *)
+
+module Cluster = Repro_cbl.Cluster
+module Node_state = Repro_cbl.Node_state
+module Block = Repro_cbl.Block
+module Metrics = Repro_sim.Metrics
+module Config = Repro_sim.Config
+
+let mk ?scheme ?retain_cached_locks ?(nodes = 4) () =
+  let c = Cluster.create ?scheme ?retain_cached_locks ~pool_capacity:16 ~nodes Config.instant in
+  let pages = Cluster.allocate_pages c ~owner:0 ~count:8 in
+  (c, pages)
+
+let test_remote_update_and_zero_commit_messages () =
+  let c, pages = mk () in
+  let p = List.hd pages in
+  let t = Cluster.begin_txn c ~node:1 in
+  Cluster.update_delta c ~txn:t ~pid:p ~off:0 9L;
+  let before = (Cluster.node_metrics c 1).Metrics.messages_sent in
+  Cluster.commit c ~txn:t;
+  let m = Cluster.node_metrics c 1 in
+  Alcotest.(check int) "no messages during commit" before m.Metrics.messages_sent;
+  Alcotest.(check int) "no commit-path messages" 0 m.Metrics.commit_messages;
+  Cluster.check_invariants c
+
+let test_callback_x_takes_page_and_lock () =
+  let c, pages = mk () in
+  let p = List.hd pages in
+  (* node 1 updates and commits: retains cached X and the dirty page *)
+  let t1 = Cluster.begin_txn c ~node:1 in
+  Cluster.update_delta c ~txn:t1 ~pid:p ~off:0 5L;
+  Cluster.commit c ~txn:t1;
+  (* node 2 updates the same page: X callback revokes node 1's lock *)
+  let t2 = Cluster.begin_txn c ~node:2 in
+  Cluster.update_delta c ~txn:t2 ~pid:p ~off:0 7L;
+  Cluster.commit c ~txn:t2;
+  let owner = Cluster.node c 0 in
+  Alcotest.(check bool) "owner shows one X holder (node 2)" true
+    (Repro_lock.Global_locks.x_holder owner.Node_state.glocks ~pid:p = Some 2);
+  let n1 = Cluster.node c 1 in
+  Alcotest.(check bool) "node 1 lost its cached lock" true
+    (Repro_lock.Local_locks.cached_mode n1.Node_state.locks p = None);
+  Alcotest.(check bool) "node 1 lost the page" false
+    (Repro_buffer.Buffer_pool.contains n1.Node_state.pool p);
+  (* the value is cumulative: node 2 saw node 1's update *)
+  let t3 = Cluster.begin_txn c ~node:3 in
+  Alcotest.(check int64) "cumulative" 12L (Cluster.read_cell c ~txn:t3 ~pid:p ~off:0);
+  Cluster.commit c ~txn:t3;
+  Cluster.check_invariants c
+
+let test_callback_s_demotes () =
+  let c, pages = mk () in
+  let p = List.hd pages in
+  let t1 = Cluster.begin_txn c ~node:1 in
+  Cluster.update_delta c ~txn:t1 ~pid:p ~off:0 5L;
+  Cluster.commit c ~txn:t1;
+  (* a reader elsewhere demotes node 1's X to S; node 1 keeps the page *)
+  let t2 = Cluster.begin_txn c ~node:2 in
+  Alcotest.(check int64) "read sees update" 5L (Cluster.read_cell c ~txn:t2 ~pid:p ~off:0);
+  Cluster.commit c ~txn:t2;
+  let n1 = Cluster.node c 1 in
+  Alcotest.(check bool) "node 1 demoted to S" true
+    (Repro_lock.Local_locks.cached_mode n1.Node_state.locks p = Some Repro_lock.Mode.S);
+  Alcotest.(check bool) "node 1 keeps the page" true
+    (Repro_buffer.Buffer_pool.contains n1.Node_state.pool p);
+  Cluster.check_invariants c
+
+let test_callback_refused_while_txn_active () =
+  let c, pages = mk () in
+  let p = List.hd pages in
+  let t1 = Cluster.begin_txn c ~node:1 in
+  Cluster.update_delta c ~txn:t1 ~pid:p ~off:0 5L;
+  (* t1 still active: node 2's update must block on it *)
+  let t2 = Cluster.begin_txn c ~node:2 in
+  (match Cluster.update_delta c ~txn:t2 ~pid:p ~off:0 7L with
+  | () -> Alcotest.fail "expected a callback refusal"
+  | exception Block.Would_block (Block.Lock_conflict { blockers }) ->
+    Alcotest.(check (list int)) "blocked by the remote holder" [ t1 ] blockers
+  | exception Block.Would_block _ -> Alcotest.fail "wrong reason");
+  Cluster.commit c ~txn:t1;
+  Cluster.update_delta c ~txn:t2 ~pid:p ~off:0 7L;
+  Cluster.commit c ~txn:t2
+
+let test_inter_transaction_caching_saves_messages () =
+  let c, pages = mk () in
+  let p = List.hd pages in
+  let run () =
+    let t = Cluster.begin_txn c ~node:1 in
+    Cluster.update_delta c ~txn:t ~pid:p ~off:0 1L;
+    Cluster.commit c ~txn:t
+  in
+  run ();
+  let m = Cluster.node_metrics c 1 in
+  let msgs_first = m.Metrics.messages_sent in
+  let local_first = m.Metrics.lock_requests_local in
+  run ();
+  run ();
+  Alcotest.(check int) "repeat txns send nothing" msgs_first m.Metrics.messages_sent;
+  Alcotest.(check bool) "repeat txns hit the lock cache" true
+    (m.Metrics.lock_requests_local >= local_first + 2)
+
+let test_ablation_releases_locks_at_commit () =
+  let c, pages = mk ~retain_cached_locks:false () in
+  let p = List.hd pages in
+  let t = Cluster.begin_txn c ~node:1 in
+  Cluster.update_delta c ~txn:t ~pid:p ~off:0 1L;
+  Cluster.commit c ~txn:t;
+  let n1 = Cluster.node c 1 in
+  Alcotest.(check bool) "lock given back" true
+    (Repro_lock.Local_locks.cached_mode n1.Node_state.locks p = None);
+  let owner = Cluster.node c 0 in
+  Alcotest.(check bool) "owner table clean" true
+    (Repro_lock.Global_locks.holders owner.Node_state.glocks ~pid:p = []);
+  (* durability still holds *)
+  let t2 = Cluster.begin_txn c ~node:2 in
+  Alcotest.(check int64) "value" 1L (Cluster.read_cell c ~txn:t2 ~pid:p ~off:0);
+  Cluster.commit c ~txn:t2
+
+let test_ping_pong_without_disk_forces () =
+  let c, pages = mk () in
+  let p = List.hd pages in
+  for _ = 1 to 5 do
+    let t1 = Cluster.begin_txn c ~node:1 in
+    Cluster.update_delta c ~txn:t1 ~pid:p ~off:0 1L;
+    Cluster.commit c ~txn:t1;
+    let t2 = Cluster.begin_txn c ~node:2 in
+    Cluster.update_delta c ~txn:t2 ~pid:p ~off:0 1L;
+    Cluster.commit c ~txn:t2
+  done;
+  let g = Cluster.global_metrics c in
+  Alcotest.(check bool) "pages shipped" true (g.Metrics.pages_shipped >= 9);
+  (* the only writes are the 8 allocation formats: transfers never force *)
+  Alcotest.(check int) "never forced to disk at transfer" 8 g.Metrics.page_disk_writes
+
+let test_server_logging_scheme_commit_path () =
+  let c, pages = mk ~scheme:(Node_state.Server_logging { server = 0 }) () in
+  let p = List.hd pages in
+  let t = Cluster.begin_txn c ~node:1 in
+  Cluster.update_delta c ~txn:t ~pid:p ~off:0 3L;
+  Cluster.commit c ~txn:t;
+  let m = Cluster.node_metrics c 1 in
+  (* batch from the client, acknowledgement from the server *)
+  Alcotest.(check int) "commit messages cluster-wide" 2
+    (Cluster.global_metrics c).Metrics.commit_messages;
+  Alcotest.(check bool) "records shipped" true (m.Metrics.log_records_shipped >= 1);
+  (* server forced its log *)
+  Alcotest.(check bool) "server forced" true
+    ((Cluster.node_metrics c 0).Metrics.log_forces >= 1)
+
+let test_pca_scheme_commit_path () =
+  let c, pages = mk ~scheme:Node_state.Pca_double_logging () in
+  let p = List.hd pages in
+  let t = Cluster.begin_txn c ~node:1 in
+  Cluster.update_delta c ~txn:t ~pid:p ~off:0 3L;
+  Cluster.commit c ~txn:t;
+  let m = Cluster.node_metrics c 1 in
+  (* page + records to the PCA node *)
+  Alcotest.(check int) "commit messages" 2 m.Metrics.commit_messages;
+  Alcotest.(check int) "double logging" 1 m.Metrics.log_records_shipped;
+  Alcotest.(check bool) "owner log grew" true
+    ((Cluster.node_metrics c 0).Metrics.log_appends >= 1)
+
+let test_global_log_scheme () =
+  let c, pages = mk ~scheme:(Node_state.Global_log { log_node = 0 }) () in
+  let p = List.hd pages in
+  let t = Cluster.begin_txn c ~node:1 in
+  Cluster.update_delta c ~txn:t ~pid:p ~off:0 3L;
+  Cluster.commit c ~txn:t;
+  let m = Cluster.node_metrics c 1 in
+  (* every record travelled to the shared log *)
+  Alcotest.(check int) "records shipped per append" 2 m.Metrics.log_records_shipped;
+  (* Rdb-style: a page moving to the owner is forced to disk *)
+  let t2 = Cluster.begin_txn c ~node:2 in
+  Cluster.update_delta c ~txn:t2 ~pid:p ~off:0 1L;
+  Cluster.commit c ~txn:t2;
+  Alcotest.(check bool) "transfer forced to disk" true
+    ((Cluster.node_metrics c 0).Metrics.page_disk_writes >= 2);
+  let t3 = Cluster.begin_txn c ~node:3 in
+  Alcotest.(check int64) "value" 4L (Cluster.read_cell c ~txn:t3 ~pid:p ~off:0);
+  Cluster.commit c ~txn:t3
+
+let test_baselines_reject_recovery () =
+  let c, _ = mk ~scheme:Node_state.Pca_double_logging () in
+  Cluster.crash c ~node:1;
+  Alcotest.(check bool) "unsupported" true
+    (try
+       Cluster.recover c ~nodes:[ 1 ];
+       false
+     with Invalid_argument _ -> true)
+
+let test_fairness_reservation_blocks_younger () =
+  let c, pages = mk () in
+  let p = List.hd pages in
+  (* t_old wants X but is blocked by an active holder; its reservation
+     then queues a younger requester behind it *)
+  let t_holder = Cluster.begin_txn c ~node:1 in
+  Cluster.update_delta c ~txn:t_holder ~pid:p ~off:0 1L;
+  let t_old = Cluster.begin_txn c ~node:2 in
+  (try Cluster.update_delta c ~txn:t_old ~pid:p ~off:0 1L with Block.Would_block _ -> ());
+  let t_young = Cluster.begin_txn c ~node:3 in
+  (match Cluster.read_cell c ~txn:t_young ~pid:p ~off:0 with
+  | _ -> Alcotest.fail "younger must queue behind the reservation"
+  | exception Block.Would_block (Block.Lock_conflict { blockers }) ->
+    Alcotest.(check (list int)) "queued behind t_old" [ t_old ] blockers
+  | exception Block.Would_block _ -> Alcotest.fail "wrong reason");
+  Cluster.commit c ~txn:t_holder;
+  Cluster.update_delta c ~txn:t_old ~pid:p ~off:0 1L;
+  Cluster.commit c ~txn:t_old;
+  ignore (Cluster.read_cell c ~txn:t_young ~pid:p ~off:0);
+  Cluster.commit c ~txn:t_young
+
+let suite =
+  [
+    ("remote update, zero commit messages", `Quick, test_remote_update_and_zero_commit_messages);
+    ("X callback takes page and lock", `Quick, test_callback_x_takes_page_and_lock);
+    ("S callback demotes", `Quick, test_callback_s_demotes);
+    ("callback refused while txn active", `Quick, test_callback_refused_while_txn_active);
+    ("inter-transaction caching saves messages", `Quick, test_inter_transaction_caching_saves_messages);
+    ("ablation releases locks at commit", `Quick, test_ablation_releases_locks_at_commit);
+    ("ping-pong without disk forces", `Quick, test_ping_pong_without_disk_forces);
+    ("server-logging commit path", `Quick, test_server_logging_scheme_commit_path);
+    ("pca commit path", `Quick, test_pca_scheme_commit_path);
+    ("global-log scheme", `Quick, test_global_log_scheme);
+    ("baselines reject recovery", `Quick, test_baselines_reject_recovery);
+    ("fairness reservation blocks younger", `Quick, test_fairness_reservation_blocks_younger);
+  ]

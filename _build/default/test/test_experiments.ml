@@ -1,0 +1,71 @@
+(* The experiment suite doubles as an integration test: each experiment
+   verifies its own durability oracle; here we additionally assert the
+   headline shapes the paper claims. *)
+
+module E = Repro_experiments.Experiments
+module Report = Repro_experiments.Report
+
+let cell report ~row ~col = List.nth (List.nth report.Report.rows row) col
+
+let test_f1_zero_commit_messages () =
+  let r = E.f1 ~quick:true () in
+  Alcotest.(check bool) "pass note" true
+    (List.exists (fun n -> String.length n >= 4 && String.sub n 0 4 = "PASS") r.Report.notes)
+
+let test_e1_cbl_commit_path_is_free () =
+  let r = E.e1 ~quick:true () in
+  (* every cbl row: commit msgs/txn = 0, records shipped = 0 *)
+  List.iter
+    (fun row ->
+      if List.hd row = "cbl" then begin
+        Alcotest.(check string) "commit msgs" "0.00" (List.nth row 2);
+        Alcotest.(check string) "records shipped" "0.00" (List.nth row 5)
+      end)
+    r.Report.rows
+
+let test_e4_psn_ships_nothing_merged_ships_plenty () =
+  let r = E.e4 ~quick:true () in
+  let shipped row = int_of_string (cell r ~row ~col:3) in
+  Alcotest.(check int) "paper ships nothing" 0 (shipped 0);
+  Alcotest.(check bool) "baseline ships records" true (shipped 1 > 0)
+
+let test_e5_rounds_grow_with_involvement () =
+  let r = E.e5 ~quick:true () in
+  let transfers row = int_of_string (cell r ~row ~col:2) in
+  Alcotest.(check bool) "more involved nodes, more rounds" true (transfers 1 > transfers 0)
+
+let test_e6_log_pressure_never_loses_commits () =
+  let r = E.e6 ~quick:true () in
+  let committed row = int_of_string (cell r ~row ~col:1) in
+  Alcotest.(check int) "bounded = unbounded" (committed 1) (committed 0)
+
+let test_e7_checkpoints_send_no_messages () =
+  let r = E.e7 ~quick:true () in
+  let messages row = int_of_string (cell r ~row ~col:2) in
+  Alcotest.(check int) "same messages with and without checkpoints" (messages 0) (messages 1)
+
+let test_e8_multi_crash_oracle () =
+  let r = E.e8 ~quick:true () in
+  List.iter
+    (fun row -> Alcotest.(check string) "oracle" "PASS" (List.nth row 6))
+    r.Report.rows
+
+let test_e10_cbl_ships_without_forcing () =
+  let r = E.e10 ~quick:true () in
+  let cbl = List.find (fun row -> List.hd row = "cbl") r.Report.rows in
+  let glog = List.find (fun row -> List.hd row = "global-log") r.Report.rows in
+  Alcotest.(check string) "cbl never writes at handover" "0.00" (List.nth cbl 2);
+  Alcotest.(check bool) "global log forces at handover" true
+    (float_of_string (List.nth glog 2) > 0.5)
+
+let suite =
+  [
+    ("F1: zero commit messages", `Slow, test_f1_zero_commit_messages);
+    ("E1: cbl commit path is free", `Slow, test_e1_cbl_commit_path_is_free);
+    ("E4: no log merging", `Slow, test_e4_psn_ships_nothing_merged_ships_plenty);
+    ("E5: rounds grow with involvement", `Slow, test_e5_rounds_grow_with_involvement);
+    ("E6: log pressure loses nothing", `Slow, test_e6_log_pressure_never_loses_commits);
+    ("E7: checkpoints are message-free", `Slow, test_e7_checkpoints_send_no_messages);
+    ("E8: multi-crash oracle", `Slow, test_e8_multi_crash_oracle);
+    ("E10: transfers without forces", `Slow, test_e10_cbl_ships_without_forcing);
+  ]

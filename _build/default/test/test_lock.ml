@@ -1,0 +1,208 @@
+(* Tests for lock modes, owner/global and client/local lock tables, and
+   deadlock detection. *)
+
+module Mode = Repro_lock.Mode
+module Global_locks = Repro_lock.Global_locks
+module Local_locks = Repro_lock.Local_locks
+module Deadlock = Repro_lock.Deadlock
+module Page_id = Repro_storage.Page_id
+
+let pid slot = Page_id.make ~owner:0 ~slot
+
+(* ---- Mode ---- *)
+
+let test_mode_tables () =
+  Alcotest.(check bool) "S/S compatible" true (Mode.compatible Mode.S Mode.S);
+  Alcotest.(check bool) "S/X not" false (Mode.compatible Mode.S Mode.X);
+  Alcotest.(check bool) "X/S not" false (Mode.compatible Mode.X Mode.S);
+  Alcotest.(check bool) "X covers S" true (Mode.covers Mode.X Mode.S);
+  Alcotest.(check bool) "S covers S" true (Mode.covers Mode.S Mode.S);
+  Alcotest.(check bool) "S does not cover X" false (Mode.covers Mode.S Mode.X);
+  Alcotest.(check bool) "max" true (Mode.equal Mode.X (Mode.max Mode.S Mode.X))
+
+(* ---- Global_locks (owner side) ---- *)
+
+let test_global_grant_and_conflict () =
+  let g = Global_locks.create () in
+  (match Global_locks.request g ~node:1 ~pid:(pid 0) ~mode:Mode.S with
+  | Global_locks.Granted -> ()
+  | Needs_callback _ -> Alcotest.fail "fresh grant must succeed");
+  Global_locks.grant g ~node:1 ~pid:(pid 0) ~mode:Mode.S;
+  Global_locks.grant g ~node:2 ~pid:(pid 0) ~mode:Mode.S;
+  (* S/S coexist; X needs callbacks to both *)
+  (match Global_locks.request g ~node:3 ~pid:(pid 0) ~mode:Mode.X with
+  | Global_locks.Needs_callback { holders } ->
+    Alcotest.(check int) "two holders to call back" 2 (List.length holders)
+  | Granted -> Alcotest.fail "X must conflict");
+  Global_locks.check_invariants g
+
+let test_global_requester_excluded () =
+  let g = Global_locks.create () in
+  Global_locks.grant g ~node:1 ~pid:(pid 0) ~mode:Mode.S;
+  (* the requester's own S does not block its upgrade *)
+  match Global_locks.request g ~node:1 ~pid:(pid 0) ~mode:Mode.X with
+  | Global_locks.Granted -> ()
+  | Needs_callback _ -> Alcotest.fail "own lock must not conflict"
+
+let test_global_covering_grant_is_immediate () =
+  let g = Global_locks.create () in
+  Global_locks.grant g ~node:1 ~pid:(pid 0) ~mode:Mode.X;
+  match Global_locks.request g ~node:1 ~pid:(pid 0) ~mode:Mode.S with
+  | Global_locks.Granted -> ()
+  | Needs_callback _ -> Alcotest.fail "X covers S"
+
+let test_global_demote_release () =
+  let g = Global_locks.create () in
+  Global_locks.grant g ~node:1 ~pid:(pid 0) ~mode:Mode.X;
+  Global_locks.demote_to_s g ~node:1 ~pid:(pid 0);
+  Alcotest.(check bool) "demoted" true
+    (Global_locks.holder_mode g ~node:1 ~pid:(pid 0) = Some Mode.S);
+  Global_locks.release g ~node:1 ~pid:(pid 0);
+  Alcotest.(check bool) "released" true (Global_locks.holders g ~pid:(pid 0) = [])
+
+let test_global_crash_lock_rules () =
+  (* §2.3.3: shared locks of a crashed node are released, exclusive retained *)
+  let g = Global_locks.create () in
+  Global_locks.grant g ~node:9 ~pid:(pid 0) ~mode:Mode.S;
+  Global_locks.grant g ~node:9 ~pid:(pid 1) ~mode:Mode.X;
+  Global_locks.grant g ~node:9 ~pid:(pid 2) ~mode:Mode.S;
+  let released = Global_locks.release_all_shared_of_node g ~node:9 in
+  Alcotest.(check int) "two shared released" 2 (List.length released);
+  Alcotest.(check (list int)) "exclusive retained" [ 1 ]
+    (List.map (fun p -> p.Page_id.slot) (Global_locks.x_pages_of_node g ~node:9));
+  Alcotest.(check int) "held-by listing" 1 (List.length (Global_locks.locks_held_by_node g ~node:9))
+
+let test_global_x_holder () =
+  let g = Global_locks.create () in
+  Global_locks.grant g ~node:4 ~pid:(pid 0) ~mode:Mode.X;
+  Alcotest.(check (option int)) "x holder" (Some 4) (Global_locks.x_holder g ~pid:(pid 0))
+
+(* ---- Local_locks (client side) ---- *)
+
+let test_local_cache_and_acquire () =
+  let l = Local_locks.create () in
+  Alcotest.(check bool) "no cover initially" false (Local_locks.cache_covers l (pid 0) Mode.S);
+  Local_locks.set_cached_mode l (pid 0) Mode.X;
+  Alcotest.(check bool) "X covers S" true (Local_locks.cache_covers l (pid 0) Mode.S);
+  (match Local_locks.acquire l ~txn:1 ~pid:(pid 0) ~mode:Mode.S with
+  | Ok () -> ()
+  | Error _ -> Alcotest.fail "grant expected");
+  (match Local_locks.acquire l ~txn:2 ~pid:(pid 0) ~mode:Mode.X with
+  | Error { Local_locks.holders } -> Alcotest.(check (list int)) "conflict names T1" [ 1 ] holders
+  | Ok () -> Alcotest.fail "conflict expected");
+  (* T1 upgrades its own S to X *)
+  (match Local_locks.acquire l ~txn:1 ~pid:(pid 0) ~mode:Mode.X with
+  | Ok () -> ()
+  | Error _ -> Alcotest.fail "self-upgrade expected");
+  Local_locks.check_invariants l
+
+let test_local_release_keeps_cache () =
+  let l = Local_locks.create () in
+  Local_locks.set_cached_mode l (pid 0) Mode.X;
+  ignore (Local_locks.acquire l ~txn:1 ~pid:(pid 0) ~mode:Mode.X);
+  Local_locks.release_txn l ~txn:1;
+  Alcotest.(check bool) "txn locks gone" false (Local_locks.any_txn_holds l (pid 0));
+  (* inter-transaction caching: the node-level lock survives *)
+  Alcotest.(check bool) "cached mode retained" true (Local_locks.cache_covers l (pid 0) Mode.X)
+
+let test_local_demote_and_drop () =
+  let l = Local_locks.create () in
+  Local_locks.set_cached_mode l (pid 0) Mode.X;
+  Local_locks.demote_cached_to_s l (pid 0);
+  Alcotest.(check bool) "demoted" true (Local_locks.cached_mode l (pid 0) = Some Mode.S);
+  Local_locks.drop_cached l (pid 0);
+  Alcotest.(check bool) "dropped" true (Local_locks.cached_mode l (pid 0) = None)
+
+let test_local_acquire_requires_cover () =
+  let l = Local_locks.create () in
+  Local_locks.set_cached_mode l (pid 0) Mode.S;
+  Alcotest.(check bool) "raises without cover" true
+    (try
+       ignore (Local_locks.acquire l ~txn:1 ~pid:(pid 0) ~mode:Mode.X);
+       false
+     with Invalid_argument _ -> true)
+
+let test_local_revoke_pending () =
+  let l = Local_locks.create () in
+  Local_locks.set_cached_mode l (pid 0) Mode.X;
+  Alcotest.(check bool) "none" true (Local_locks.revoke_pending l (pid 0) = None);
+  Local_locks.set_revoke_pending l (pid 0) ~mode:Mode.X ~txn:10 ~node:2;
+  (* an older requester takes precedence *)
+  Local_locks.set_revoke_pending l (pid 0) ~mode:Mode.S ~txn:5 ~node:3;
+  (match Local_locks.revoke_pending l (pid 0) with
+  | Some (m, txn, node) ->
+    Alcotest.(check int) "oldest kept" 5 txn;
+    Alcotest.(check int) "its node" 3 node;
+    Alcotest.(check bool) "its mode" true (Mode.equal m Mode.S)
+  | None -> Alcotest.fail "mark expected");
+  (* a younger one does not displace it *)
+  Local_locks.set_revoke_pending l (pid 0) ~mode:Mode.X ~txn:99 ~node:1;
+  Alcotest.(check bool) "still oldest" true
+    (match Local_locks.revoke_pending l (pid 0) with Some (_, 5, _) -> true | _ -> false);
+  Local_locks.clear_revoke_pending l (pid 0);
+  Alcotest.(check bool) "cleared" true (Local_locks.revoke_pending l (pid 0) = None)
+
+let test_local_cached_pages_owned_by () =
+  let l = Local_locks.create () in
+  Local_locks.set_cached_mode l (Page_id.make ~owner:1 ~slot:0) Mode.S;
+  Local_locks.set_cached_mode l (Page_id.make ~owner:2 ~slot:0) Mode.X;
+  Alcotest.(check int) "owned-by filter" 1 (List.length (Local_locks.cached_pages_owned_by l 2))
+
+(* ---- Deadlock ---- *)
+
+let test_deadlock_simple_cycle () =
+  let d = Deadlock.create () in
+  Deadlock.set_waits d ~waiter:1 ~blockers:[ 2 ];
+  Alcotest.(check bool) "no cycle yet" true (Deadlock.find_cycle d = None);
+  Deadlock.set_waits d ~waiter:2 ~blockers:[ 1 ];
+  (match Deadlock.find_cycle d with
+  | Some cycle ->
+    Alcotest.(check (list int)) "members" [ 1; 2 ] (List.sort compare cycle);
+    Alcotest.(check int) "youngest victim" 2 (Deadlock.victim cycle)
+  | None -> Alcotest.fail "cycle expected")
+
+let test_deadlock_long_cycle_and_removal () =
+  let d = Deadlock.create () in
+  Deadlock.set_waits d ~waiter:1 ~blockers:[ 2 ];
+  Deadlock.set_waits d ~waiter:2 ~blockers:[ 3 ];
+  Deadlock.set_waits d ~waiter:3 ~blockers:[ 1 ];
+  (match Deadlock.find_cycle d with
+  | Some cycle -> Alcotest.(check int) "victim" 3 (Deadlock.victim cycle)
+  | None -> Alcotest.fail "cycle expected");
+  Deadlock.remove_txn d 3;
+  Alcotest.(check bool) "broken" true (Deadlock.find_cycle d = None)
+
+let test_deadlock_self_loop () =
+  let d = Deadlock.create () in
+  Deadlock.set_waits d ~waiter:7 ~blockers:[ 7 ];
+  match Deadlock.find_cycle d with
+  | Some cycle -> Alcotest.(check int) "self" 7 (Deadlock.victim cycle)
+  | None -> Alcotest.fail "self-loop is a cycle"
+
+let test_deadlock_clear_waits () =
+  let d = Deadlock.create () in
+  Deadlock.set_waits d ~waiter:1 ~blockers:[ 2 ];
+  Deadlock.set_waits d ~waiter:2 ~blockers:[ 1 ];
+  Deadlock.clear_waits d 1;
+  Alcotest.(check bool) "no cycle" true (Deadlock.find_cycle d = None)
+
+let suite =
+  [
+    ("mode tables", `Quick, test_mode_tables);
+    ("global grant and conflict", `Quick, test_global_grant_and_conflict);
+    ("global requester excluded", `Quick, test_global_requester_excluded);
+    ("global covering grant", `Quick, test_global_covering_grant_is_immediate);
+    ("global demote/release", `Quick, test_global_demote_release);
+    ("global crash lock rules (2.3.3)", `Quick, test_global_crash_lock_rules);
+    ("global x holder", `Quick, test_global_x_holder);
+    ("local cache and acquire", `Quick, test_local_cache_and_acquire);
+    ("local release keeps cache", `Quick, test_local_release_keeps_cache);
+    ("local demote and drop", `Quick, test_local_demote_and_drop);
+    ("local acquire requires cover", `Quick, test_local_acquire_requires_cover);
+    ("local revoke pending", `Quick, test_local_revoke_pending);
+    ("local owned-by filter", `Quick, test_local_cached_pages_owned_by);
+    ("deadlock simple cycle", `Quick, test_deadlock_simple_cycle);
+    ("deadlock long cycle + removal", `Quick, test_deadlock_long_cycle_and_removal);
+    ("deadlock self loop", `Quick, test_deadlock_self_loop);
+    ("deadlock clear waits", `Quick, test_deadlock_clear_waits);
+  ]

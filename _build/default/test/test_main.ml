@@ -1,0 +1,18 @@
+let () =
+  Alcotest.run "client-based-logging"
+    [
+      ("util", Test_util.suite);
+      ("sim", Test_sim.suite);
+      ("storage", Test_storage.suite);
+      ("wal", Test_wal.suite);
+      ("buffer", Test_buffer.suite);
+      ("lock", Test_lock.suite);
+      ("aries", Test_aries.suite);
+      ("node", Test_node.suite);
+      ("cluster", Test_cluster.suite);
+      ("recovery", Test_recovery.suite);
+      ("recovery-edge", Test_recovery_edge.suite);
+      ("workload", Test_workload.suite);
+      ("properties", Test_props.suite);
+      ("experiments", Test_experiments.suite);
+    ]

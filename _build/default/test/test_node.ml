@@ -1,0 +1,181 @@
+(* Single-node transaction semantics through the public cluster API. *)
+
+module Cluster = Repro_cbl.Cluster
+module Node = Repro_cbl.Node
+module Block = Repro_cbl.Block
+module Metrics = Repro_sim.Metrics
+module Config = Repro_sim.Config
+
+let mk ?log_capacity ?(pool = 8) () =
+  let c = Cluster.create ?log_capacity ~pool_capacity:pool ~nodes:1 Config.instant in
+  let pages = Cluster.allocate_pages c ~owner:0 ~count:4 in
+  (c, pages)
+
+let test_commit_durability_metrics () =
+  let c, pages = mk () in
+  let p = List.hd pages in
+  let t = Cluster.begin_txn c ~node:0 in
+  Cluster.update_delta c ~txn:t ~pid:p ~off:0 5L;
+  Cluster.update_bytes c ~txn:t ~pid:p ~off:16 "abc";
+  Cluster.commit c ~txn:t;
+  let m = Cluster.node_metrics c 0 in
+  Alcotest.(check int) "committed" 1 m.Metrics.txn_committed;
+  Alcotest.(check int) "zero commit msgs" 0 m.Metrics.commit_messages;
+  Alcotest.(check bool) "log forced at least once" true (m.Metrics.log_forces >= 1);
+  let t2 = Cluster.begin_txn c ~node:0 in
+  Alcotest.(check int64) "cell" 5L (Cluster.read_cell c ~txn:t2 ~pid:p ~off:0);
+  Alcotest.(check string) "bytes" "abc" (Cluster.read c ~txn:t2 ~pid:p ~off:16 ~len:3);
+  Cluster.commit c ~txn:t2
+
+let test_abort_restores_everything () =
+  let c, pages = mk () in
+  let p = List.hd pages in
+  let t = Cluster.begin_txn c ~node:0 in
+  Cluster.update_delta c ~txn:t ~pid:p ~off:0 100L;
+  Cluster.commit c ~txn:t;
+  let t2 = Cluster.begin_txn c ~node:0 in
+  Cluster.update_delta c ~txn:t2 ~pid:p ~off:0 50L;
+  Cluster.update_bytes c ~txn:t2 ~pid:p ~off:8 "zz";
+  Cluster.abort c ~txn:t2;
+  let m = Cluster.node_metrics c 0 in
+  Alcotest.(check int) "aborted" 1 m.Metrics.txn_aborted;
+  let t3 = Cluster.begin_txn c ~node:0 in
+  Alcotest.(check int64) "delta undone" 100L (Cluster.read_cell c ~txn:t3 ~pid:p ~off:0);
+  Alcotest.(check string) "bytes undone" "\x00\x00" (Cluster.read c ~txn:t3 ~pid:p ~off:8 ~len:2);
+  Cluster.commit c ~txn:t3
+
+let test_savepoint_partial_rollback () =
+  let c, pages = mk () in
+  let p = List.hd pages in
+  let t = Cluster.begin_txn c ~node:0 in
+  Cluster.update_delta c ~txn:t ~pid:p ~off:0 1L;
+  Cluster.savepoint c ~txn:t "sp1";
+  Cluster.update_delta c ~txn:t ~pid:p ~off:0 2L;
+  Cluster.savepoint c ~txn:t "sp2";
+  Cluster.update_delta c ~txn:t ~pid:p ~off:0 4L;
+  Cluster.rollback_to c ~txn:t "sp2";
+  let v = Cluster.read_cell c ~txn:t ~pid:p ~off:0 in
+  Alcotest.(check int64) "after sp2 rollback" 3L v;
+  Cluster.rollback_to c ~txn:t "sp1";
+  Alcotest.(check int64) "after sp1 rollback" 1L (Cluster.read_cell c ~txn:t ~pid:p ~off:0);
+  (* keep working after partial rollbacks, then commit *)
+  Cluster.update_delta c ~txn:t ~pid:p ~off:0 10L;
+  Cluster.commit c ~txn:t;
+  let t2 = Cluster.begin_txn c ~node:0 in
+  Alcotest.(check int64) "committed state" 11L (Cluster.read_cell c ~txn:t2 ~pid:p ~off:0);
+  Cluster.commit c ~txn:t2
+
+let test_rollback_to_unknown_savepoint () =
+  let c, _ = mk () in
+  let t = Cluster.begin_txn c ~node:0 in
+  Alcotest.(check bool) "raises" true
+    (try
+       Cluster.rollback_to c ~txn:t "nope";
+       false
+     with Invalid_argument _ -> true)
+
+let test_local_lock_conflict_blocks () =
+  let c, pages = mk () in
+  let p = List.hd pages in
+  let t1 = Cluster.begin_txn c ~node:0 in
+  Cluster.update_delta c ~txn:t1 ~pid:p ~off:0 1L;
+  let t2 = Cluster.begin_txn c ~node:0 in
+  (match Cluster.update_delta c ~txn:t2 ~pid:p ~off:0 1L with
+  | () -> Alcotest.fail "expected a lock conflict"
+  | exception Block.Would_block (Block.Lock_conflict { blockers }) ->
+    Alcotest.(check (list int)) "blocked by t1" [ t1 ] blockers
+  | exception Block.Would_block _ -> Alcotest.fail "wrong reason");
+  Cluster.commit c ~txn:t1;
+  (* after t1's end the lock is free *)
+  Cluster.update_delta c ~txn:t2 ~pid:p ~off:0 1L;
+  Cluster.commit c ~txn:t2
+
+let test_shared_readers_coexist () =
+  let c, pages = mk () in
+  let p = List.hd pages in
+  let t1 = Cluster.begin_txn c ~node:0 in
+  let t2 = Cluster.begin_txn c ~node:0 in
+  ignore (Cluster.read_cell c ~txn:t1 ~pid:p ~off:0);
+  ignore (Cluster.read_cell c ~txn:t2 ~pid:p ~off:0);
+  Cluster.commit c ~txn:t1;
+  Cluster.commit c ~txn:t2
+
+let test_eviction_write_back () =
+  (* pool of 2: updating 4 pages forces write-backs, nothing is lost *)
+  let c, pages = mk ~pool:2 () in
+  let t = Cluster.begin_txn c ~node:0 in
+  List.iteri (fun i p -> Cluster.update_delta c ~txn:t ~pid:p ~off:0 (Int64.of_int i)) pages;
+  Cluster.commit c ~txn:t;
+  let m = Cluster.node_metrics c 0 in
+  Alcotest.(check bool) "wrote back" true (m.Metrics.page_disk_writes > 4);
+  let t2 = Cluster.begin_txn c ~node:0 in
+  List.iteri
+    (fun i p ->
+      Alcotest.(check int64) "value" (Int64.of_int i) (Cluster.read_cell c ~txn:t2 ~pid:p ~off:0))
+    pages;
+  Cluster.commit c ~txn:t2
+
+let test_log_space_management_single_node () =
+  let c, pages = mk ~log_capacity:4096 () in
+  let p = List.hd pages in
+  for _ = 1 to 100 do
+    let t = Cluster.begin_txn c ~node:0 in
+    Cluster.update_delta c ~txn:t ~pid:p ~off:0 1L;
+    Cluster.commit c ~txn:t
+  done;
+  let m = Cluster.node_metrics c 0 in
+  Alcotest.(check bool) "space was managed" true (m.Metrics.log_space_stalls > 0);
+  let t = Cluster.begin_txn c ~node:0 in
+  Alcotest.(check int64) "all survived" 100L (Cluster.read_cell c ~txn:t ~pid:p ~off:0);
+  Cluster.commit c ~txn:t
+
+let test_checkpoint_is_local () =
+  let c, pages = mk () in
+  let p = List.hd pages in
+  let t = Cluster.begin_txn c ~node:0 in
+  Cluster.update_delta c ~txn:t ~pid:p ~off:0 1L;
+  Cluster.commit c ~txn:t;
+  let before = (Cluster.node_metrics c 0).Metrics.messages_sent in
+  Cluster.checkpoint c ~node:0;
+  let m = Cluster.node_metrics c 0 in
+  Alcotest.(check int) "taken" 1 m.Metrics.checkpoints_taken;
+  Alcotest.(check int) "no messages" before m.Metrics.messages_sent
+
+let test_deallocate_page () =
+  let c, pages = mk () in
+  let p = List.hd pages in
+  let node = Cluster.node c 0 in
+  Node.deallocate_page node p;
+  let p' = Node.allocate_page node in
+  (* the slot is reused with a non-regressing PSN seed *)
+  Alcotest.(check bool) "slot reused" true (Repro_storage.Page_id.equal p p');
+  Alcotest.(check bool) "invariants hold" true
+    (Cluster.check_invariants c;
+     true)
+
+let test_operations_on_down_node_blocked () =
+  let c, _pages = mk () in
+  Cluster.crash c ~node:0;
+  (match Cluster.begin_txn c ~node:0 with
+  | _ -> Alcotest.fail "begin on down node must block"
+  | exception Block.Would_block (Block.Node_down { node }) ->
+    Alcotest.(check int) "node id" 0 node
+  | exception Block.Would_block _ -> Alcotest.fail "wrong reason");
+  Cluster.recover c ~nodes:[ 0 ];
+  let t = Cluster.begin_txn c ~node:0 in
+  Cluster.commit c ~txn:t
+
+let suite =
+  [
+    ("commit durability and metrics", `Quick, test_commit_durability_metrics);
+    ("abort restores everything", `Quick, test_abort_restores_everything);
+    ("savepoint partial rollback", `Quick, test_savepoint_partial_rollback);
+    ("rollback to unknown savepoint", `Quick, test_rollback_to_unknown_savepoint);
+    ("local lock conflict blocks", `Quick, test_local_lock_conflict_blocks);
+    ("shared readers coexist", `Quick, test_shared_readers_coexist);
+    ("eviction write-back", `Quick, test_eviction_write_back);
+    ("log space management", `Quick, test_log_space_management_single_node);
+    ("checkpoint is local", `Quick, test_checkpoint_is_local);
+    ("deallocate page", `Quick, test_deallocate_page);
+    ("down node blocks", `Quick, test_operations_on_down_node_blocked);
+  ]

@@ -1,0 +1,186 @@
+(* Edge-case recovery scenarios beyond the §2.3/§2.4 happy paths:
+   flush-waiter reconstruction, §2.3.2 dismissal rules, physical
+   (byte-image) updates through crashes, allocation across crashes,
+   log pressure during and after recovery, and crash of a node that is
+   the owner of another node's undo targets. *)
+
+module Cluster = Repro_cbl.Cluster
+module Node = Repro_cbl.Node
+module Node_state = Repro_cbl.Node_state
+module Block = Repro_cbl.Block
+module Dpt = Repro_buffer.Dpt
+module Metrics = Repro_sim.Metrics
+module Config = Repro_sim.Config
+module Page_id = Repro_storage.Page_id
+
+let mk ?log_capacity ?(nodes = 4) () =
+  let c = Cluster.create ?log_capacity ~pool_capacity:16 ~nodes Config.instant in
+  let pages = Cluster.allocate_pages c ~owner:0 ~count:6 in
+  (c, pages)
+
+let commit_delta c ~node ~pid delta =
+  let t = Cluster.begin_txn c ~node in
+  Cluster.update_delta c ~txn:t ~pid ~off:0 delta;
+  Cluster.commit c ~txn:t
+
+let read_one c ~node pid =
+  let t = Cluster.begin_txn c ~node in
+  let v = Cluster.read_cell c ~txn:t ~pid ~off:0 in
+  Cluster.commit c ~txn:t;
+  v
+
+let test_flush_waiters_survive_owner_crash () =
+  (* node 1 replaces a dirty page to the owner; the owner crashes before
+     flushing.  After recovery, the reconstructed waiter list must still
+     deliver the acknowledgement so node 1's DPT entry retires and its
+     log space becomes reclaimable. *)
+  let c, pages = mk () in
+  let p = List.hd pages in
+  commit_delta c ~node:1 ~pid:p 5L;
+  (* push the page out of node 1's cache by a competing X elsewhere *)
+  commit_delta c ~node:2 ~pid:p 7L;
+  (* node 2 now holds it; owner got node 1's copy on the way *)
+  Cluster.crash c ~node:0;
+  Cluster.recover c ~nodes:[ 0 ];
+  let n1 = Cluster.node c 1 in
+  (* node 1's entry may persist until the owner flushes; ask for it *)
+  (match Dpt.find n1.Node_state.dpt p with
+  | None -> () (* already retired: fine *)
+  | Some _ ->
+    Node.owner_flush_page (Cluster.node c 0) p;
+    Alcotest.(check bool) "entry retires after flush" false (Dpt.mem n1.Node_state.dpt p));
+  Alcotest.(check int64) "value intact" 12L (read_one c ~node:3 p)
+
+let test_dismissal_keeps_entry_under_lock () =
+  (* §2.3.2/§2.3.4: an uninvolved claimant that still holds a lock keeps
+     its entry with a refreshed RedoLSN rather than dropping it. *)
+  let c, pages = mk () in
+  let p = List.hd pages in
+  commit_delta c ~node:1 ~pid:p 5L;
+  (* replace node 1's dirty copy into the owner and flush it durable *)
+  commit_delta c ~node:2 ~pid:p 7L;
+  Node.owner_flush_page (Cluster.node c 0) p;
+  (* node 2 still holds X; its entry retired on the flush ack *)
+  Cluster.crash c ~node:0;
+  Cluster.recover c ~nodes:[ 0 ];
+  Alcotest.(check int64) "durable state" 12L (read_one c ~node:3 p);
+  Cluster.check_invariants c
+
+let test_physical_updates_through_crash () =
+  let c, pages = mk () in
+  let p = List.hd pages in
+  let t = Cluster.begin_txn c ~node:1 in
+  Cluster.update_bytes c ~txn:t ~pid:p ~off:100 "durable-bytes";
+  Cluster.commit c ~txn:t;
+  let loser = Cluster.begin_txn c ~node:1 in
+  Cluster.update_bytes c ~txn:loser ~pid:p ~off:100 "doomed-bytes!";
+  Cluster.crash c ~node:1;
+  Cluster.recover c ~nodes:[ 1 ];
+  let t2 = Cluster.begin_txn c ~node:2 in
+  Alcotest.(check string) "bytes recovered" "durable-bytes"
+    (Cluster.read c ~txn:t2 ~pid:p ~off:100 ~len:13);
+  Cluster.commit c ~txn:t2
+
+let test_allocation_survives_owner_crash () =
+  let c, _ = mk () in
+  let owner = Cluster.node c 0 in
+  let fresh = Node.allocate_page owner in
+  commit_delta c ~node:1 ~pid:fresh 3L;
+  Cluster.crash c ~node:0;
+  Cluster.recover c ~nodes:[ 0 ];
+  (* the allocation map is durable: the slot is still allocated and a
+     new allocation takes the next slot *)
+  let next = Node.allocate_page owner in
+  Alcotest.(check bool) "new slot" false (Page_id.equal fresh next);
+  Alcotest.(check int64) "fresh page's data" 3L (read_one c ~node:2 fresh)
+
+let test_log_pressure_after_recovery () =
+  (* a recovered node keeps operating under a tiny log: recovery must
+     leave the DPT/low-water bookkeeping in a state §2.5 can work with *)
+  let c, pages = mk ~log_capacity:6144 () in
+  let p = List.hd pages in
+  for _ = 1 to 30 do
+    commit_delta c ~node:1 ~pid:p 1L
+  done;
+  Cluster.crash c ~node:1;
+  Cluster.recover c ~nodes:[ 1 ];
+  for _ = 1 to 30 do
+    commit_delta c ~node:1 ~pid:p 1L
+  done;
+  Alcotest.(check int64) "all 60 updates" 60L (read_one c ~node:2 p);
+  Cluster.check_invariants c
+
+let test_undo_fetches_from_recovered_owner () =
+  (* node 1 has a loser whose page is owned by node 0; both crash.  The
+     undo at node 1 must find the recovered page. *)
+  let c, pages = mk () in
+  let p = List.hd pages in
+  commit_delta c ~node:1 ~pid:p 10L;
+  let loser = Cluster.begin_txn c ~node:1 in
+  Cluster.update_delta c ~txn:loser ~pid:p ~off:0 99L;
+  (* force node 1's log so the loser's update survives as a record *)
+  let another = Cluster.begin_txn c ~node:1 in
+  Cluster.update_delta c ~txn:another ~pid:(List.nth pages 1) ~off:0 1L;
+  Cluster.commit c ~txn:another;
+  Cluster.crash c ~node:0;
+  Cluster.crash c ~node:1;
+  Cluster.recover c ~nodes:[ 0; 1 ];
+  Alcotest.(check int64) "loser undone on the recovered page" 10L (read_one c ~node:2 p);
+  Alcotest.(check int64) "committed neighbour intact" 1L (read_one c ~node:2 (List.nth pages 1));
+  Cluster.check_invariants c
+
+let test_reads_after_owner_recovery_need_no_redo () =
+  (* the "pages present in the cache of some node" rule (§2.3.1): after
+     the owner recovers by fetching from a peer cache, the peer keeps
+     serving its copy without disturbance *)
+  let c, pages = mk () in
+  let p = List.hd pages in
+  commit_delta c ~node:3 ~pid:p 4L;
+  Cluster.crash c ~node:0;
+  let before = Metrics.snapshot (Cluster.global_metrics c) in
+  Cluster.recover c ~nodes:[ 0 ];
+  let d = Metrics.diff ~after:(Cluster.global_metrics c) ~before in
+  Alcotest.(check int) "no page redone" 0 d.Metrics.recovery_pages_redone;
+  Alcotest.(check bool) "but a transfer happened" true (d.Metrics.recovery_page_transfers >= 1);
+  Alcotest.(check int64) "node 3 still serves" 4L (read_one c ~node:3 p)
+
+let test_crash_between_savepoint_and_commit () =
+  let c, pages = mk () in
+  let p = List.hd pages in
+  let t = Cluster.begin_txn c ~node:1 in
+  Cluster.update_delta c ~txn:t ~pid:p ~off:0 1L;
+  Cluster.savepoint c ~txn:t "sp";
+  Cluster.update_delta c ~txn:t ~pid:p ~off:0 2L;
+  Cluster.rollback_to c ~txn:t "sp";
+  Cluster.update_delta c ~txn:t ~pid:p ~off:0 4L;
+  (* crash before commit: the whole transaction (including the partially
+     rolled back stretch) must disappear *)
+  Cluster.crash c ~node:1;
+  Cluster.recover c ~nodes:[ 1 ];
+  Alcotest.(check int64) "nothing survives" 0L (read_one c ~node:2 p)
+
+let test_double_crash_same_node_during_operation () =
+  let c, pages = mk () in
+  let p = List.hd pages in
+  commit_delta c ~node:1 ~pid:p 1L;
+  Cluster.crash c ~node:1;
+  Cluster.recover c ~nodes:[ 1 ];
+  commit_delta c ~node:1 ~pid:p 2L;
+  Cluster.crash c ~node:1;
+  Cluster.recover c ~nodes:[ 1 ];
+  commit_delta c ~node:1 ~pid:p 4L;
+  Alcotest.(check int64) "all three eras" 7L (read_one c ~node:2 p);
+  Cluster.check_invariants c
+
+let suite =
+  [
+    ("flush waiters survive owner crash", `Quick, test_flush_waiters_survive_owner_crash);
+    ("dismissal keeps entry under lock", `Quick, test_dismissal_keeps_entry_under_lock);
+    ("physical updates through crash", `Quick, test_physical_updates_through_crash);
+    ("allocation survives owner crash", `Quick, test_allocation_survives_owner_crash);
+    ("log pressure after recovery", `Quick, test_log_pressure_after_recovery);
+    ("undo fetches from recovered owner", `Quick, test_undo_fetches_from_recovered_owner);
+    ("peer-cache recovery needs no redo", `Quick, test_reads_after_owner_recovery_need_no_redo);
+    ("crash between savepoint and commit", `Quick, test_crash_between_savepoint_and_commit);
+    ("double crash same node", `Quick, test_double_crash_same_node_during_operation);
+  ]

@@ -1,0 +1,193 @@
+(* Tests for the operation DSL, generators and the driver. *)
+
+module Cluster = Repro_cbl.Cluster
+module Engine = Repro_workload.Engine
+module Driver = Repro_workload.Driver
+module Generators = Repro_workload.Generators
+module Op = Repro_workload.Op
+module Config = Repro_sim.Config
+module Page_id = Repro_storage.Page_id
+module Rng = Repro_util.Rng
+
+let mk () =
+  let c = Cluster.create ~pool_capacity:16 ~nodes:3 Config.instant in
+  let pages = Cluster.allocate_pages c ~owner:0 ~count:8 in
+  (c, Engine.of_cluster c, pages)
+
+(* ---- Op ---- *)
+
+let test_op_introspection () =
+  let p = Page_id.make ~owner:0 ~slot:0 and q = Page_id.make ~owner:0 ~slot:1 in
+  let s =
+    {
+      Op.node = 1;
+      actions =
+        [
+          Op.Read { pid = p; off = 0 };
+          Op.Update { pid = q; off = 8; delta = 2L };
+          Op.Update { pid = q; off = 8; delta = 3L };
+          Op.Savepoint "a";
+        ];
+    }
+  in
+  Alcotest.(check int) "pages touched" 2 (List.length (Op.pages_touched s));
+  Alcotest.(check int) "cells updated deduped" 1 (List.length (Op.cells_updated s))
+
+(* ---- Generators ---- *)
+
+let test_generator_partitioned_shape () =
+  let rng = Rng.create 1 in
+  let pages = List.init 8 (fun slot -> Page_id.make ~owner:0 ~slot) in
+  let scripts =
+    Generators.partitioned rng ~pages_by_owner:[ (0, pages) ] ~clients:[ 1; 2 ]
+      ~txns_per_client:5 ~mix:Generators.default_mix
+  in
+  Alcotest.(check int) "count" 10 (List.length scripts);
+  List.iter
+    (fun (s : Op.script) ->
+      Alcotest.(check bool) "valid node" true (s.Op.node = 1 || s.Op.node = 2);
+      Alcotest.(check int) "ops per txn" Generators.default_mix.Generators.ops_per_txn
+        (List.length s.Op.actions))
+    scripts
+
+let test_generator_checkout_revises_documents () =
+  let rng = Rng.create 2 in
+  let pages = List.init 4 (fun slot -> Page_id.make ~owner:0 ~slot) in
+  let scripts = Generators.checkout rng ~pages ~client:1 ~documents:2 ~revisions:3 in
+  Alcotest.(check int) "three revisions" 3 (List.length scripts);
+  List.iter
+    (fun s -> Alcotest.(check int) "touches the documents" 2 (List.length (Op.pages_touched s)))
+    scripts
+
+let test_generator_ping_pong_alternates () =
+  let pages = [ Page_id.make ~owner:0 ~slot:0 ] in
+  let scripts = Generators.ping_pong ~pages ~nodes:(1, 2) ~rounds:2 in
+  Alcotest.(check (list int)) "alternation" [ 1; 2; 1; 2 ]
+    (List.map (fun (s : Op.script) -> s.Op.node) scripts)
+
+(* ---- Driver ---- *)
+
+let test_driver_runs_and_verifies () =
+  let _c, engine, pages = mk () in
+  let rng = Rng.create 3 in
+  let scripts =
+    Generators.hotspot rng ~pages ~clients:[ 1; 2 ] ~txns_per_client:10
+      ~mix:{ Generators.default_mix with theta = 0.5 }
+  in
+  let outcome = Driver.run engine scripts in
+  Alcotest.(check int) "all committed" 20 outcome.Driver.committed;
+  Alcotest.(check int) "none stuck" 0 outcome.Driver.stuck;
+  match Driver.verify outcome with
+  | Ok () -> ()
+  | Error errs -> Alcotest.fail (String.concat "; " errs)
+
+let test_driver_voluntary_abort_not_in_shadow () =
+  let _c, engine, pages = mk () in
+  let p = List.hd pages in
+  let scripts =
+    [
+      { Op.node = 1; actions = [ Op.Update { pid = p; off = 0; delta = 5L }; Op.Abort_self ] };
+      { Op.node = 1; actions = [ Op.Update { pid = p; off = 0; delta = 7L } ] };
+    ]
+  in
+  let outcome = Driver.run engine scripts in
+  Alcotest.(check int) "one commit" 1 outcome.Driver.committed;
+  Alcotest.(check int) "one voluntary abort" 1 outcome.Driver.voluntary_aborts;
+  Alcotest.(check (list int64)) "shadow holds only committed" [ 7L ]
+    (List.map snd outcome.Driver.shadow);
+  match Driver.verify outcome with Ok () -> () | Error e -> Alcotest.fail (List.hd e)
+
+let test_driver_savepoint_oracle () =
+  let _c, engine, pages = mk () in
+  let p = List.hd pages in
+  let scripts =
+    [
+      {
+        Op.node = 1;
+        actions =
+          [
+            Op.Update { pid = p; off = 0; delta = 1L };
+            Op.Savepoint "s";
+            Op.Update { pid = p; off = 0; delta = 2L };
+            Op.Rollback_to "s";
+            Op.Update { pid = p; off = 0; delta = 4L };
+          ];
+      };
+    ]
+  in
+  let outcome = Driver.run engine scripts in
+  Alcotest.(check (list int64)) "shadow nets savepoint" [ 5L ] (List.map snd outcome.Driver.shadow);
+  match Driver.verify outcome with Ok () -> () | Error e -> Alcotest.fail (List.hd e)
+
+let test_driver_detects_corruption () =
+  let c, engine, pages = mk () in
+  let p = List.hd pages in
+  let scripts = [ { Op.node = 1; actions = [ Op.Update { pid = p; off = 0; delta = 5L } ] } ] in
+  let outcome = Driver.run engine scripts in
+  (* corrupt the durable state behind the oracle's back *)
+  let t = Cluster.begin_txn c ~node:2 in
+  Cluster.update_delta c ~txn:t ~pid:p ~off:0 999L;
+  Cluster.commit c ~txn:t;
+  (match Driver.verify outcome with
+  | Ok () -> Alcotest.fail "verify must notice the divergence"
+  | Error _ -> ())
+
+let test_driver_crash_event_midway () =
+  let _c, engine, pages = mk () in
+  let rng = Rng.create 4 in
+  let scripts =
+    Generators.hotspot rng ~pages ~clients:[ 1; 2 ] ~txns_per_client:8
+      ~mix:Generators.default_mix
+  in
+  let events = [ (6, Driver.Crash 1); (12, Driver.Recover [ 1 ]) ] in
+  let outcome = Driver.run engine ~events scripts in
+  Alcotest.(check int) "all finish eventually" 16 outcome.Driver.committed;
+  match Driver.verify outcome with Ok () -> () | Error e -> Alcotest.fail (List.hd e)
+
+let test_driver_mpl_limits_concurrency () =
+  let _c, engine, pages = mk () in
+  let rng = Rng.create 5 in
+  let scripts =
+    Generators.hotspot rng ~pages ~clients:[ 1 ] ~txns_per_client:30
+      ~mix:{ Generators.default_mix with update_fraction = 1.0 }
+  in
+  let outcome = Driver.run engine ~mpl:2 scripts in
+  Alcotest.(check int) "all committed" 30 outcome.Driver.committed;
+  match Driver.verify outcome with Ok () -> () | Error e -> Alcotest.fail (List.hd e)
+
+let test_driver_deadlock_policy_detect () =
+  (* opposite-order scripts under the graph-based detector *)
+  let _c, engine, pages = mk () in
+  let p = List.hd pages and q = List.nth pages 1 in
+  let scripts =
+    [
+      {
+        Op.node = 1;
+        actions =
+          [ Op.Update { pid = p; off = 0; delta = 1L }; Op.Update { pid = q; off = 0; delta = 1L } ];
+      };
+      {
+        Op.node = 2;
+        actions =
+          [ Op.Update { pid = q; off = 8; delta = 1L }; Op.Update { pid = p; off = 8; delta = 1L } ];
+      };
+    ]
+  in
+  let outcome = Driver.run engine ~policy:Driver.Detect scripts in
+  Alcotest.(check int) "both finish" 2 outcome.Driver.committed;
+  match Driver.verify outcome with Ok () -> () | Error e -> Alcotest.fail (List.hd e)
+
+let suite =
+  [
+    ("op introspection", `Quick, test_op_introspection);
+    ("generator: partitioned shape", `Quick, test_generator_partitioned_shape);
+    ("generator: checkout", `Quick, test_generator_checkout_revises_documents);
+    ("generator: ping-pong alternates", `Quick, test_generator_ping_pong_alternates);
+    ("driver runs and verifies", `Quick, test_driver_runs_and_verifies);
+    ("driver voluntary abort", `Quick, test_driver_voluntary_abort_not_in_shadow);
+    ("driver savepoint oracle", `Quick, test_driver_savepoint_oracle);
+    ("driver detects corruption", `Quick, test_driver_detects_corruption);
+    ("driver crash event midway", `Quick, test_driver_crash_event_midway);
+    ("driver MPL", `Quick, test_driver_mpl_limits_concurrency);
+    ("driver detect policy", `Quick, test_driver_deadlock_policy_detect);
+  ]
