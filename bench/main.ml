@@ -12,9 +12,14 @@
       (record codec, log append+force, PSN-guarded redo, NodePSNList
       merge, the full commit path).
 
+   Every table run also writes one machine-readable BENCH_<id>.json per
+   experiment (the Report.to_json object, including E4's per-phase
+   recovery timings) into the current directory.
+
    Run with:  dune exec bench/main.exe            (tables + bechamel)
               dune exec bench/main.exe -- tables  (tables only)
-              dune exec bench/main.exe -- micro   (bechamel only) *)
+              dune exec bench/main.exe -- micro   (bechamel only)
+              dune exec bench/main.exe -- json    (quick tables, JSON files only) *)
 
 module Experiments = Repro_experiments.Experiments
 module Report = Repro_experiments.Report
@@ -32,9 +37,22 @@ open Toolkit
 
 (* ---- layer 1: the experiment tables ---- *)
 
+let write_json_reports reports =
+  List.iter
+    (fun (r : Report.t) ->
+      let file = Printf.sprintf "BENCH_%s.json" r.Report.id in
+      let oc = open_out file in
+      output_string oc (Repro_obs.Json.to_string_pretty (Report.to_json r));
+      output_char oc '\n';
+      close_out oc;
+      Format.printf "wrote %s@." file)
+    reports
+
 let run_tables () =
   Format.printf "#### Experiment tables (see EXPERIMENTS.md for the recorded copies) ####@.";
-  List.iter (Format.printf "%a" Report.render) (Experiments.all ())
+  let reports = Experiments.all () in
+  List.iter (Format.printf "%a" Report.render) reports;
+  write_json_reports reports
 
 (* ---- layer 2: bechamel ---- *)
 
@@ -129,6 +147,7 @@ let () =
   match what with
   | "tables" -> run_tables ()
   | "micro" -> run_micro ()
+  | "json" -> write_json_reports (Experiments.all ~quick:true ())
   | _ ->
     run_tables ();
     run_micro ()

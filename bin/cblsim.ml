@@ -1,9 +1,10 @@
 (* cblsim — drive the client-based-logging simulator from the shell.
 
    Subcommands:
-     cblsim experiment [IDS...] [--quick]   regenerate experiment tables
-     cblsim demo [options]                  run a workload, print metrics
-     cblsim stress [--runs N] [--start S]   randomized crash/verify runs *)
+     cblsim experiment [IDS...] [--quick] [--json]   regenerate experiment tables
+     cblsim demo [options] [--json]                  run a workload, print metrics
+     cblsim trace [options]                          run traced, dump events as JSONL
+     cblsim stress [--runs N] [--start S]            randomized crash/verify runs *)
 
 module Cluster = Repro_cbl.Cluster
 module Node = Repro_cbl.Node
@@ -16,6 +17,9 @@ module Report = Repro_experiments.Report
 module Metrics = Repro_sim.Metrics
 module Config = Repro_sim.Config
 module Rng = Repro_util.Rng
+module Json = Repro_obs.Json
+module Event = Repro_obs.Event
+module Recorder = Repro_obs.Recorder
 open Cmdliner
 
 (* ---- experiment ---- *)
@@ -27,7 +31,10 @@ let experiment_cmd =
   let quick =
     Arg.(value & flag & info [ "q"; "quick" ] ~doc:"Shrunken workloads for a fast pass.")
   in
-  let run quick ids =
+  let json =
+    Arg.(value & flag & info [ "json" ] ~doc:"Emit the reports as a JSON array on stdout.")
+  in
+  let run quick json ids =
     let reports =
       match ids with
       | [] -> Experiments.all ~quick ()
@@ -41,15 +48,27 @@ let experiment_cmd =
                 (String.concat ", " Experiments.ids))
           ids
     in
-    List.iter (Format.printf "%a" Report.render) reports
+    if json then
+      print_endline (Json.to_string_pretty (Json.List (List.map Report.to_json reports)))
+    else List.iter (Format.printf "%a" Report.render) reports
   in
   Cmd.v
     (Cmd.info "experiment" ~doc:"Regenerate the claim-derived experiment tables (see DESIGN.md)")
-    Term.(const run $ quick $ ids)
+    Term.(const run $ quick $ json $ ids)
 
 (* ---- demo ---- *)
 
-let demo nodes owners pages txns remote theta seed crash_at recover_at trace =
+let workload_events ~crash_at ~recover_at =
+  (match crash_at with
+  | Some (node, round) -> [ (round, Driver.Crash node) ]
+  | None -> [])
+  @
+  match (crash_at, recover_at) with
+  | Some (node, _), Some round -> [ (round, Driver.Recover [ node ]) ]
+  | Some (node, round), None -> [ (round + 20, Driver.Recover [ node ]) ]
+  | None, _ -> []
+
+let demo nodes owners pages txns remote theta seed crash_at recover_at trace json =
   let cluster = Cluster.create ~trace ~seed ~nodes Config.default in
   let owners = if owners = [] then [ 0 ] else owners in
   let pages_by_owner =
@@ -63,28 +82,67 @@ let demo nodes owners pages txns remote theta seed crash_at recover_at trace =
       ~txns_per_client:txns
       ~mix:{ Generators.default_mix with remote_fraction = remote; theta }
   in
-  let events =
-    (match crash_at with
-    | Some (node, round) -> [ (round, Driver.Crash node) ]
-    | None -> [])
-    @
-    match (crash_at, recover_at) with
-    | Some (node, _), Some round -> [ (round, Driver.Recover [ node ]) ]
-    | Some (node, round), None -> [ (round + 20, Driver.Recover [ node ]) ]
-    | None, _ -> []
-  in
+  let events = workload_events ~crash_at ~recover_at in
   let outcome = Driver.run engine ~events scripts in
-  Format.printf "%a@.@." Driver.pp_outcome outcome;
-  (match Driver.verify outcome with
-  | Ok () -> Format.printf "durability oracle: OK@.@."
-  | Error errs ->
-    Format.printf "durability oracle: FAILED@.";
-    List.iter print_endline errs;
-    exit 1);
-  Format.printf "-- global counters --@.%a@." Metrics.pp (Cluster.global_metrics cluster);
-  if trace then begin
-    Format.printf "@.-- trace --@.";
-    Repro_sim.Trace.dump Format.std_formatter (Repro_sim.Env.trace (Cluster.env cluster))
+  let oracle = Driver.verify outcome in
+  if json then begin
+    let obs = Repro_sim.Env.obs (Cluster.env cluster) in
+    let out =
+      Json.Obj
+        [
+          ("config", Config.to_json Config.default);
+          ( "outcome",
+            Json.Obj
+              [
+                ("committed", Json.Int outcome.Driver.committed);
+                ("voluntary_aborts", Json.Int outcome.Driver.voluntary_aborts);
+                ("deadlock_aborts", Json.Int outcome.Driver.deadlock_aborts);
+                ("stuck", Json.Int outcome.Driver.stuck);
+                ("rounds", Json.Int outcome.Driver.rounds);
+                ("sim_seconds", Json.Float outcome.Driver.sim_seconds);
+              ] );
+          ("oracle", Json.Str (match oracle with Ok () -> "ok" | Error _ -> "failed"));
+          ( "metrics",
+            Json.Obj
+              [
+                ("cluster", Metrics.to_json (Cluster.global_metrics cluster));
+                ( "nodes",
+                  Json.List
+                    (List.init nodes (fun i -> Metrics.to_json (Cluster.node_metrics cluster i)))
+                );
+              ] );
+          (* latency histograms: commit_latency / txn_duration / lock_wait /
+             recovery_duration, per node and cluster-wide, with p50/p95/p99 *)
+          ("latency", Recorder.histograms_json obs);
+        ]
+    in
+    print_endline (Json.to_string_pretty out);
+    if oracle <> Ok () then exit 1
+  end
+  else begin
+    Format.printf "%a@.@." Driver.pp_outcome outcome;
+    (match oracle with
+    | Ok () -> Format.printf "durability oracle: OK@.@."
+    | Error errs ->
+      Format.printf "durability oracle: FAILED@.";
+      List.iter print_endline errs;
+      exit 1);
+    (* zeros matter here: cbl's claim is commit_messages = 0 and
+       log_records_shipped = 0, so print them rather than eliding *)
+    Format.printf "-- global counters --@.%a@."
+      (Metrics.pp_with ~show_zeros:true)
+      (Cluster.global_metrics cluster);
+    (match
+       Recorder.find_hist (Repro_sim.Env.obs (Cluster.env cluster)) ~name:"commit_latency"
+         ~node:(-1)
+     with
+    | Some h ->
+      Format.printf "@.-- commit latency (cluster) --@.%a@." Repro_obs.Log_hist.pp h
+    | None -> ());
+    if trace then begin
+      Format.printf "@.-- trace --@.";
+      Repro_sim.Trace.dump Format.std_formatter (Repro_sim.Env.trace (Cluster.env cluster))
+    end
   end
 
 let demo_cmd =
@@ -109,11 +167,112 @@ let demo_cmd =
     Arg.(value & opt (some int) None & info [ "recover" ] ~docv:"ROUND" ~doc:"Recovery round.")
   in
   let trace = Arg.(value & flag & info [ "trace" ] ~doc:"Dump the protocol event trace.") in
+  let json =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:
+            "Emit one JSON object (config, outcome, metrics, latency histograms) instead of \
+             the human-readable report.")
+  in
   Cmd.v
     (Cmd.info "demo" ~doc:"Run a workload on a CBL cluster and print its metrics")
     Term.(
       const demo $ nodes $ owners $ pages $ txns $ remote $ theta $ seed $ crash $ recover
-      $ trace)
+      $ trace $ json)
+
+(* ---- trace ---- *)
+
+let trace_run nodes owners pages txns remote theta seed crash_at recover_at kinds node_filter
+    limit render =
+  (match List.filter (fun k -> Event.kind_of_name k = None) kinds with
+  | [] -> ()
+  | bad ->
+    Fmt.failwith "unknown event kind(s) %s; have: %s" (String.concat ", " bad)
+      (String.concat ", " (List.map Event.kind_name Event.all_kinds)));
+  let cluster = Cluster.create ~trace:true ~seed ~nodes Config.default in
+  let owners = if owners = [] then [ 0 ] else owners in
+  let pages_by_owner =
+    List.map (fun o -> (o, Cluster.allocate_pages cluster ~owner:o ~count:pages)) owners
+  in
+  let engine = Engine.of_cluster cluster in
+  let rng = Rng.create seed in
+  let scripts =
+    Generators.partitioned rng ~pages_by_owner
+      ~clients:(List.init nodes (fun i -> i))
+      ~txns_per_client:txns
+      ~mix:{ Generators.default_mix with remote_fraction = remote; theta }
+  in
+  let events = workload_events ~crash_at ~recover_at in
+  let _outcome = Driver.run engine ~events scripts in
+  let obs = Repro_sim.Env.obs (Cluster.env cluster) in
+  let wanted = List.filter_map Event.kind_of_name kinds in
+  let selected =
+    List.filter
+      (fun (e : Event.t) ->
+        (wanted = [] || List.mem e.Event.kind wanted)
+        && match node_filter with None -> true | Some n -> e.Event.node = n)
+      (Recorder.events obs)
+  in
+  let selected =
+    if limit <= 0 then selected
+    else
+      let n = List.length selected in
+      if n <= limit then selected else List.filteri (fun i _ -> i >= n - limit) selected
+  in
+  List.iter
+    (fun e ->
+      print_endline (if render then Event.render e else Json.to_string (Event.to_json e)))
+    selected;
+  if Recorder.dropped obs > 0 then
+    Format.eprintf "note: ring buffer dropped %d older events@." (Recorder.dropped obs)
+
+let trace_cmd =
+  let nodes = Arg.(value & opt int 4 & info [ "nodes" ] ~doc:"Cluster size.") in
+  let owners =
+    Arg.(value & opt (list int) [ 0; 2 ] & info [ "owners" ] ~doc:"Nodes that own databases.")
+  in
+  let pages = Arg.(value & opt int 24 & info [ "pages" ] ~doc:"Pages per owner.") in
+  let txns = Arg.(value & opt int 10 & info [ "txns" ] ~doc:"Transactions per client node.") in
+  let remote =
+    Arg.(value & opt float 0.3 & info [ "remote" ] ~doc:"Remote-access fraction (0..1).")
+  in
+  let theta = Arg.(value & opt float 0.0 & info [ "theta" ] ~doc:"Zipf skew (0 = uniform).") in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Deterministic seed.") in
+  let crash =
+    Arg.(
+      value
+      & opt (some (pair ~sep:'@' int int)) None
+      & info [ "crash" ] ~docv:"NODE@ROUND" ~doc:"Crash NODE at ROUND.")
+  in
+  let recover =
+    Arg.(value & opt (some int) None & info [ "recover" ] ~docv:"ROUND" ~doc:"Recovery round.")
+  in
+  let kinds =
+    Arg.(
+      value & opt (list string) []
+      & info [ "kind" ] ~docv:"KINDS"
+          ~doc:
+            "Only these event kinds (comma-separated dotted names, e.g. \
+             $(b,msg.send,lock.callback,recovery.phase)).")
+  in
+  let node_filter =
+    Arg.(value & opt (some int) None & info [ "node" ] ~doc:"Only events at this node.")
+  in
+  let limit =
+    Arg.(value & opt int 0 & info [ "limit" ] ~doc:"Keep only the last N events (0 = all).")
+  in
+  let render =
+    Arg.(
+      value & flag
+      & info [ "render" ] ~doc:"Human-readable one-per-line rendering instead of JSONL.")
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:"Run a traced workload and dump the typed event stream as JSON lines")
+    Term.(
+      const trace_run $ nodes $ owners $ pages $ txns $ remote $ theta $ seed $ crash
+      $ recover $ kinds $ node_filter $ limit $ render)
 
 (* ---- stress ---- *)
 
@@ -206,4 +365,6 @@ let stress_cmd =
 
 let () =
   let doc = "client-based logging for high performance distributed architectures (ICDE'96)" in
-  exit (Cmd.eval (Cmd.group (Cmd.info "cblsim" ~doc) [ experiment_cmd; demo_cmd; stress_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group (Cmd.info "cblsim" ~doc) [ experiment_cmd; demo_cmd; trace_cmd; stress_cmd ]))

@@ -1,0 +1,22 @@
+#!/bin/sh
+# Local CI: build, formatting check (when ocamlformat is installed), tests.
+set -eu
+cd "$(dirname "$0")"
+
+echo "== dune build =="
+dune build
+
+if command -v ocamlformat >/dev/null 2>&1; then
+  echo "== dune fmt (check) =="
+  dune build @fmt || {
+    echo "formatting drift: run 'dune fmt' to fix" >&2
+    exit 1
+  }
+else
+  echo "== ocamlformat not installed; skipping format check =="
+fi
+
+echo "== dune runtest =="
+dune runtest
+
+echo "CI OK"

@@ -3,6 +3,12 @@ module Log_manager = Repro_wal.Log_manager
 module Lsn = Repro_wal.Lsn
 
 let take log env metrics ~dpt ~active ~master =
+  let module Env = Repro_sim.Env in
+  let module Event = Repro_obs.Event in
+  let node = metrics.Repro_sim.Metrics.node in
+  if Env.tracing env then
+    Env.emit env ~node Event.Ckpt_begin
+      [ ("dpt", Event.Int (List.length dpt)); ("active", Event.Int (List.length active)) ];
   let begin_lsn =
     Log_manager.append log
       { Record.txn = Record.system_txn; prev = Lsn.nil; body = Checkpoint_begin { dpt; active } }
@@ -16,6 +22,10 @@ let take log env metrics ~dpt ~active ~master =
   metrics.Repro_sim.Metrics.checkpoints_taken <- metrics.Repro_sim.Metrics.checkpoints_taken + 1;
   let g = Repro_sim.Env.global_metrics env in
   g.Repro_sim.Metrics.checkpoints_taken <- g.Repro_sim.Metrics.checkpoints_taken + 1;
+  if Repro_sim.Env.tracing env then
+    Repro_sim.Env.emit env ~node
+      Repro_obs.Event.Ckpt_end
+      [ ("lsn", Repro_obs.Event.Int begin_lsn) ];
   Repro_sim.Env.tracef env "checkpoint taken at %a (dpt=%d active=%d)" Lsn.pp begin_lsn
     (List.length dpt) (List.length active);
   begin_lsn

@@ -18,11 +18,16 @@ type t = {
   capacity : int;
   frames : frame Page_id.Tbl.t;
   mutable tick : int;
+  mutable tracer : string -> Page_id.t -> unit;
 }
+
+let no_trace _ _ = ()
 
 let create ?(policy = Lru) ~capacity () =
   if capacity <= 0 then invalid_arg "Buffer_pool.create: capacity must be positive";
-  { policy; capacity; frames = Page_id.Tbl.create capacity; tick = 0 }
+  { policy; capacity; frames = Page_id.Tbl.create capacity; tick = 0; tracer = no_trace }
+
+let set_tracer t f = t.tracer <- f
 
 let capacity t = t.capacity
 let size t = Page_id.Tbl.length t.frames
@@ -61,6 +66,7 @@ let install t page =
   in
   touch t frame;
   Page_id.Tbl.replace t.frames pid frame;
+  t.tracer "install" pid;
   frame
 
 let mark_dirty frame ~lsn =
@@ -104,7 +110,9 @@ let choose_victim t =
     | Some f -> Some f
     | None -> Some (List.hd ordered) (* all referenced: second lap takes the oldest *))
 
-let remove t pid = Page_id.Tbl.remove t.frames pid
+let remove t pid =
+  if Page_id.Tbl.mem t.frames pid then t.tracer "evict" pid;
+  Page_id.Tbl.remove t.frames pid
 let cached_ids t = Page_id.Tbl.fold (fun pid _ acc -> pid :: acc) t.frames []
 let dirty_frames t = Page_id.Tbl.fold (fun _ f acc -> if f.dirty then f :: acc else acc) t.frames []
 let iter t f = Page_id.Tbl.iter (fun _ frame -> f frame) t.frames

@@ -29,6 +29,10 @@ type t
 val create : ?policy:policy -> capacity:int -> unit -> t
 (** [capacity] in pages; must be positive. *)
 
+val set_tracer : t -> (string -> Page_id.t -> unit) -> unit
+(** Observability hook, fired with ["install"] / ["evict"] and the page
+    as frames enter and leave the pool.  Default: no-op. *)
+
 val capacity : t -> int
 val size : t -> int
 val is_full : t -> bool

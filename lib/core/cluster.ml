@@ -92,13 +92,15 @@ let operational_nodes t =
     (fun n -> if Node.is_up n then Some (Node.id n) else None)
     (nodes t)
 
-let recover ?strategy t ~nodes:ids =
+let recover_timed ?strategy t ~nodes:ids =
   let crashed = List.map (node t) ids in
   let crashed_ids = List.map Node.id crashed in
   let operational =
     List.filter (fun n -> Node.is_up n && not (List.mem (Node.id n) crashed_ids)) (nodes t)
   in
   Recovery.run ?strategy ~crashed ~operational ()
+
+let recover ?strategy t ~nodes = ignore (recover_timed ?strategy t ~nodes)
 
 let deadlock t = t.deadlock
 let global_metrics t = Env.global_metrics t.env

@@ -79,6 +79,10 @@ val recover : ?strategy:Recovery.strategy -> t -> nodes:int list -> unit
     the paper's PSN-coordinated protocol; [Merged_logs] is the E4
     baseline. *)
 
+val recover_timed : ?strategy:Recovery.strategy -> t -> nodes:int list -> Recovery.summary
+(** Like {!recover}, additionally returning the per-phase timing
+    breakdown (E4/E5/E8 reporting). *)
+
 val operational_nodes : t -> int list
 
 (** {1 Deadlock handling} *)

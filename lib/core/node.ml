@@ -136,12 +136,25 @@ let rec evict_frame t (frame : Buffer_pool.frame) =
     else begin
       let owner = peer t (Page_id.owner pid) in
       if not owner.up then Block.block (Block.Node_down { node = owner.id });
-      send t ~dst:owner.id ~bytes:(Wire.page (Env.config t.env)) ();
-      bump t (fun m -> m.Metrics.pages_shipped <- m.Metrics.pages_shipped + 1);
-      owner_receive_replaced owner (Page.copy frame.page) ~from:t.id;
+      ship_to_owner t ~owner frame.page;
       Dpt.on_replaced t.dpt pid ~end_of_log:(Log_manager.end_lsn t.log)
     end
   end
+
+(* Ship a dirty page copy to its owner: one page-sized message plus the
+   owner-side install.  The single place the [pages_shipped] counter and
+   the [Page_ship] event are produced. *)
+and ship_to_owner t ~owner ?(commit_path = false) page =
+  send t ~dst:owner.id ~commit_path ~bytes:(Wire.page (Env.config t.env)) ();
+  bump t (fun m -> m.Metrics.pages_shipped <- m.Metrics.pages_shipped + 1);
+  if Env.tracing t.env then
+    Env.emit t.env ~node:t.id Event.Page_ship
+      [
+        ("dst", Event.Int owner.id);
+        ("page", Event.Str (Format.asprintf "%a" Page_id.pp (Page.id page)));
+        ("psn", Event.Int (Page.psn page));
+      ];
+  owner_receive_replaced owner (Page.copy page) ~from:t.id
 
 (* Owner role: a peer replaced a dirty page and shipped it here.  The
    owner caches it dirty (it is now responsible for eventually forcing
@@ -271,9 +284,7 @@ let handle_callback t ~pid ~requested ~for_txn ~for_node =
     | Some frame when frame.dirty ->
       wal_force t frame.last_lsn;
       let owner = peer t (Page_id.owner pid) in
-      send t ~dst:owner.id ~bytes:(Wire.page (Env.config t.env)) ();
-      bump t (fun m -> m.Metrics.pages_shipped <- m.Metrics.pages_shipped + 1);
-      owner_receive_replaced owner (Page.copy frame.page) ~from:t.id;
+      ship_to_owner t ~owner frame.page;
       Dpt.on_replaced t.dpt pid ~end_of_log:(Log_manager.end_lsn t.log);
       frame.dirty <- false;
       frame.rec_lsn <- Lsn.nil
@@ -316,6 +327,14 @@ let owner_grant_lock t ~requester ~txn ~pid ~mode ~need_page =
           let holder = peer t holder_id in
           if not holder.up then Block.block (Block.Node_down { node = holder_id });
           bump t (fun m -> m.Metrics.callbacks_sent <- m.Metrics.callbacks_sent + 1);
+          if Env.tracing t.env then
+            Env.emit t.env ~node:t.id Event.Lock_callback
+              [
+                ("holder", Event.Int holder_id);
+                ("requester", Event.Int requester);
+                ("page", Event.Str (Format.asprintf "%a" Page_id.pp pid));
+                ("mode", Event.Str (Format.asprintf "%a" Mode.pp mode));
+              ];
           send t ~dst:holder_id ~bytes:Wire.control ();
           match handle_callback holder ~pid ~requested:mode ~for_txn:txn ~for_node:requester with
           | Ok () ->
@@ -376,6 +395,15 @@ let acquire t ~txn ~pid ~mode =
   else begin
     let owner_id = Page_id.owner pid in
     let need_page = not (Buffer_pool.contains t.pool pid) in
+    let wait_from = Env.now t.env in
+    if Env.tracing t.env then
+      Env.emit t.env ~node:t.id Event.Lock_request
+        [
+          ("txn", Event.Int txn);
+          ("page", Event.Str (Format.asprintf "%a" Page_id.pp pid));
+          ("mode", Event.Str (Format.asprintf "%a" Mode.pp mode));
+          ("owner", Event.Int owner_id);
+        ];
     let page =
       if owner_id = t.id then begin
         bump t (fun m -> m.Metrics.lock_requests_local <- m.Metrics.lock_requests_local + 1);
@@ -399,7 +427,10 @@ let acquire t ~txn ~pid ~mode =
       bump t (fun m -> m.Metrics.cache_misses <- m.Metrics.cache_misses + 1);
       ignore (install_page t p)
     | None -> ());
-    Local_locks.set_cached_mode t.locks pid mode
+    Local_locks.set_cached_mode t.locks pid mode;
+    (* Time spent obtaining the lock from the owner — messages, callbacks
+       and any page transfer piggybacked on the grant. *)
+    Env.observe t.env ~name:"lock_wait" ~node:t.id (Env.now t.env -. wait_from)
   end;
   match Local_locks.acquire t.locks ~txn ~pid ~mode with
   | Ok () -> ()
@@ -449,9 +480,7 @@ let free_log_space t =
       else begin
         let owner = peer t (Page_id.owner pid) in
         if not owner.up then Block.block (Block.Log_space { node = t.id });
-        send t ~dst:owner.id ~bytes:(Wire.page (Env.config t.env)) ();
-        bump t (fun m -> m.Metrics.pages_shipped <- m.Metrics.pages_shipped + 1);
-        owner_receive_replaced owner (Page.copy frame.page) ~from:t.id;
+        ship_to_owner t ~owner frame.page;
         Dpt.on_replaced t.dpt pid ~end_of_log:(Log_manager.end_lsn t.log);
         frame.dirty <- false;
         frame.rec_lsn <- Lsn.nil
@@ -557,6 +586,13 @@ let append_txn_record t record =
 let begin_txn t ~id =
   check_up t;
   let txn = Txn.make ~id ~node:t.id in
+  txn.Txn.began <- Env.now t.env;
+  if Env.tracing t.env then begin
+    let obs = Env.obs t.env in
+    txn.Txn.span <-
+      Recorder.span_begin obs ~time:txn.Txn.began ~node:t.id (Printf.sprintf "txn.%d" id);
+    Env.emit t.env ~node:t.id Event.Txn_begin [ ("txn", Event.Int id) ]
+  end;
   Txn_table.register t.txns txn;
   txn
 
@@ -658,10 +694,7 @@ let commit_scheme_work t (txn : Txn.t) lsn =
         let owner = peer t (Page_id.owner pid) in
         if not owner.up then Block.block (Block.Node_down { node = owner.id });
         (match Buffer_pool.peek t.pool pid with
-        | Some frame ->
-          send t ~dst:owner.id ~commit_path:true ~bytes:(Wire.page (Env.config t.env)) ();
-          bump t (fun m -> m.Metrics.pages_shipped <- m.Metrics.pages_shipped + 1);
-          owner_receive_replaced owner (Page.copy frame.page) ~from:t.id
+        | Some frame -> ship_to_owner t ~owner ~commit_path:true frame.page
         | None -> () (* already replaced to the owner earlier *));
         send t ~dst:owner.id ~commit_path:true ~bytes:(Wire.log_record bytes_per_page) ();
         bump t (fun m -> m.Metrics.log_records_shipped <- m.Metrics.log_records_shipped + 1);
@@ -689,9 +722,7 @@ let release_unused_cached_locks t =
             wal_force t frame.last_lsn;
             let owner = peer t (Page_id.owner pid) in
             if owner.up then begin
-              send t ~dst:owner.id ~bytes:(Wire.page (Env.config t.env)) ();
-              bump t (fun m -> m.Metrics.pages_shipped <- m.Metrics.pages_shipped + 1);
-              owner_receive_replaced owner (Page.copy frame.page) ~from:t.id;
+              ship_to_owner t ~owner frame.page;
               Dpt.on_replaced t.dpt pid ~end_of_log:(Log_manager.end_lsn t.log)
             end
           end;
@@ -713,15 +744,25 @@ let end_of_txn_lock_release t txn_id =
 let commit t ~txn =
   check_up t;
   let txn = active_txn t txn in
+  let commit_from = Env.now t.env in
   let lsn =
     append_txn_record t { Record.txn = txn.Txn.id; prev = txn.Txn.last_lsn; body = Commit }
   in
   Txn.record_logged txn lsn;
   commit_scheme_work t txn lsn;
   txn.Txn.state <- Txn.Committed;
+  let durable_at = Env.now t.env in
+  (* commit request -> durable: the paper's E1 subject *)
+  Env.observe t.env ~name:"commit_latency" ~node:t.id (durable_at -. commit_from);
+  Env.observe t.env ~name:"txn_duration" ~node:t.id (durable_at -. txn.Txn.began);
   end_of_txn_lock_release t txn.Txn.id;
   Txn_table.remove t.txns txn.Txn.id;
   bump t (fun m -> m.Metrics.txn_committed <- m.Metrics.txn_committed + 1);
+  if Env.tracing t.env then begin
+    Env.emit t.env ~node:t.id Event.Txn_commit
+      [ ("txn", Event.Int txn.Txn.id); ("dur", Event.Float (durable_at -. txn.Txn.began)) ];
+    Recorder.span_end (Env.obs t.env) ~time:durable_at txn.Txn.span
+  end;
   tracef t "T%d committed at node %d" txn.Txn.id t.id
 
 let undo_ops t (txn : Txn.t) =
@@ -769,6 +810,10 @@ let abort t ~txn =
   end_of_txn_lock_release t txn.Txn.id;
   Txn_table.remove t.txns txn.Txn.id;
   bump t (fun m -> m.Metrics.txn_aborted <- m.Metrics.txn_aborted + 1);
+  if Env.tracing t.env then begin
+    Env.emit t.env ~node:t.id Event.Txn_abort [ ("txn", Event.Int txn.Txn.id) ];
+    Recorder.span_end (Env.obs t.env) ~time:(Env.now t.env) txn.Txn.span
+  end;
   tracef t "T%d aborted at node %d" txn.Txn.id t.id
 
 let savepoint t ~txn name =
@@ -811,6 +856,7 @@ let crash t =
   Page_id.Tbl.reset t.reservations;
   t.recovering_pages <- Page_id.Set.empty;
   Log_manager.crash t.log;
+  if Env.tracing t.env then Env.emit t.env ~node:t.id Event.Crash [];
   tracef t "node %d crashed" t.id
 
 let install_recovered_page t page ~waiters =

@@ -10,6 +10,8 @@
 module Env = Repro_sim.Env
 module Metrics = Repro_sim.Metrics
 module Page_id = Repro_storage.Page_id
+module Event = Repro_obs.Event
+module Recorder = Repro_obs.Recorder
 
 (* Which logging architecture the cluster runs.  [Local_logging] is the
    paper's contribution; the others are the §3 comparators, sharing the
@@ -70,8 +72,42 @@ type t = {
          to their owners at end of transaction. *)
 }
 
+let scheme_name = function
+  | Local_logging -> "local_logging"
+  | Server_logging _ -> "server_logging"
+  | Pca_double_logging -> "pca_double_logging"
+  | Global_log _ -> "global_log"
+
+(* Route the substrate's observability hooks (lock tables, buffer pool)
+   into the typed recorder.  The hooks themselves are unconditional
+   function calls; the closures bail on one branch when tracing is
+   off. *)
+let wire_tracers node =
+  let obs = Env.obs node.env in
+  let emit_page kind action pid =
+    if Recorder.enabled obs then
+      Recorder.emit obs ~time:(Env.now node.env) ~node:node.id kind
+        [ ("action", Event.Str action); ("page", Event.Str (Format.asprintf "%a" Page_id.pp pid)) ]
+  in
+  Repro_lock.Local_locks.set_tracer node.locks (fun action pid ->
+      emit_page (if action = "demote" then Event.Lock_demote else Event.Lock_release) action pid);
+  Repro_lock.Global_locks.set_tracer node.glocks (fun action holder pid ->
+      if Recorder.enabled obs then
+        Recorder.emit obs ~time:(Env.now node.env) ~node:node.id
+          (match action with
+          | "grant" -> Event.Lock_grant
+          | "demote" -> Event.Lock_demote
+          | _ -> Event.Lock_release)
+          [
+            ("action", Event.Str action);
+            ("holder", Event.Int holder);
+            ("page", Event.Str (Format.asprintf "%a" Page_id.pp pid));
+          ]);
+  Repro_buffer.Buffer_pool.set_tracer node.pool (fun action pid ->
+      emit_page (if action = "install" then Event.Cache_install else Event.Cache_evict) action pid)
+
 let create env ~id ~pool_capacity ~pool_policy ~log_capacity ~scheme ~retain_cached_locks =
-  let metrics = Metrics.create () in
+  let metrics = Metrics.create ~node:id () in
   let rec node =
     {
       id;
@@ -97,6 +133,7 @@ let create env ~id ~pool_capacity ~pool_policy ~log_capacity ~scheme ~retain_cac
       retain_cached_locks;
     }
   in
+  wire_tracers node;
   node
 
 let peer t id = t.resolve id
@@ -104,8 +141,18 @@ let peer t id = t.resolve id
 (* Charge a message from [t] to [dst]; local "messages" (owner = self)
    cost nothing, matching the paper's message counting. *)
 let send t ~dst ?(commit_path = false) ?(recovery = false) ~bytes () =
-  if dst <> t.id then
-    Env.charge_message t.env t.metrics ~commit_path ~recovery ~bytes ()
+  if dst <> t.id then begin
+    Env.charge_message t.env t.metrics ~commit_path ~recovery ~bytes ();
+    if Env.tracing t.env then begin
+      let attrs =
+        [ ("dst", Event.Int dst); ("bytes", Event.Int bytes) ]
+        @ (if commit_path then [ ("commit", Event.Bool true) ] else [])
+        @ if recovery then [ ("recovery", Event.Bool true) ] else []
+      in
+      Env.emit t.env ~node:t.id Event.Msg_send attrs;
+      Env.emit t.env ~node:dst Event.Msg_recv [ ("src", Event.Int t.id); ("bytes", Event.Int bytes) ]
+    end
+  end
 
 let tracef t fmt = Env.tracef t.env fmt
 

@@ -393,6 +393,16 @@ let undo_losers n losers =
 (* Driver                                                              *)
 (* ------------------------------------------------------------------ *)
 
+type summary = { phases : (string * float) list; total_seconds : float }
+
+let summary_to_json s =
+  let module Json = Repro_obs.Json in
+  Json.Obj
+    [
+      ("phases", Json.Obj (List.map (fun (name, dt) -> (name, Json.Float dt)) s.phases));
+      ("total_seconds", Json.Float s.total_seconds);
+    ]
+
 let run ?(strategy = Psn_coordinated) ~crashed ~operational () =
   List.iter
     (fun n ->
@@ -409,12 +419,44 @@ let run ?(strategy = Psn_coordinated) ~crashed ~operational () =
   List.iter
     (fun n -> if not n.up then invalid_arg "Recovery.run: node in operational list is down")
     operational;
-  let losers_by_node = analysis_phase crashed in
-  reconstruct_locks crashed operational;
-  regrant_loser_locks losers_by_node;
+  (* Phase timing: every phase runs inside [timed], which records a
+     span, a Recovery_phase event and a per-phase histogram sample, and
+     accumulates the summary returned to the caller (E4/E5/E8 report
+     where recovery time goes, not just totals). *)
+  let env = match crashed @ operational with n :: _ -> Some n.env | [] -> None in
+  let phase_times = ref [] in
+  let timed name f =
+    match env with
+    | None -> f ()
+    | Some env ->
+      let t0 = Env.now env in
+      let obs = Env.obs env in
+      let span = Repro_obs.Recorder.span_begin obs ~time:t0 ~node:(-1) ("recovery." ^ name) in
+      let result = f () in
+      let t1 = Env.now env in
+      let dt = t1 -. t0 in
+      Repro_obs.Recorder.span_end obs ~time:t1 span;
+      Env.observe env ~name:("recovery." ^ name) ~node:(-1) dt;
+      if Env.tracing env then
+        Env.emit env ~node:(-1) Repro_obs.Event.Recovery_phase
+          [ ("phase", Repro_obs.Event.Str name); ("dur", Repro_obs.Event.Float dt) ];
+      phase_times := (name, dt) :: !phase_times;
+      result
+  in
+  let recovery_from = match env with Some env -> Env.now env | None -> 0. in
+  (match env with
+  | Some env when Env.tracing env ->
+    Env.emit env ~node:(-1) Repro_obs.Event.Recovery_begin
+      [ ("crashed", Repro_obs.Event.Int (List.length crashed)) ]
+  | Some _ | None -> ());
+  let losers_by_node = timed "analysis" (fun () -> analysis_phase crashed) in
+  timed "lock_reconstruction" (fun () ->
+      reconstruct_locks crashed operational;
+      regrant_loser_locks losers_by_node);
   (* Collect the recovery jobs for pages owned by each crashed node. *)
   let crashed_ids = List.map (fun n -> n.id) crashed in
   let jobs = ref [] in
+  timed "gather" (fun () ->
   List.iter
     (fun n ->
       let others = List.filter (fun m -> m.id <> n.id) (crashed @ operational) in
@@ -490,7 +532,7 @@ let run ?(strategy = Psn_coordinated) ~crashed ~operational () =
             end
           end)
         (Dpt.entries n.dpt))
-    crashed;
+    crashed);
   (* Deduplicate: one job per page (a page can be claimed through both
      paths when several nodes crashed). *)
   let seen = ref Page_id.Set.empty in
@@ -519,23 +561,25 @@ let run ?(strategy = Psn_coordinated) ~crashed ~operational () =
   (match strategy with
   | Psn_coordinated ->
     (* Coordinated, PSN-ordered redo; no log merging anywhere. *)
-    let psn_lists = build_psn_lists jobs in
-    List.iter (fun job -> recover_page job ~psn_lists) jobs
+    let psn_lists = timed "psn_lists" (fun () -> build_psn_lists jobs) in
+    timed "redo" (fun () -> List.iter (fun job -> recover_page job ~psn_lists) jobs)
   | Merged_logs ->
     (* One merged pull per coordinator, then local per-page replay. *)
-    let coordinators =
-      List.sort_uniq Int.compare (List.map (fun job -> job.coordinator.id) jobs)
-    in
     let pulls =
-      List.map
-        (fun cid ->
-          let coordinator = List.find (fun j -> j.coordinator.id = cid) jobs in
-          (cid, pull_merged_records coordinator.coordinator (crashed @ operational)))
-        coordinators
+      timed "merge_pull" (fun () ->
+          let coordinators =
+            List.sort_uniq Int.compare (List.map (fun job -> job.coordinator.id) jobs)
+          in
+          List.map
+            (fun cid ->
+              let coordinator = List.find (fun j -> j.coordinator.id = cid) jobs in
+              (cid, pull_merged_records coordinator.coordinator (crashed @ operational)))
+            coordinators)
     in
-    List.iter
-      (fun job -> recover_page_merged job ~records:(List.assoc job.coordinator.id pulls))
-      jobs);
+    timed "redo" (fun () ->
+        List.iter
+          (fun job -> recover_page_merged job ~records:(List.assoc job.coordinator.id pulls))
+          jobs));
   List.iter
     (fun job ->
       let owner = peer job.coordinator (Page_id.owner job.pid) in
@@ -543,5 +587,21 @@ let run ?(strategy = Psn_coordinated) ~crashed ~operational () =
     jobs;
   (* Normal processing can resume; roll back the losers. *)
   List.iter (fun n -> n.up <- true) crashed;
-  List.iter (fun (n, losers) -> undo_losers n losers) losers_by_node;
-  List.iter (fun n -> tracef n "recovery(%d): complete" n.id) crashed
+  timed "undo" (fun () -> List.iter (fun (n, losers) -> undo_losers n losers) losers_by_node);
+  List.iter (fun n -> tracef n "recovery(%d): complete" n.id) crashed;
+  let total_seconds =
+    match env with Some env -> Env.now env -. recovery_from | None -> 0.
+  in
+  (match env with
+  | Some env ->
+    (* per-node samples also land in the (-1) cluster aggregate *)
+    if crashed = [] then Env.observe env ~name:"recovery_duration" ~node:(-1) total_seconds
+    else
+      List.iter
+        (fun n -> Env.observe env ~name:"recovery_duration" ~node:n.id total_seconds)
+        crashed;
+    if Env.tracing env then
+      Env.emit env ~node:(-1) Repro_obs.Event.Recovery_end
+        [ ("total", Repro_obs.Event.Float total_seconds) ]
+  | None -> ());
+  { phases = List.rev !phase_times; total_seconds }

@@ -42,14 +42,27 @@ type strategy =
           coordinator, which merges them per page by PSN.  Produces the
           same final state at a very different cost — experiment E4. *)
 
+type summary = {
+  phases : (string * float) list;
+      (** simulated seconds per phase, in execution order: analysis,
+          lock_reconstruction, gather, then psn_lists + redo
+          (coordinated) or merge_pull + redo (merged), then undo *)
+  total_seconds : float;
+}
+
+val summary_to_json : summary -> Repro_obs.Json.t
+
 val run :
   ?strategy:strategy ->
   crashed:Node_state.t list ->
   operational:Node_state.t list ->
   unit ->
-  unit
+  summary
 (** Recovers all [crashed] nodes (they must be down); [operational] are
     the surviving peers (must be up).  On return every crashed node is
     up, its committed updates are restored, its losers rolled back, and
     lock tables cluster-wide are consistent.  [strategy] defaults to
-    the paper's {!Psn_coordinated}. *)
+    the paper's {!Psn_coordinated}.  The returned summary reports
+    where simulated recovery time went; the same numbers also land in
+    the environment's [recovery.*] histograms and, when tracing, as
+    [Recovery_phase] events and spans. *)

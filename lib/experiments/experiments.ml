@@ -79,6 +79,7 @@ let f1 ?(quick = false) () =
        other node";
     header = [ "node"; "role"; "committed"; "commit msgs"; "log appends"; "log forces"; "pages shipped" ];
     rows;
+    data = [];
     notes =
       [
         (if zero_commit_msgs then "PASS: zero commit-path messages at every node"
@@ -93,6 +94,7 @@ let f1 ?(quick = false) () =
 let e1 ?(quick = false) () =
   let txns = if quick then 8 else 30 in
   let fractions = if quick then [ 0.0; 1.0 ] else [ 0.0; 0.3; 0.6; 1.0 ] in
+  let cbl_total = Metrics.create () in
   let rows =
     List.concat_map
       (fun remote ->
@@ -114,6 +116,7 @@ let e1 ?(quick = false) () =
             let before = snapshot_global built in
             let outcome = run_checked built.Schemes.engine scripts in
             let d = diff_global built before in
+            if built.Schemes.engine.Engine.name = "cbl" then Metrics.merge_into ~dst:cbl_total d;
             let n = outcome.Driver.committed in
             [
               built.Schemes.engine.Engine.name;
@@ -137,11 +140,17 @@ let e1 ?(quick = false) () =
       [ "scheme"; "remote"; "commit msgs/txn"; "log forces/txn"; "commit pg writes/txn";
         "records shipped/txn"; "sim ms/txn" ];
     rows;
+    data = [];
     notes =
       [
         "expected shape: cbl's commit msgs and records shipped are 0 at every remote fraction";
         "cbl's log forces above 1/txn are WAL-before-ship forces (page transfers), not commit \
          work";
+        (* zeros shown on purpose: commit_messages = 0 and
+           log_records_shipped = 0 ARE the claim, so "not printed" must
+           not be mistaken for "not measured" *)
+        Format.asprintf "cbl cumulative counters across all fractions (zeros shown):@.%a"
+          (Metrics.pp_with ~show_zeros:true) cbl_total;
       ];
   }
 
@@ -203,6 +212,7 @@ let e2 ?(quick = false) () =
        logging, the server's log and lock service saturate as clients are added";
     header = [ "scheme"; "clients"; "committed"; "bottleneck busy s"; "txn/s bound"; "bottleneck" ];
     rows;
+    data = [];
     notes =
       [
         "expected shape: cbl's txn/s bound grows with clients; server-logging's flattens and \
@@ -259,6 +269,7 @@ let e3 ?(quick = false) () =
        latency is independent of network latency; shipping schemes grow linearly with it";
     header = [ "scheme"; "net ms"; "commit ms (mean)"; "commit ms (max)" ];
     rows;
+    data = [];
     notes = [ "expected shape: cbl column constant across net ms; others increase with it" ];
   }
 
@@ -286,32 +297,44 @@ let recovery_run ~strategy ~txns =
   let before = snapshot_global built in
   let t0 = Cluster.now built.Schemes.cluster in
   Cluster.crash built.Schemes.cluster ~node:1;
-  Cluster.recover ~strategy built.Schemes.cluster ~nodes:[ 1 ];
+  let summary = Cluster.recover_timed ~strategy built.Schemes.cluster ~nodes:[ 1 ] in
   let d = diff_global built before in
   let dt = Cluster.now built.Schemes.cluster -. t0 in
-  (d, dt)
+  (d, dt, summary)
 
 let e4 ?(quick = false) () =
   let sizes = if quick then [ 15 ] else [ 15; 60; 120 ] in
-  let rows =
+  let runs =
     List.concat_map
       (fun txns ->
         List.map
           (fun (name, strategy) ->
-            let d, dt = recovery_run ~strategy ~txns in
-            [
-              name;
-              string_of_int (4 * txns);
-              string_of_int d.Metrics.recovery_log_records_scanned;
-              string_of_int d.Metrics.log_records_shipped;
-              string_of_int d.Metrics.recovery_messages;
-              string_of_int d.Metrics.recovery_page_transfers;
-              Report.ms dt;
-            ])
+            let d, dt, summary = recovery_run ~strategy ~txns in
+            let row =
+              [
+                name;
+                string_of_int (4 * txns);
+                string_of_int d.Metrics.recovery_log_records_scanned;
+                string_of_int d.Metrics.log_records_shipped;
+                string_of_int d.Metrics.recovery_messages;
+                string_of_int d.Metrics.recovery_page_transfers;
+                Report.ms dt;
+              ]
+            in
+            let timing =
+              Repro_obs.Json.Obj
+                [
+                  ("strategy", Repro_obs.Json.Str name);
+                  ("workload_txns", Repro_obs.Json.Int (4 * txns));
+                  ("summary", Recovery.summary_to_json summary);
+                ]
+            in
+            (row, timing))
           [ ("psn-coordinated (paper)", Recovery.Psn_coordinated);
             ("merged-logs (baseline)", Recovery.Merged_logs) ])
       sizes
   in
+  let rows = List.map fst runs in
   {
     Report.id = "E4";
     title = "Single node crash recovery: the paper's protocol vs merging the logs";
@@ -322,6 +345,7 @@ let e4 ?(quick = false) () =
       [ "strategy"; "workload txns"; "records scanned"; "records shipped"; "recovery msgs";
         "page transfers"; "recovery ms" ];
     rows;
+    data = [ ("recovery_timings", Repro_obs.Json.List (List.map snd runs)) ];
     notes =
       [ "expected shape: records shipped is 0 for the paper's protocol and grows with the \
          workload for the merge baseline" ];
@@ -387,6 +411,7 @@ let e5 ?(quick = false) () =
       [ "involved nodes"; "pages redone"; "page transfers"; "recovery msgs"; "records scanned";
         "recovery ms" ];
     rows;
+    data = [];
     notes = [ "correctness is asserted: every page carries all increments after recovery" ];
   }
 
@@ -435,6 +460,7 @@ let e6 ?(quick = false) () =
        it frees log space; no transaction is lost, at the price of extra flushes";
     header = [ "log capacity"; "committed"; "space stalls"; "flush requests"; "page writes"; "sim ms" ];
     rows;
+    data = [];
     notes = [ "expected shape: same committed count everywhere; stalls and flushes only under \
                small capacities" ];
   }
@@ -493,6 +519,7 @@ let e7 ?(quick = false) () =
     header =
       [ "checkpointing"; "checkpoints"; "messages (workload)"; "committed"; "restart records scanned" ];
     rows;
+    data = [];
     notes =
       [ "expected shape: message count identical across rows (checkpoints are purely local); \
          restart scan shrinks as checkpoints become frequent" ];
@@ -548,6 +575,7 @@ let e8 ?(quick = false) () =
       [ "simultaneous crashes"; "records scanned"; "recovery msgs"; "page transfers";
         "pages redone"; "recovery ms"; "oracle" ];
     rows;
+    data = [];
     notes = [ "oracle PASS means all committed updates survived and no uncommitted ones did" ];
   }
 
@@ -599,6 +627,7 @@ let e9 ?(quick = false) () =
       [ "configuration"; "zipf theta"; "local lock reqs/txn"; "remote lock reqs/txn";
         "messages/txn"; "sim ms/txn" ];
     rows;
+    data = [];
     notes = [ "expected shape: caching multiplies local/remote request ratio and cuts \
                messages per transaction" ];
   }
@@ -639,6 +668,7 @@ let e10 ?(quick = false) () =
     header = [ "scheme"; "pages shipped/handover"; "disk writes/handover";
                "commit-path writes/handover"; "sim ms/handover" ];
     rows;
+    data = [];
     notes = [ "expected shape: cbl ships pages but the disk-write columns stay near zero" ];
   }
 

@@ -5,6 +5,7 @@ type t = {
   header : string list;
   rows : string list list;
   notes : string list;
+  data : (string * Repro_obs.Json.t) list;
 }
 
 let render ppf t =
@@ -13,6 +14,20 @@ let render ppf t =
   Repro_util.Pretty.table ~header:t.header ~rows:t.rows ppf ();
   List.iter (fun n -> Format.fprintf ppf "note: %s@." n) t.notes;
   Format.fprintf ppf "@."
+
+let to_json t =
+  let module J = Repro_obs.Json in
+  let strs l = J.List (List.map (fun s -> J.Str s) l) in
+  J.Obj
+    ([
+       ("id", J.Str t.id);
+       ("title", J.Str t.title);
+       ("claim", J.Str t.claim);
+       ("header", strs t.header);
+       ("rows", J.List (List.map strs t.rows));
+       ("notes", strs t.notes);
+     ]
+    @ t.data)
 
 let f v = Format.asprintf "%.3g" v
 let f2 v = Format.asprintf "%.2f" v

@@ -8,9 +8,16 @@ type t = {
   header : string list;
   rows : string list list;
   notes : string list;  (** observations / pass-fail statements *)
+  data : (string * Repro_obs.Json.t) list;
+      (** extra machine-readable results (e.g. E4's per-phase recovery
+          timings, demo's latency histograms) folded into {!to_json} *)
 }
 
 val render : Format.formatter -> t -> unit
+
+val to_json : t -> Repro_obs.Json.t
+(** The whole report as one JSON object: id, title, claim, header,
+    rows, notes, plus every [data] binding at top level. *)
 
 val f : float -> string
 (** "%.3g" *)

@@ -1,8 +1,13 @@
 open Repro_storage
 
-type t = { table : (int, Mode.t) Hashtbl.t Page_id.Tbl.t }
+type t = {
+  table : (int, Mode.t) Hashtbl.t Page_id.Tbl.t;
+  mutable tracer : string -> int -> Page_id.t -> unit;
+}
 
-let create () = { table = Page_id.Tbl.create 64 }
+let no_trace _ _ _ = ()
+let create () = { table = Page_id.Tbl.create 64; tracer = no_trace }
+let set_tracer t f = t.tracer <- f
 
 let holders_tbl t pid =
   match Page_id.Tbl.find_opt t.table pid with
@@ -40,19 +45,25 @@ let grant t ~node ~pid ~mode =
   let new_mode =
     match Hashtbl.find_opt h node with None -> mode | Some held -> Mode.max held mode
   in
-  Hashtbl.replace h node new_mode
+  Hashtbl.replace h node new_mode;
+  t.tracer "grant" node pid
 
 let release t ~node ~pid =
   match Page_id.Tbl.find_opt t.table pid with
   | None -> ()
   | Some h ->
+    if Hashtbl.mem h node then t.tracer "release" node pid;
     Hashtbl.remove h node;
     if Hashtbl.length h = 0 then Page_id.Tbl.remove t.table pid
 
 let demote_to_s t ~node ~pid =
   match Page_id.Tbl.find_opt t.table pid with
   | None -> ()
-  | Some h -> if Hashtbl.mem h node then Hashtbl.replace h node Mode.S
+  | Some h ->
+    if Hashtbl.mem h node then begin
+      t.tracer "demote" node pid;
+      Hashtbl.replace h node Mode.S
+    end
 
 let x_holder t ~pid =
   List.find_map (fun (n, m) -> if Mode.equal m Mode.X then Some n else None) (holders t ~pid)

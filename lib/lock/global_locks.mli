@@ -15,6 +15,11 @@ type t
 
 val create : unit -> t
 
+val set_tracer : t -> (string -> int -> Page_id.t -> unit) -> unit
+(** Observability hook, fired with an action name (["grant"],
+    ["demote"], ["release"]), the holder node and the page.  Default:
+    no-op.  The node layer wires this to the typed event recorder. *)
+
 type decision =
   | Granted
   | Needs_callback of { holders : (int * Mode.t) list }

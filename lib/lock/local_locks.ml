@@ -6,9 +6,11 @@ type entry = {
   mutable revoke_pending : (Mode.t * int * int) option; (* mode, txn, node *)
 }
 
-type t = { table : entry Page_id.Tbl.t }
+type t = { table : entry Page_id.Tbl.t; mutable tracer : string -> Page_id.t -> unit }
 
-let create () = { table = Page_id.Tbl.create 64 }
+let no_trace _ _ = ()
+let create () = { table = Page_id.Tbl.create 64; tracer = no_trace }
+let set_tracer t f = t.tracer <- f
 
 let entry_opt t pid = Page_id.Tbl.find_opt t.table pid
 
@@ -29,10 +31,16 @@ let set_cached_mode t pid mode =
   let e = entry t pid in
   e.cached <- (match cached_mode t pid with None -> mode | Some held -> Mode.max held mode)
 
-let drop_cached t pid = Page_id.Tbl.remove t.table pid
+let drop_cached t pid =
+  if Page_id.Tbl.mem t.table pid then t.tracer "release" pid;
+  Page_id.Tbl.remove t.table pid
 
 let demote_cached_to_s t pid =
-  match entry_opt t pid with None -> () | Some e -> e.cached <- Mode.S
+  match entry_opt t pid with
+  | None -> ()
+  | Some e ->
+    if e.cached <> Mode.S then t.tracer "demote" pid;
+    e.cached <- Mode.S
 
 let set_revoke_pending t pid ~mode ~txn ~node =
   let e = entry t pid in

@@ -18,6 +18,11 @@ type t
 
 val create : unit -> t
 
+val set_tracer : t -> (string -> Page_id.t -> unit) -> unit
+(** Observability hook, fired on cached-lock state changes with an
+    action name (["demote"], ["release"]).  Default: no-op.  The node
+    layer wires this to the typed event recorder. *)
+
 (** {1 Node-level cache} *)
 
 val cached_mode : t -> Page_id.t -> Mode.t option

@@ -1,0 +1,129 @@
+type value = Int of int | Float of float | Str of string | Bool of bool
+
+type kind =
+  | Msg_send
+  | Msg_recv
+  | Log_append
+  | Log_force
+  | Page_read
+  | Page_write
+  | Page_ship
+  | Cache_install
+  | Cache_evict
+  | Lock_request
+  | Lock_grant
+  | Lock_callback
+  | Lock_demote
+  | Lock_release
+  | Ckpt_begin
+  | Ckpt_end
+  | Txn_begin
+  | Txn_commit
+  | Txn_abort
+  | Crash
+  | Recovery_begin
+  | Recovery_end
+  | Recovery_phase
+  | Span_begin
+  | Span_end
+  | Note
+
+type t = {
+  time : float;  (** simulated seconds *)
+  node : int;  (** -1 = cluster-wide / coordinator *)
+  span : int;  (** enclosing span id, -1 if none *)
+  kind : kind;
+  attrs : (string * value) list;
+}
+
+let kind_name = function
+  | Msg_send -> "msg.send"
+  | Msg_recv -> "msg.recv"
+  | Log_append -> "log.append"
+  | Log_force -> "log.force"
+  | Page_read -> "page.read"
+  | Page_write -> "page.write"
+  | Page_ship -> "page.ship"
+  | Cache_install -> "cache.install"
+  | Cache_evict -> "cache.evict"
+  | Lock_request -> "lock.request"
+  | Lock_grant -> "lock.grant"
+  | Lock_callback -> "lock.callback"
+  | Lock_demote -> "lock.demote"
+  | Lock_release -> "lock.release"
+  | Ckpt_begin -> "ckpt.begin"
+  | Ckpt_end -> "ckpt.end"
+  | Txn_begin -> "txn.begin"
+  | Txn_commit -> "txn.commit"
+  | Txn_abort -> "txn.abort"
+  | Crash -> "crash"
+  | Recovery_begin -> "recovery.begin"
+  | Recovery_end -> "recovery.end"
+  | Recovery_phase -> "recovery.phase"
+  | Span_begin -> "span.begin"
+  | Span_end -> "span.end"
+  | Note -> "note"
+
+let all_kinds =
+  [
+    Msg_send; Msg_recv; Log_append; Log_force; Page_read; Page_write; Page_ship;
+    Cache_install; Cache_evict; Lock_request; Lock_grant; Lock_callback; Lock_demote;
+    Lock_release; Ckpt_begin; Ckpt_end; Txn_begin; Txn_commit; Txn_abort; Crash;
+    Recovery_begin; Recovery_end; Recovery_phase; Span_begin; Span_end; Note;
+  ]
+
+let kind_of_name s = List.find_opt (fun k -> kind_name k = s) all_kinds
+
+let make ~time ~node ?(span = -1) kind attrs = { time; node; span; kind; attrs }
+
+let pp_value ppf = function
+  | Int i -> Format.pp_print_int ppf i
+  | Float f -> Format.fprintf ppf "%g" f
+  | Str s -> Format.pp_print_string ppf s
+  | Bool b -> Format.pp_print_bool ppf b
+
+let render e =
+  match (e.kind, e.attrs) with
+  | Note, [ ("msg", Str m) ] -> m
+  | _ ->
+    Format.asprintf "t=%.6f n=%d %s%a" e.time e.node (kind_name e.kind)
+      (fun ppf attrs ->
+        List.iter (fun (k, v) -> Format.fprintf ppf " %s=%a" k pp_value v) attrs)
+      e.attrs
+
+let json_value = function
+  | Int i -> Json.Int i
+  | Float f -> Json.Float f
+  | Str s -> Json.Str s
+  | Bool b -> Json.Bool b
+
+let to_json e =
+  let base =
+    [ ("t", Json.Float e.time); ("node", Json.Int e.node); ("kind", Json.Str (kind_name e.kind)) ]
+  in
+  let span = if e.span >= 0 then [ ("span", Json.Int e.span) ] else [] in
+  let attrs = List.map (fun (k, v) -> (k, json_value v)) e.attrs in
+  Json.Obj (base @ span @ attrs)
+
+(* Allocation-free substring scan (replaces the String.sub-per-position
+   search that Trace.contains used to do). *)
+let substring ~needle hay =
+  let n = String.length needle and h = String.length hay in
+  if n = 0 then true
+  else if n > h then false
+  else begin
+    let found = ref false in
+    let i = ref 0 in
+    let limit = h - n in
+    while (not !found) && !i <= limit do
+      if String.unsafe_get hay !i = String.unsafe_get needle 0 then begin
+        let j = ref 1 in
+        while !j < n && String.unsafe_get hay (!i + !j) = String.unsafe_get needle !j do
+          incr j
+        done;
+        if !j = n then found := true
+      end;
+      incr i
+    done;
+    !found
+  end

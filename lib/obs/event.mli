@@ -1,0 +1,63 @@
+(** Typed trace events.
+
+    An event is a point on the simulated timeline: what happened
+    ([kind]), where ([node]), when ([time], simulated seconds), inside
+    which span ([span], [-1] when unscoped), plus free-form [attrs].
+    Attrs are primitive key/value pairs rather than domain types —
+    [repro_obs] sits below the simulation layer, so it cannot reference
+    [Page_id] and friends; callers stringify. *)
+
+type value = Int of int | Float of float | Str of string | Bool of bool
+
+type kind =
+  | Msg_send
+  | Msg_recv
+  | Log_append
+  | Log_force
+  | Page_read
+  | Page_write
+  | Page_ship
+  | Cache_install
+  | Cache_evict
+  | Lock_request
+  | Lock_grant
+  | Lock_callback
+  | Lock_demote
+  | Lock_release
+  | Ckpt_begin
+  | Ckpt_end
+  | Txn_begin
+  | Txn_commit
+  | Txn_abort
+  | Crash
+  | Recovery_begin
+  | Recovery_end
+  | Recovery_phase
+  | Span_begin
+  | Span_end
+  | Note
+
+type t = {
+  time : float;
+  node : int;
+  span : int;
+  kind : kind;
+  attrs : (string * value) list;
+}
+
+val make : time:float -> node:int -> ?span:int -> kind -> (string * value) list -> t
+
+val kind_name : kind -> string
+(** Stable dotted name, e.g. [Msg_send] -> ["msg.send"]. *)
+
+val kind_of_name : string -> kind option
+val all_kinds : kind list
+
+val render : t -> string
+(** One-line human rendering.  A [Note] event with a single [msg]
+    attribute renders as the bare message (legacy [Trace] contract). *)
+
+val to_json : t -> Json.t
+
+val substring : needle:string -> string -> bool
+(** Allocation-free substring test: does [needle] occur in the hay? *)

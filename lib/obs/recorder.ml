@@ -1,0 +1,160 @@
+type span = {
+  id : int;
+  name : string;
+  node : int;
+  parent : int;  (** -1 = root *)
+  start : float;
+  mutable stop : float;  (** nan until ended *)
+}
+
+type t = {
+  mutable enabled : bool;
+  mutable label : string;
+  capacity : int;
+  ring : Event.t option array;
+  mutable head : int;  (** next write slot *)
+  mutable stored : int;  (** events currently in the ring *)
+  mutable dropped : int;  (** overwritten by ring wrap-around *)
+  mutable next_span : int;
+  mutable spans_rev : span list;
+  mutable open_spans : span list;  (** innermost first; per-recorder stack *)
+  hists : (string * int, Log_hist.t) Hashtbl.t;
+}
+
+let default_capacity = 1 lsl 16
+
+let create ?(enabled = false) ?(capacity = default_capacity) () =
+  if capacity <= 0 then invalid_arg "Recorder.create: capacity must be positive";
+  {
+    enabled;
+    label = "";
+    capacity;
+    ring = Array.make capacity None;
+    head = 0;
+    stored = 0;
+    dropped = 0;
+    next_span = 0;
+    spans_rev = [];
+    open_spans = [];
+    hists = Hashtbl.create 16;
+  }
+
+let enabled t = t.enabled
+let set_enabled t on = t.enabled <- on
+let label t = t.label
+let set_label t s = t.label <- s
+let dropped t = t.dropped
+
+let push t e =
+  if t.ring.(t.head) <> None then t.dropped <- t.dropped + 1
+  else t.stored <- t.stored + 1;
+  t.ring.(t.head) <- Some e;
+  t.head <- (t.head + 1) mod t.capacity
+
+let current_span t = match t.open_spans with [] -> -1 | s :: _ -> s.id
+
+let emit t ~time ~node kind attrs =
+  if t.enabled then push t (Event.make ~time ~node ~span:(current_span t) kind attrs)
+
+let note ?(time = 0.) ?(node = -1) t msg =
+  if t.enabled then
+    push t (Event.make ~time ~node ~span:(current_span t) Event.Note [ ("msg", Event.Str msg) ])
+
+let events t =
+  (* oldest first: the ring wraps at [head] *)
+  let out = ref [] in
+  for i = t.capacity - 1 downto 0 do
+    let slot = (t.head + i) mod t.capacity in
+    match t.ring.(slot) with None -> () | Some e -> out := e :: !out
+  done;
+  !out
+
+let clear t =
+  Array.fill t.ring 0 t.capacity None;
+  t.head <- 0;
+  t.stored <- 0;
+  t.dropped <- 0;
+  t.next_span <- 0;
+  t.spans_rev <- [];
+  t.open_spans <- []
+
+(* ---- spans ---- *)
+
+let span_begin t ~time ~node ?parent name =
+  if not t.enabled then -1
+  else begin
+    let parent = match parent with Some p -> p | None -> current_span t in
+    let id = t.next_span in
+    t.next_span <- id + 1;
+    let s = { id; name; node; parent; start = time; stop = Float.nan } in
+    t.spans_rev <- s :: t.spans_rev;
+    t.open_spans <- s :: t.open_spans;
+    push t
+      (Event.make ~time ~node ~span:parent Event.Span_begin
+         [ ("id", Event.Int id); ("name", Event.Str name) ]);
+    id
+  end
+
+let span_end t ~time id =
+  if t.enabled && id >= 0 then begin
+    (match List.find_opt (fun s -> s.id = id) t.open_spans with
+    | None -> ()
+    | Some s ->
+      s.stop <- time;
+      t.open_spans <- List.filter (fun o -> o.id <> id) t.open_spans;
+      push t
+        (Event.make ~time ~node:s.node ~span:s.parent Event.Span_end
+           [ ("id", Event.Int id); ("name", Event.Str s.name);
+             ("dur", Event.Float (time -. s.start)) ]))
+  end
+
+let spans t = List.rev t.spans_rev
+let span_duration s = if Float.is_nan s.stop then None else Some (s.stop -. s.start)
+
+(* ---- histograms (always on: they never touch the sim clock or the
+   Metrics counters, so traced and untraced runs stay identical) ---- *)
+
+let find_hist t ~name ~node = Hashtbl.find_opt t.hists (name, node)
+
+let hist t ~name ~node =
+  match Hashtbl.find_opt t.hists (name, node) with
+  | Some h -> h
+  | None ->
+    let h = Log_hist.create () in
+    Hashtbl.add t.hists (name, node) h;
+    h
+
+let observe t ~name ~node v =
+  Log_hist.record (hist t ~name ~node) v;
+  if node >= 0 then Log_hist.record (hist t ~name ~node:(-1)) v
+
+let histograms t =
+  Hashtbl.fold (fun (name, node) h acc -> (name, node, h) :: acc) t.hists []
+  |> List.sort (fun (n1, d1, _) (n2, d2, _) ->
+         match String.compare n1 n2 with 0 -> Int.compare d1 d2 | c -> c)
+
+let clear_histograms t = Hashtbl.reset t.hists
+
+(* ---- export ---- *)
+
+let to_jsonl t =
+  let buf = Buffer.create 4096 in
+  List.iter
+    (fun e ->
+      Buffer.add_string buf (Json.to_string (Event.to_json e));
+      Buffer.add_char buf '\n')
+    (events t);
+  Buffer.contents buf
+
+let histograms_json t =
+  let per_name = Hashtbl.create 8 in
+  List.iter
+    (fun (name, node, h) ->
+      let entry = try Hashtbl.find per_name name with Not_found -> [] in
+      let key = if node < 0 then "cluster" else Printf.sprintf "node%d" node in
+      Hashtbl.replace per_name name ((key, Log_hist.to_json h) :: entry))
+    (histograms t);
+  let names =
+    Hashtbl.fold (fun name _ acc -> name :: acc) per_name [] |> List.sort String.compare
+  in
+  Json.Obj (List.map (fun name -> (name, Json.Obj (List.rev (Hashtbl.find per_name name)))) names)

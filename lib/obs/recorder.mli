@@ -1,0 +1,85 @@
+(** Event recorder: a bounded ring of typed events, simulated-clock
+    spans, and per-(metric, node) latency histograms.
+
+    Event emission and spans are gated on [enabled] and cost one branch
+    when off — callers must still avoid formatting attrs eagerly on hot
+    paths (build the attr list inside an [if Recorder.enabled] guard).
+    Histograms are {e always} recorded: they read nothing from and
+    write nothing to the simulation, so traced and untraced runs
+    produce identical metrics — which the test suite asserts. *)
+
+type span = {
+  id : int;
+  name : string;
+  node : int;
+  parent : int;
+  start : float;
+  mutable stop : float;  (** nan until [span_end] *)
+}
+
+type t
+
+val create : ?enabled:bool -> ?capacity:int -> unit -> t
+(** [capacity] (default 65536) bounds the event ring; older events are
+    overwritten and counted in [dropped]. *)
+
+val enabled : t -> bool
+val set_enabled : t -> bool -> unit
+
+val label : t -> string
+val set_label : t -> string -> unit
+(** Free-form run label (e.g. the logging scheme) carried into exports. *)
+
+val emit : t -> time:float -> node:int -> Event.kind -> (string * Event.value) list -> unit
+(** No-op when disabled.  The event inherits the innermost open span. *)
+
+val note : ?time:float -> ?node:int -> t -> string -> unit
+(** Legacy free-text event ([Trace.event] compatibility). *)
+
+val events : t -> Event.t list
+(** Oldest first.  At most [capacity] events; see [dropped]. *)
+
+val dropped : t -> int
+val clear : t -> unit
+(** Drops events and spans.  Histograms survive; see
+    [clear_histograms]. *)
+
+(** {2 Spans} *)
+
+val span_begin : t -> time:float -> node:int -> ?parent:int -> string -> int
+(** Opens a span and returns its id ([-1] when disabled — safe to pass
+    straight to [span_end]).  [parent] defaults to the innermost open
+    span. *)
+
+val span_end : t -> time:float -> int -> unit
+val spans : t -> span list
+(** In [span_begin] order. *)
+
+val span_duration : span -> float option
+val current_span : t -> int
+
+(** {2 Histograms} *)
+
+val observe : t -> name:string -> node:int -> float -> unit
+(** Records [v] seconds into the [(name, node)] histogram and, when
+    [node >= 0], also into the cluster-wide [(name, -1)] aggregate.
+    Always on, independent of [enabled]. *)
+
+val hist : t -> name:string -> node:int -> Log_hist.t
+(** Find-or-create. *)
+
+val find_hist : t -> name:string -> node:int -> Log_hist.t option
+
+val histograms : t -> (string * int * Log_hist.t) list
+(** Sorted by name then node; node [-1] is the cluster aggregate. *)
+
+val clear_histograms : t -> unit
+
+(** {2 Export} *)
+
+val to_jsonl : t -> string
+(** One JSON object per line, oldest event first. *)
+
+val histograms_json : t -> Json.t
+(** [{ "<name>": { "cluster": {...}, "node0": {...}, ... }, ... }] with
+    count/mean/min/max/p50/p95/p99 per histogram. *)

@@ -40,3 +40,17 @@ let pp ppf t =
   Format.fprintf ppf
     "net=%.2gs+%.2gs/B disk_seek=%.2gs log_force=%.2gs cpu/rec=%.2gs page=%dB" t.net_latency
     t.net_per_byte t.disk_seek t.log_force_seek t.cpu_per_log_record t.page_size
+
+let to_json t =
+  Repro_obs.Json.(
+    Obj
+      [
+        ("net_latency", Float t.net_latency);
+        ("net_per_byte", Float t.net_per_byte);
+        ("disk_seek", Float t.disk_seek);
+        ("disk_per_byte", Float t.disk_per_byte);
+        ("log_force_seek", Float t.log_force_seek);
+        ("cpu_per_log_record", Float t.cpu_per_log_record);
+        ("cpu_per_lock_op", Float t.cpu_per_lock_op);
+        ("page_size", Int t.page_size);
+      ])

@@ -35,3 +35,4 @@ val instant : t
 val with_net_latency : t -> float -> t
 val with_page_size : t -> int -> t
 val pp : Format.formatter -> t -> unit
+val to_json : t -> Repro_obs.Json.t

@@ -1,7 +1,10 @@
+module Recorder = Repro_obs.Recorder
+module Event = Repro_obs.Event
+
 type t = {
   config : Config.t;
   clock : Clock.t;
-  trace : Trace.t;
+  obs : Recorder.t;
   rng : Repro_util.Rng.t;
   global : Metrics.t;
 }
@@ -10,7 +13,7 @@ let create ?(trace = false) ?(seed = 42) config =
   {
     config;
     clock = Clock.create ();
-    trace = Trace.create ~enabled:trace ();
+    obs = Recorder.create ~enabled:trace ();
     rng = Repro_util.Rng.create seed;
     global = Metrics.create ();
   }
@@ -18,10 +21,18 @@ let create ?(trace = false) ?(seed = 42) config =
 let config t = t.config
 let clock t = t.clock
 let now t = Clock.now t.clock
-let trace t = t.trace
+let obs t = t.obs
+let trace t = t.obs
 let rng t = t.rng
 let global_metrics t = t.global
-let tracef t fmt = Trace.event t.trace fmt
+let tracing t = Recorder.enabled t.obs
+let tracef t fmt = Trace.event t.obs fmt
+
+let emit t ~node kind attrs =
+  if Recorder.enabled t.obs then Recorder.emit t.obs ~time:(now t) ~node kind attrs
+
+let observe t ~name ~node v = Recorder.observe t.obs ~name ~node v
+let hist t ~name ~node = Recorder.hist t.obs ~name ~node
 
 let both t m f =
   f m;
@@ -45,7 +56,9 @@ let charge_page_read t m =
   let dt = t.config.disk_seek +. (t.config.disk_per_byte *. float_of_int t.config.page_size) in
   Clock.advance t.clock dt;
   busy t m dt;
-  both t m (fun c -> c.Metrics.page_disk_reads <- c.Metrics.page_disk_reads + 1)
+  both t m (fun c -> c.Metrics.page_disk_reads <- c.Metrics.page_disk_reads + 1);
+  if Recorder.enabled t.obs then
+    Recorder.emit t.obs ~time:(now t) ~node:m.Metrics.node Event.Page_read []
 
 let charge_page_write t m ?(commit_path = false) () =
   let dt = t.config.disk_seek +. (t.config.disk_per_byte *. float_of_int t.config.page_size) in
@@ -53,20 +66,29 @@ let charge_page_write t m ?(commit_path = false) () =
   busy t m dt;
   both t m (fun c ->
       c.Metrics.page_disk_writes <- c.Metrics.page_disk_writes + 1;
-      if commit_path then c.Metrics.commit_page_writes <- c.Metrics.commit_page_writes + 1)
+      if commit_path then c.Metrics.commit_page_writes <- c.Metrics.commit_page_writes + 1);
+  if Recorder.enabled t.obs then
+    Recorder.emit t.obs ~time:(now t) ~node:m.Metrics.node Event.Page_write
+      (if commit_path then [ ("commit", Event.Bool true) ] else [])
 
 let charge_log_append t m ~bytes =
   Clock.advance t.clock t.config.cpu_per_log_record;
   busy t m t.config.cpu_per_log_record;
   both t m (fun c ->
       c.Metrics.log_appends <- c.Metrics.log_appends + 1;
-      c.Metrics.log_bytes <- c.Metrics.log_bytes + bytes)
+      c.Metrics.log_bytes <- c.Metrics.log_bytes + bytes);
+  if Recorder.enabled t.obs then
+    Recorder.emit t.obs ~time:(now t) ~node:m.Metrics.node Event.Log_append
+      [ ("bytes", Event.Int bytes) ]
 
 let charge_log_force t m ~bytes =
   let dt = t.config.log_force_seek +. (t.config.disk_per_byte *. float_of_int bytes) in
   Clock.advance t.clock dt;
   busy t m dt;
-  both t m (fun c -> c.Metrics.log_forces <- c.Metrics.log_forces + 1)
+  both t m (fun c -> c.Metrics.log_forces <- c.Metrics.log_forces + 1);
+  if Recorder.enabled t.obs then
+    Recorder.emit t.obs ~time:(now t) ~node:m.Metrics.node Event.Log_force
+      [ ("bytes", Event.Int bytes) ]
 
 let charge_log_scan_record t m ~bytes =
   let dt = t.config.cpu_per_log_record +. (t.config.disk_per_byte *. float_of_int bytes) in

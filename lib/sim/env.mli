@@ -13,11 +13,29 @@ val config : t -> Config.t
 val clock : t -> Clock.t
 val now : t -> float
 val trace : t -> Trace.t
+val obs : t -> Repro_obs.Recorder.t
+(** Same value as [trace] ([Trace.t] is an alias); named for call sites
+    that use the typed API. *)
+
 val rng : t -> Repro_util.Rng.t
 val global_metrics : t -> Metrics.t
 
+val tracing : t -> bool
+(** Whether event recording is on.  Hot paths must check this before
+    building attribute lists. *)
+
 val tracef : t -> ('a, Format.formatter, unit, unit) format4 -> 'a
 (** Shorthand for [Trace.event (trace t)]. *)
+
+val emit : t -> node:int -> Repro_obs.Event.kind -> (string * Repro_obs.Event.value) list -> unit
+(** Emit a typed event at the current simulated time (no-op when
+    tracing is off — but guard attr construction with [tracing]). *)
+
+val observe : t -> name:string -> node:int -> float -> unit
+(** Record a latency sample (seconds) into the named histogram, per
+    node and cluster-wide.  Always on; never touches clock/metrics. *)
+
+val hist : t -> name:string -> node:int -> Repro_obs.Log_hist.t
 
 (** {1 Charging primitives}
 

@@ -1,4 +1,5 @@
 type t = {
+  mutable node : int;
   mutable messages_sent : int;
   mutable message_bytes : int;
   mutable commit_messages : int;
@@ -27,8 +28,9 @@ type t = {
   mutable busy_seconds : float;
 }
 
-let create () =
+let create ?(node = -1) () =
   {
+    node;
     messages_sent = 0;
     message_bytes = 0;
     commit_messages = 0;
@@ -103,13 +105,13 @@ let reset t =
   t.busy_seconds <- 0.
 
 let snapshot t =
-  let s = create () in
+  let s = create ~node:t.node () in
   List.iter (fun (_, get, set) -> set s (get t)) fields;
   s.busy_seconds <- t.busy_seconds;
   s
 
 let diff ~after ~before =
-  let d = create () in
+  let d = create ~node:after.node () in
   List.iter (fun (_, get, set) -> set d (get after - get before)) fields;
   d.busy_seconds <- after.busy_seconds -. before.busy_seconds;
   d
@@ -118,10 +120,37 @@ let merge_into ~dst src =
   List.iter (fun (_, get, set) -> set dst (get dst + get src)) fields;
   dst.busy_seconds <- dst.busy_seconds +. src.busy_seconds
 
-let pp ppf t =
+let pp_with ~show_zeros ppf t =
   List.iter
-    (fun (name, get, _) -> if get t <> 0 then Format.fprintf ppf "%-30s %d@." name (get t))
+    (fun (name, get, _) ->
+      if show_zeros || get t <> 0 then Format.fprintf ppf "%-30s %d@." name (get t))
     fields;
-  if t.busy_seconds <> 0. then Format.fprintf ppf "%-30s %.6f@." "busy_seconds" t.busy_seconds
+  if show_zeros || t.busy_seconds <> 0. then
+    Format.fprintf ppf "%-30s %.6f@." "busy_seconds" t.busy_seconds
 
+let pp ppf t = pp_with ~show_zeros:false ppf t
 let to_alist t = List.map (fun (name, get, _) -> (name, get t)) fields
+
+module Json = Repro_obs.Json
+
+let to_json t =
+  Json.Obj
+    (("node", Json.Int t.node)
+    :: List.map (fun (name, get, _) -> (name, Json.Int (get t))) fields
+    @ [ ("busy_seconds", Json.Float t.busy_seconds) ])
+
+let of_json j =
+  let t = create () in
+  (match Json.member "node" j with
+  | Some v -> ( match Json.to_int_opt v with Some n -> t.node <- n | None -> ())
+  | None -> ());
+  List.iter
+    (fun (name, _, set) ->
+      match Option.bind (Json.member name j) Json.to_int_opt with
+      | Some v -> set t v
+      | None -> ())
+    fields;
+  (match Option.bind (Json.member "busy_seconds" j) Json.to_float_opt with
+  | Some v -> t.busy_seconds <- v
+  | None -> ());
+  t

@@ -6,6 +6,11 @@
     the interval it cares about. *)
 
 type t = {
+  mutable node : int;
+      (** which node these counters belong to; [-1] = global / unattributed.
+          Excluded from arithmetic ([reset]/[diff]/[merge_into] leave it
+          alone) — it exists so charge primitives can attribute typed
+          trace events without widening their signatures. *)
   mutable messages_sent : int;  (** inter-node protocol messages *)
   mutable message_bytes : int;
   mutable commit_messages : int;  (** messages on the commit path only — the paper's headline count *)
@@ -38,7 +43,7 @@ type t = {
           expose the server bottleneck without a full parallel DES *)
 }
 
-val create : unit -> t
+val create : ?node:int -> unit -> t
 val reset : t -> unit
 val snapshot : t -> t
 val diff : after:t -> before:t -> t
@@ -50,5 +55,15 @@ val merge_into : dst:t -> t -> unit
 val pp : Format.formatter -> t -> unit
 (** One counter per line, zero-valued counters omitted. *)
 
+val pp_with : show_zeros:bool -> Format.formatter -> t -> unit
+(** Like [pp], but [~show_zeros:true] prints every counter — use where
+    a zero {e is} the claim (e.g. E1's [log_records_shipped = 0]). *)
+
 val to_alist : t -> (string * int) list
 (** Stable field order; used by the bench harness to print table rows. *)
+
+val to_json : t -> Repro_obs.Json.t
+(** All counters (zeros included) plus [node] and [busy_seconds]. *)
+
+val of_json : Repro_obs.Json.t -> t
+(** Inverse of [to_json]; missing fields default to zero. *)

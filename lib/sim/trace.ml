@@ -1,22 +1,23 @@
-type t = { mutable enabled : bool; mutable items : string list (* newest first *) }
+module Recorder = Repro_obs.Recorder
+module Event = Repro_obs.Event
 
-let create ?(enabled = false) () = { enabled; items = [] }
-let enabled t = t.enabled
-let set_enabled t v = t.enabled <- v
+type t = Recorder.t
+
+let create ?(enabled = false) () = Recorder.create ~enabled ()
+let enabled = Recorder.enabled
+let set_enabled = Recorder.set_enabled
+let recorder t = t
+let of_recorder r = r
 
 let event t fmt =
-  if t.enabled then Format.kasprintf (fun s -> t.items <- s :: t.items) fmt
+  if Recorder.enabled t then Format.kasprintf (fun s -> Recorder.note t s) fmt
   else Format.ikfprintf (fun _ -> ()) Format.str_formatter fmt
 
-let events t = List.rev t.items
-let clear t = t.items <- []
+let events t = List.map Event.render (Recorder.events t)
+let clear = Recorder.clear
 
 let contains t needle =
-  let has s =
-    let n = String.length needle and m = String.length s in
-    let rec go i = i + n <= m && (String.sub s i n = needle || go (i + 1)) in
-    n = 0 || go 0
-  in
-  List.exists has t.items
+  List.exists (fun e -> Event.substring ~needle (Event.render e)) (Recorder.events t)
 
 let dump ppf t = List.iter (fun e -> Format.fprintf ppf "%s@." e) (events t)
+let to_jsonl = Recorder.to_jsonl

@@ -1,26 +1,38 @@
-(** Structured event trace.
+(** Structured event trace — compatibility face of the typed recorder.
 
-    When enabled, protocol code records one line per interesting event
-    (lock grant, callback, crash, recovery step).  Tests assert on the
+    Historically this was a string list; it is now an alias for
+    {!Repro_obs.Recorder.t}, a bounded ring of typed events.  The
+    legacy API survives unchanged: [event] records a free-text [Note],
+    [events] renders every event to one line, [contains] substring-
+    searches the rendering (now with an allocation-free scan instead of
+    the old [String.sub]-per-position probe).  Tests assert on the
     presence / order of events; the CLI's [--trace] flag prints them.
     Disabled tracing costs a single branch. *)
 
-type t
+type t = Repro_obs.Recorder.t
 
 val create : ?enabled:bool -> unit -> t
 val enabled : t -> bool
 val set_enabled : t -> bool -> unit
 
+val recorder : t -> Repro_obs.Recorder.t
+(** The underlying typed recorder (identity — for call-site clarity). *)
+
+val of_recorder : Repro_obs.Recorder.t -> t
+
 val event : t -> ('a, Format.formatter, unit, unit) format4 -> 'a
 (** Records a formatted event (no-op when disabled). *)
 
 val events : t -> string list
-(** All recorded events, oldest first. *)
+(** All recorded events rendered to one line each, oldest first. *)
 
 val clear : t -> unit
 
 val contains : t -> string -> bool
-(** [contains t needle] — substring search over recorded events; the
+(** [contains t needle] — substring search over rendered events; the
     test-suite's main assertion primitive. *)
 
 val dump : Format.formatter -> t -> unit
+
+val to_jsonl : t -> string
+(** Typed events as JSON lines (oldest first). *)

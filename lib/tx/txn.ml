@@ -12,6 +12,8 @@ type t = {
   mutable logged_records : int;
   mutable logged_bytes : int;
   mutable remote_updated : Repro_storage.Page_id.Set.t;
+  mutable began : float;
+  mutable span : int;
 }
 
 let make ~id ~node =
@@ -25,6 +27,8 @@ let make ~id ~node =
     logged_records = 0;
     logged_bytes = 0;
     remote_updated = Repro_storage.Page_id.Set.empty;
+    began = 0.;
+    span = -1;
   }
 let is_active t = t.state = Active
 let record_logged t lsn =

@@ -24,6 +24,8 @@ type t = {
   mutable remote_updated : Repro_storage.Page_id.Set.t;
       (** distinct remote pages updated — what the PCA baseline must
           ship at commit *)
+  mutable began : float;  (** simulated start time; feeds commit-latency histograms *)
+  mutable span : int;  (** observability span id, [-1] when tracing is off *)
 }
 
 val make : id:int -> node:int -> t

@@ -6,11 +6,12 @@ type summary = {
   max : float;
   p50 : float;
   p90 : float;
+  p95 : float;
   p99 : float;
 }
 
 let empty_summary =
-  { count = 0; mean = 0.; stddev = 0.; min = 0.; max = 0.; p50 = 0.; p90 = 0.; p99 = 0. }
+  { count = 0; mean = 0.; stddev = 0.; min = 0.; max = 0.; p50 = 0.; p90 = 0.; p95 = 0.; p99 = 0. }
 
 let percentile sorted p =
   let n = Array.length sorted in
@@ -37,13 +38,14 @@ let summarize samples =
       max = sorted.(n - 1);
       p50 = percentile sorted 0.50;
       p90 = percentile sorted 0.90;
+      p95 = percentile sorted 0.95;
       p99 = percentile sorted 0.99;
     }
   end
 
 let pp_summary ppf s =
-  Format.fprintf ppf "n=%d mean=%.3f sd=%.3f min=%.3f p50=%.3f p90=%.3f p99=%.3f max=%.3f"
-    s.count s.mean s.stddev s.min s.p50 s.p90 s.p99 s.max
+  Format.fprintf ppf "n=%d mean=%.3f sd=%.3f min=%.3f p50=%.3f p90=%.3f p95=%.3f p99=%.3f max=%.3f"
+    s.count s.mean s.stddev s.min s.p50 s.p90 s.p95 s.p99 s.max
 
 type histogram = { lo : float; hi : float; counts : int array; mutable n : int }
 

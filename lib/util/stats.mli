@@ -12,6 +12,7 @@ type summary = {
   max : float;
   p50 : float;
   p90 : float;
+  p95 : float;
   p99 : float;
 }
 

@@ -2,6 +2,7 @@ let () =
   Alcotest.run "client-based-logging"
     [
       ("util", Test_util.suite);
+      ("obs", Test_obs.suite);
       ("sim", Test_sim.suite);
       ("storage", Test_storage.suite);
       ("wal", Test_wal.suite);

@@ -1,0 +1,255 @@
+(* Tests for the observability layer: typed events, spans, log-bucketed
+   histograms, JSON codec, and the traced==untraced metrics invariant. *)
+
+module Json = Repro_obs.Json
+module Event = Repro_obs.Event
+module Recorder = Repro_obs.Recorder
+module Log_hist = Repro_obs.Log_hist
+module Stats = Repro_util.Stats
+module Metrics = Repro_sim.Metrics
+module Config = Repro_sim.Config
+module Cluster = Repro_cbl.Cluster
+module Engine = Repro_workload.Engine
+module Driver = Repro_workload.Driver
+module Generators = Repro_workload.Generators
+module Rng = Repro_util.Rng
+
+let feq = Alcotest.(check (float 1e-9))
+
+(* ---- spans ---- *)
+
+let test_span_nesting_and_ordering () =
+  let r = Recorder.create ~enabled:true () in
+  let outer = Recorder.span_begin r ~time:1.0 ~node:0 "txn.1" in
+  Alcotest.(check int) "outer is current" outer (Recorder.current_span r);
+  let inner = Recorder.span_begin r ~time:1.5 ~node:0 "force" in
+  Alcotest.(check int) "inner is current" inner (Recorder.current_span r);
+  (* events emitted while a span is open inherit the innermost span *)
+  Recorder.emit r ~time:1.6 ~node:0 Event.Log_force [ ("bytes", Event.Int 512) ];
+  Recorder.span_end r ~time:2.0 inner;
+  Alcotest.(check int) "outer current again" outer (Recorder.current_span r);
+  Recorder.span_end r ~time:3.0 outer;
+  Alcotest.(check int) "no open span" (-1) (Recorder.current_span r);
+  (match Recorder.spans r with
+  | [ o; i ] ->
+    Alcotest.(check string) "outer name" "txn.1" o.Recorder.name;
+    Alcotest.(check int) "outer is root" (-1) o.Recorder.parent;
+    Alcotest.(check string) "inner name" "force" i.Recorder.name;
+    Alcotest.(check int) "inner nests in outer" outer i.Recorder.parent;
+    (match (Recorder.span_duration o, Recorder.span_duration i) with
+    | Some dof, Some dif ->
+      feq "outer duration" 2.0 dof;
+      feq "inner duration" 0.5 dif
+    | _ -> Alcotest.fail "span durations missing")
+  | spans -> Alcotest.failf "expected 2 spans, got %d" (List.length spans));
+  (* the event stream is oldest-first and interleaves begins/ends *)
+  let kinds = List.map (fun e -> Event.kind_name e.Event.kind) (Recorder.events r) in
+  Alcotest.(check (list string))
+    "event order" [ "span.begin"; "span.begin"; "log.force"; "span.end"; "span.end" ] kinds;
+  let forced = List.find (fun e -> e.Event.kind = Event.Log_force) (Recorder.events r) in
+  Alcotest.(check int) "emit inherits innermost span" inner forced.Event.span
+
+let test_ring_buffer_keeps_newest () =
+  let r = Recorder.create ~enabled:true ~capacity:4 () in
+  for i = 1 to 10 do
+    Recorder.emit r ~time:(float_of_int i) ~node:0 Event.Note [ ("msg", Event.Int i) ]
+  done;
+  Alcotest.(check int) "dropped oldest" 6 (Recorder.dropped r);
+  let times = List.map (fun e -> int_of_float e.Event.time) (Recorder.events r) in
+  Alcotest.(check (list int)) "newest survive, oldest-first" [ 7; 8; 9; 10 ] times
+
+let test_disabled_recorder_is_inert () =
+  let r = Recorder.create () in
+  Recorder.emit r ~time:1.0 ~node:0 Event.Crash [];
+  let id = Recorder.span_begin r ~time:1.0 ~node:0 "txn.1" in
+  Alcotest.(check int) "span id is -1 when disabled" (-1) id;
+  Recorder.span_end r ~time:2.0 id;
+  Alcotest.(check int) "no events" 0 (List.length (Recorder.events r));
+  Alcotest.(check int) "no spans" 0 (List.length (Recorder.spans r))
+
+(* ---- histograms ---- *)
+
+let test_histogram_percentiles_match_stats () =
+  (* a deterministic long-tailed sample: commit latencies in seconds *)
+  let rng = Rng.create 99 in
+  let samples =
+    Array.init 5000 (fun _ ->
+        let base = 0.002 +. Rng.float rng 0.01 in
+        if Rng.chance rng 0.05 then base *. 30. else base)
+  in
+  let h = Log_hist.create () in
+  Array.iter (Log_hist.record h) samples;
+  let s = Stats.summarize samples in
+  let close name expect got =
+    let rel = abs_float (got -. expect) /. expect in
+    if rel > 0.15 then
+      Alcotest.failf "%s: histogram %g vs exact %g (rel err %.3f)" name got expect rel
+  in
+  Alcotest.(check int) "count" (Array.length samples) (Log_hist.count h);
+  feq "min is exact" s.Stats.min (Log_hist.min_value h);
+  feq "max is exact" s.Stats.max (Log_hist.max_value h);
+  close "mean" s.Stats.mean (Log_hist.mean h);
+  close "p50" s.Stats.p50 (Log_hist.p50 h);
+  close "p95" s.Stats.p95 (Log_hist.p95 h);
+  close "p99" s.Stats.p99 (Log_hist.p99 h)
+
+let test_histogram_edge_cases () =
+  let h = Log_hist.create () in
+  feq "empty quantile" 0. (Log_hist.p50 h);
+  Log_hist.record h 3.0;
+  feq "single sample p50" 3.0 (Log_hist.p50 h);
+  feq "single sample p99" 3.0 (Log_hist.p99 h);
+  Log_hist.record h 0.;
+  Alcotest.(check int) "zero lands in underflow" 2 (Log_hist.count h);
+  feq "min tracks zero" 0. (Log_hist.min_value h)
+
+let test_observe_aggregates_cluster () =
+  let r = Recorder.create () in
+  Recorder.observe r ~name:"commit_latency" ~node:0 1.0;
+  Recorder.observe r ~name:"commit_latency" ~node:1 2.0;
+  (match Recorder.find_hist r ~name:"commit_latency" ~node:(-1) with
+  | Some h -> Alcotest.(check int) "cluster aggregate has both" 2 (Log_hist.count h)
+  | None -> Alcotest.fail "cluster aggregate missing");
+  match Recorder.find_hist r ~name:"commit_latency" ~node:1 with
+  | Some h -> Alcotest.(check int) "per-node kept apart" 1 (Log_hist.count h)
+  | None -> Alcotest.fail "per-node histogram missing"
+
+(* ---- JSON ---- *)
+
+let test_json_round_trip () =
+  let v =
+    Json.Obj
+      [
+        ("s", Json.Str "he said \"hi\"\n\ttab");
+        ("i", Json.Int (-42));
+        ("f", Json.Float 0.1250931);
+        ("t", Json.Bool true);
+        ("n", Json.Null);
+        ("l", Json.List [ Json.Int 1; Json.Float 2.5; Json.Str "x" ]);
+        ("o", Json.Obj [ ("nested", Json.List []) ]);
+      ]
+  in
+  Alcotest.(check bool) "round trip" true (Json.of_string (Json.to_string v) = v);
+  Alcotest.(check bool)
+    "pretty round trip" true
+    (Json.of_string (Json.to_string_pretty v) = v);
+  (match Json.of_string "{\"a\": [1, 2.5e-3, \"\\u0041\"]}" with
+  | Json.Obj [ ("a", Json.List [ Json.Int 1; Json.Float f; Json.Str "A" ]) ] ->
+    feq "exponent" 0.0025 f
+  | _ -> Alcotest.fail "parse shape");
+  List.iter
+    (fun bad -> match Json.of_string bad with
+      | exception Json.Parse_error _ -> ()
+      | _ -> Alcotest.failf "accepted invalid JSON %S" bad)
+    [ "{"; "[1,]"; "tru"; "\"unterminated"; "1 2" ]
+
+let test_metrics_json_round_trip () =
+  let m = Metrics.create ~node:3 () in
+  m.Metrics.messages_sent <- 17;
+  m.Metrics.log_appends <- 5;
+  m.Metrics.txn_committed <- 2;
+  m.Metrics.busy_seconds <- 1.625;
+  let m' = Metrics.of_json (Json.of_string (Json.to_string (Metrics.to_json m))) in
+  Alcotest.(check int) "node survives" 3 m'.Metrics.node;
+  feq "float survives" m.Metrics.busy_seconds m'.Metrics.busy_seconds;
+  Alcotest.(check (list (pair string int)))
+    "all counters survive" (Metrics.to_alist m) (Metrics.to_alist m')
+
+let test_event_json_and_kind_names () =
+  List.iter
+    (fun k ->
+      match Event.kind_of_name (Event.kind_name k) with
+      | Some k' when k' = k -> ()
+      | _ -> Alcotest.failf "kind name round trip failed for %s" (Event.kind_name k))
+    Event.all_kinds;
+  let e =
+    Event.make ~time:1.25 ~node:2 ~span:7 Event.Page_ship
+      [ ("dst", Event.Int 0); ("page", Event.Str "P0.3") ]
+  in
+  let j = Event.to_json e in
+  let str_field k = Option.bind (Json.member k j) Json.to_string_opt in
+  let int_field k = Option.bind (Json.member k j) Json.to_int_opt in
+  Alcotest.(check (option string)) "kind" (Some "page.ship") (str_field "kind");
+  Alcotest.(check (option int)) "node" (Some 2) (int_field "node");
+  Alcotest.(check (option string)) "attr" (Some "P0.3") (str_field "page")
+
+(* ---- the invariant: tracing must not change the simulation ---- *)
+
+let run_workload ~trace () =
+  let cluster = Cluster.create ~trace ~seed:5 ~nodes:3 Config.default in
+  let p0 = Cluster.allocate_pages cluster ~owner:0 ~count:12 in
+  let p2 = Cluster.allocate_pages cluster ~owner:2 ~count:12 in
+  let engine = Engine.of_cluster cluster in
+  let rng = Rng.create 5 in
+  let scripts =
+    Generators.partitioned rng
+      ~pages_by_owner:[ (0, p0); (2, p2) ]
+      ~clients:[ 0; 1; 2 ] ~txns_per_client:8
+      ~mix:{ Generators.default_mix with remote_fraction = 0.4 }
+  in
+  let events = [ (12, Driver.Crash 1); (30, Driver.Recover [ 1 ]) ] in
+  let outcome = Driver.run engine ~events scripts in
+  (cluster, outcome)
+
+let test_traced_equals_untraced () =
+  let traced, ot = run_workload ~trace:true () in
+  let untraced, ou = run_workload ~trace:false () in
+  Alcotest.(check (list (pair string int)))
+    "identical counters"
+    (Metrics.to_alist (Cluster.global_metrics untraced))
+    (Metrics.to_alist (Cluster.global_metrics traced));
+  feq "identical simulated time" (Cluster.now untraced) (Cluster.now traced);
+  Alcotest.(check int) "identical commits" ou.Driver.committed ot.Driver.committed;
+  (* and the traced run actually recorded the story *)
+  let obs = Repro_sim.Env.obs (Cluster.env traced) in
+  let has k = List.exists (fun e -> e.Event.kind = k) (Recorder.events obs) in
+  List.iter
+    (fun k ->
+      Alcotest.(check bool) (Event.kind_name k ^ " captured") true (has k))
+    [ Event.Txn_begin; Event.Txn_commit; Event.Msg_send; Event.Log_force; Event.Crash;
+      Event.Recovery_begin; Event.Recovery_phase; Event.Recovery_end ];
+  Alcotest.(check bool)
+    "untraced recorded nothing" true
+    (Recorder.events (Repro_sim.Env.obs (Cluster.env untraced)) = [])
+
+let test_commit_latency_histograms_always_on () =
+  let cluster, _ = run_workload ~trace:false () in
+  let obs = Repro_sim.Env.obs (Cluster.env cluster) in
+  (match Recorder.find_hist obs ~name:"commit_latency" ~node:(-1) with
+  | Some h -> Alcotest.(check bool) "commits observed" true (Log_hist.count h > 0)
+  | None -> Alcotest.fail "commit_latency cluster histogram missing");
+  match Recorder.find_hist obs ~name:"recovery_duration" ~node:1 with
+  | Some h -> Alcotest.(check int) "one recovery at node 1" 1 (Log_hist.count h)
+  | None -> Alcotest.fail "recovery_duration histogram missing"
+
+let test_recovery_summary_phases () =
+  let cluster, _ = run_workload ~trace:false () in
+  Cluster.crash cluster ~node:2;
+  let s = Cluster.recover_timed cluster ~nodes:[ 2 ] in
+  let names = List.map fst s.Repro_cbl.Recovery.phases in
+  List.iter
+    (fun phase ->
+      Alcotest.(check bool) (phase ^ " timed") true (List.mem phase names))
+    [ "analysis"; "lock_reconstruction"; "gather"; "redo"; "undo" ];
+  let sum = List.fold_left (fun acc (_, dt) -> acc +. dt) 0. s.Repro_cbl.Recovery.phases in
+  Alcotest.(check bool)
+    "phases within total" true
+    (sum <= s.Repro_cbl.Recovery.total_seconds +. 1e-9)
+
+let suite =
+  [
+    Alcotest.test_case "span nesting and ordering" `Quick test_span_nesting_and_ordering;
+    Alcotest.test_case "ring buffer keeps newest" `Quick test_ring_buffer_keeps_newest;
+    Alcotest.test_case "disabled recorder is inert" `Quick test_disabled_recorder_is_inert;
+    Alcotest.test_case "histogram percentiles vs Stats" `Quick
+      test_histogram_percentiles_match_stats;
+    Alcotest.test_case "histogram edge cases" `Quick test_histogram_edge_cases;
+    Alcotest.test_case "observe aggregates cluster-wide" `Quick test_observe_aggregates_cluster;
+    Alcotest.test_case "json round trip" `Quick test_json_round_trip;
+    Alcotest.test_case "metrics json round trip" `Quick test_metrics_json_round_trip;
+    Alcotest.test_case "event json and kind names" `Quick test_event_json_and_kind_names;
+    Alcotest.test_case "traced run equals untraced run" `Quick test_traced_equals_untraced;
+    Alcotest.test_case "latency histograms always on" `Quick
+      test_commit_latency_histograms_always_on;
+    Alcotest.test_case "recovery summary phases" `Quick test_recovery_summary_phases;
+  ]
