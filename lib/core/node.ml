@@ -111,7 +111,18 @@ let owner_after_flush t pid ~flushed_psn =
       let n = peer t waiter in
       tracef t "ACK node%d -> node%d %a flushed=%d" t.id waiter Page_id.pp pid flushed_psn;
       send t ~dst:waiter ~bytes:Wire.control ();
-      if n.up then Dpt.on_flush_ack n.dpt pid ~flushed_psn)
+      if n.up then begin
+        Dpt.on_flush_ack n.dpt pid ~flushed_psn;
+        (* The durable copy covers the waiter's cached version: that
+           copy is no longer dirty — there is nothing left to ship —
+           and keeping the flag would leave a dirty frame behind after
+           the ack retires the DPT entry. *)
+        match Buffer_pool.peek n.pool pid with
+        | Some f when f.dirty && Page.psn f.page <= flushed_psn ->
+          f.dirty <- false;
+          f.rec_lsn <- Lsn.nil
+        | Some _ | None -> ()
+      end)
     waiters
 
 (* ------------------------------------------------------------------ *)
@@ -125,6 +136,15 @@ let owner_after_flush t pid ~flushed_psn =
    pools always finds a free slot. *)
 let rec evict_frame t (frame : Buffer_pool.frame) =
   let pid = Page.id frame.page in
+  (* A dirty remote eviction needs the owner up to receive the ship.
+     Checked before the frame leaves the pool: removing first and
+     blocking after would drop the only cached copy of the current
+     version, and a later update from the stale disk base would mint a
+     second lineage under the same PSNs. *)
+  if frame.dirty && Page_id.owner pid <> t.id then begin
+    let owner = peer t (Page_id.owner pid) in
+    if not owner.up then Block.block (Block.Node_down { node = owner.id })
+  end;
   Buffer_pool.remove t.pool pid;
   if frame.dirty then begin
     wal_force t frame.last_lsn;
@@ -135,7 +155,6 @@ let rec evict_frame t (frame : Buffer_pool.frame) =
     end
     else begin
       let owner = peer t (Page_id.owner pid) in
-      if not owner.up then Block.block (Block.Node_down { node = owner.id });
       ship_to_owner t ~owner frame.page;
       Dpt.on_replaced t.dpt pid ~end_of_log:(Log_manager.end_lsn t.log)
     end
@@ -163,23 +182,53 @@ and owner_receive_replaced t page ~from =
   let pid = Page.id page in
   tracef t "RECV node%d <- node%d %a psn=%d" t.id from Page_id.pp pid (Page.psn page);
   register_flush_waiter t pid ~waiter:from;
-  let frame : Buffer_pool.frame = install_or_merge t page in
-  frame.dirty <- true;
-  (match t.scheme with
-  | Global_log _ ->
-    (* Rdb/VMS-style: pages are forced to disk when exchanged between
-       nodes; the owner never holds a transferred page dirty. *)
-    Disk.write t.disk frame.page;
-    frame.dirty <- false;
-    owner_after_flush t pid ~flushed_psn:(Page.psn frame.page)
-  | Local_logging | Server_logging _ | Pca_double_logging -> ())
+  match install_or_merge t page with
+  | (frame : Buffer_pool.frame) -> (
+    frame.dirty <- true;
+    match t.scheme with
+    | Global_log _ ->
+      (* Rdb/VMS-style: pages are forced to disk when exchanged between
+         nodes; the owner never holds a transferred page dirty. *)
+      Disk.write t.disk frame.page;
+      frame.dirty <- false;
+      owner_after_flush t pid ~flushed_psn:(Page.psn frame.page)
+    | Local_logging | Server_logging _ | Pca_double_logging -> ())
+  | exception Block.Would_block _ ->
+    (* No evictable frame to make room with.  The ship must not fail
+       part-way — the sender has already dropped its copy — so force
+       the received copy straight to disk instead of caching it.  The
+       WAL rule holds: the sender forced its log before shipping. *)
+    tracef t "RECV node%d <- node%d %a psn=%d: pool stuck, forcing to disk" t.id from Page_id.pp
+      pid (Page.psn page);
+    (match Disk.psn_on_disk t.disk pid with
+    | Some d when d >= Page.psn page -> ()
+    | Some _ | None -> Disk.write t.disk page);
+    owner_after_flush t pid ~flushed_psn:(Page.psn page)
 
 and make_room t =
-  while Buffer_pool.is_full t.pool do
-    match Buffer_pool.choose_victim t.pool with
-    | None -> invalid_arg "Node.make_room: every frame is pinned"
-    | Some victim -> evict_frame t victim
-  done
+  (* An eviction can block (a dirty remote victim whose owner is down).
+     Such victims are parked — pinned so the policy skips them — and
+     the next candidate is tried; the block surfaces only when nothing
+     in the pool is evictable.  Parked frames are always unpinned on
+     the way out. *)
+  let parked = ref [] in
+  let blocked = ref None in
+  Fun.protect
+    ~finally:(fun () -> List.iter Buffer_pool.unpin !parked)
+    (fun () ->
+      while Buffer_pool.is_full t.pool do
+        match Buffer_pool.choose_victim t.pool with
+        | Some victim -> (
+          try evict_frame t victim
+          with Block.Would_block _ as e ->
+            if !blocked = None then blocked := Some e;
+            Buffer_pool.pin victim;
+            parked := victim :: !parked)
+        | None -> (
+          match !blocked with
+          | Some e -> raise e
+          | None -> invalid_arg "Node.make_room: every frame is pinned")
+      done)
 
 (* Put [page] in the pool, keeping the newer version if a copy is
    already (or — via an eviction chain triggered by make_room —

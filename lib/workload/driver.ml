@@ -36,12 +36,17 @@ type prog = {
   mutable began_at : float;
   mutable cooldown : int;  (* rounds to sit out after a deadlock abort *)
   mutable last_block : string;
+  mutable aborting : bool;
+      (* a wound/victim abort blocked part-way (its undo needs a down
+         node): the transaction is half rolled back and must not run
+         forward again — only the abort is retried until it completes *)
 }
 
 let reset_prog p =
   p.txn <- None;
   p.step <- 0;
   p.effects <- [];
+  p.aborting <- false;
   p.retries <- p.retries + 1;
   (* Backoff breaks the symmetry that would otherwise re-create the
      same deadlock cycle on the very next round. *)
@@ -67,6 +72,7 @@ let run (engine : Engine.t) ?(events = []) ?(max_rounds = 100_000) ?(policy = Wo
           began_at = 0.;
           cooldown = 0;
           last_block = "";
+          aborting = false;
         })
       scripts
   in
@@ -101,6 +107,24 @@ let run (engine : Engine.t) ?(events = []) ?(max_rounds = 100_000) ?(policy = Wo
     incr committed;
     latencies := (Env.now engine.Engine.env -. p.began_at) :: !latencies
   in
+  (* Abort [txn] on behalf of prog [p] (wound, deadlock victim, or a
+     retried half-abort).  The rollback itself can block — a CLR may
+     need a page whose owner is down — leaving the transaction half
+     rolled back.  It must then be quarantined: letting the script run
+     forward again would commit a transaction whose early updates were
+     already compensated away, i.e. silently lose committed effects.
+     The prog sits out with [aborting] set and only the abort is
+     retried until the rollback completes. *)
+  let abort_prog p txn =
+    Deadlock.remove_txn engine.Engine.deadlock txn;
+    match engine.Engine.abort ~txn with
+    | () ->
+      incr deadlock_aborts;
+      reset_prog p
+    | exception Block.Would_block _ ->
+      p.aborting <- true;
+      p.cooldown <- 4
+  in
   let resolve_deadlocks () =
     let rec loop () =
       match Deadlock.find_cycle engine.Engine.deadlock with
@@ -108,11 +132,7 @@ let run (engine : Engine.t) ?(events = []) ?(max_rounds = 100_000) ?(policy = Wo
       | Some cycle ->
         let victim = Deadlock.victim cycle in
         (match find_prog_by_txn victim with
-        | Some p ->
-          engine.Engine.abort ~txn:victim;
-          Deadlock.remove_txn engine.Engine.deadlock victim;
-          incr deadlock_aborts;
-          reset_prog p
+        | Some p -> abort_prog p victim
         | None -> Deadlock.remove_txn engine.Engine.deadlock victim);
         loop ()
     in
@@ -190,6 +210,12 @@ let run (engine : Engine.t) ?(events = []) ?(max_rounds = 100_000) ?(policy = Wo
     Array.iteri
       (fun idx p ->
         if p.status = Running && p.cooldown > 0 then p.cooldown <- p.cooldown - 1
+        else if p.status = Running && p.aborting then (
+          match p.txn with
+          | Some txn ->
+            abort_prog p txn;
+            if not p.aborting then progressed := true
+          | None -> p.aborting <- false)
         else if
           p.status = Running
           && (p.txn <> None
@@ -211,12 +237,7 @@ let run (engine : Engine.t) ?(events = []) ?(max_rounds = 100_000) ?(policy = Wo
             | Block.Lock_conflict { blockers }, Some txn when blockers = [ txn ] ->
               (* self-blocking (e.g. the transaction's own undo chain
                  pins a full log): forced abort and restart *)
-              (match engine.Engine.abort ~txn with
-              | () ->
-                Deadlock.remove_txn engine.Engine.deadlock txn;
-                incr deadlock_aborts;
-                reset_prog p
-              | exception Block.Would_block _ -> ())
+              abort_prog p txn
             | Block.Lock_conflict { blockers }, Some txn -> begin
               match policy with
               | Wound_wait ->
@@ -226,16 +247,7 @@ let run (engine : Engine.t) ?(events = []) ?(max_rounds = 100_000) ?(policy = Wo
                   (fun blocker ->
                     if blocker > txn then
                       match find_prog_by_txn blocker with
-                      | Some q -> begin
-                        (* The wound itself can block (e.g. its undo
-                           needs a crashed owner); retry it later. *)
-                        match engine.Engine.abort ~txn:blocker with
-                        | () ->
-                          Deadlock.remove_txn engine.Engine.deadlock blocker;
-                          incr deadlock_aborts;
-                          reset_prog q
-                        | exception Block.Would_block _ -> ()
-                      end
+                      | Some q -> abort_prog q blocker
                       | None -> ())
                   blockers
               | Detect ->
