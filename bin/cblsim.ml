@@ -276,14 +276,53 @@ let trace_cmd =
 
 (* ---- stress ---- *)
 
-let stress runs start =
+module Fault_plan = Repro_fault.Fault_plan
+module Injector = Repro_fault.Injector
+
+let read_plan file =
+  let ic = open_in file in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  Fault_plan.of_json (Json.of_string s)
+
+let write_plan file plan =
+  let oc = open_out file in
+  output_string oc (Json.to_string_pretty (Fault_plan.to_json plan));
+  output_char oc '\n';
+  close_out oc
+
+let stress runs start faults_spec plan_file dump_plan =
+  let classes =
+    match Fault_plan.classes_of_string faults_spec with
+    | Ok c -> c
+    | Error msg -> Fmt.failwith "--faults: %s" msg
+  in
+  let faults_on =
+    classes.Fault_plan.net || classes.Fault_plan.disk || classes.Fault_plan.crashpoints
+    || plan_file <> None
+  in
+  let loaded_plan = Option.map read_plan plan_file in
+  let last_plan = ref None in
+  let fault_totals = Metrics.create () in
   (* the same randomized schedule the property test uses, sequentially *)
   let failures = ref 0 in
   for seed = start to start + runs - 1 do
     let rng = Rng.create seed in
+    (* The plan draws from a split substream so that the legacy draws
+       below are untouched; without fault flags nothing here runs and
+       historical seeds reproduce bit-identically. *)
+    let plan =
+      match loaded_plan with
+      | Some _ as p -> p
+      | None ->
+        if faults_on then Some (Fault_plan.generate (Rng.split rng) ~classes) else None
+    in
+    if plan <> None then last_plan := plan;
+    let faults = Option.map Injector.create plan in
     let nodes = 2 + Rng.int rng 4 in
     let cluster =
-      Cluster.create ~seed ~nodes ~pool_capacity:(8 + Rng.int rng 24) Config.instant
+      Cluster.create ~seed ?faults ~nodes ~pool_capacity:(8 + Rng.int rng 24) Config.instant
     in
     let owners = List.init (1 + Rng.int rng (min 3 nodes)) (fun i -> i) in
     let pages_by_owner =
@@ -332,8 +371,18 @@ let stress runs start =
       end
     done;
     if !crashed <> [] then events := (!t + 5, Driver.Recover !crashed) :: !events;
+    (* Fault-injected runs also take checkpoints mid-workload: the
+       mid-checkpoint crash point can only fire inside one. *)
+    if faults_on then
+      for _ = 1 to 2 + Rng.int rng 3 do
+        events := (5 + Rng.int rng 60, Driver.Checkpoint (Rng.int rng nodes)) :: !events
+      done;
     let outcome =
-      Driver.run engine ~events:(List.sort compare !events) ~max_rounds:30_000 scripts
+      Driver.run engine
+        ~events:(List.sort compare !events)
+        ~max_rounds:30_000
+        ?auto_recover:(if faults_on then Some 6 else None)
+        scripts
     in
     let down =
       List.filter_map
@@ -348,8 +397,37 @@ let stress runs start =
       incr failures;
       Format.printf "seed %d: FAILED (stuck=%d%s)@." seed stuck
         (match result with Ok () -> "" | Error e -> "; " ^ List.hd e));
+    if faults_on then begin
+      let g = Cluster.global_metrics cluster in
+      fault_totals.Metrics.net_msgs_dropped <-
+        fault_totals.Metrics.net_msgs_dropped + g.Metrics.net_msgs_dropped;
+      fault_totals.Metrics.net_msgs_duplicated <-
+        fault_totals.Metrics.net_msgs_duplicated + g.Metrics.net_msgs_duplicated;
+      fault_totals.Metrics.net_msgs_delayed <-
+        fault_totals.Metrics.net_msgs_delayed + g.Metrics.net_msgs_delayed;
+      fault_totals.Metrics.net_link_blocks <-
+        fault_totals.Metrics.net_link_blocks + g.Metrics.net_link_blocks;
+      fault_totals.Metrics.torn_crashes <-
+        fault_totals.Metrics.torn_crashes + g.Metrics.torn_crashes;
+      fault_totals.Metrics.torn_bytes_discarded <-
+        fault_totals.Metrics.torn_bytes_discarded + g.Metrics.torn_bytes_discarded;
+      fault_totals.Metrics.injected_crashes <-
+        fault_totals.Metrics.injected_crashes + g.Metrics.injected_crashes
+    end;
     if (seed - start) mod 50 = 49 then Format.printf "...%d runs ok@." (seed - start + 1)
   done;
+  (match (dump_plan, !last_plan) with
+  | Some file, Some plan -> write_plan file plan
+  | Some file, None -> Fmt.failwith "--dump-plan %s: no fault plan was generated" file
+  | None, _ -> ());
+  if faults_on then
+    Format.printf
+      "faults injected: dropped=%d duplicated=%d delayed=%d link_blocks=%d torn=%d \
+       torn_bytes=%d crashes=%d@."
+      fault_totals.Metrics.net_msgs_dropped fault_totals.Metrics.net_msgs_duplicated
+      fault_totals.Metrics.net_msgs_delayed fault_totals.Metrics.net_link_blocks
+      fault_totals.Metrics.torn_crashes fault_totals.Metrics.torn_bytes_discarded
+      fault_totals.Metrics.injected_crashes;
   if !failures = 0 then Format.printf "stress: %d randomized runs verified@." runs
   else begin
     Format.printf "stress: %d FAILURES@." !failures;
@@ -359,9 +437,39 @@ let stress runs start =
 let stress_cmd =
   let runs = Arg.(value & opt int 100 & info [ "runs" ] ~doc:"Number of randomized runs.") in
   let start = Arg.(value & opt int 0 & info [ "start" ] ~doc:"First seed.") in
+  let faults =
+    Arg.(
+      value & opt string ""
+      & info [ "faults" ] ~docv:"CLASSES"
+          ~doc:
+            "Enable deterministic fault injection.  Comma-separated classes from $(b,net) \
+             (message drop / duplication / delay / temporary partitions), $(b,disk) (torn log \
+             writes on crash) and $(b,crashpoints) (crashes at named protocol points); \
+             $(b,all) enables everything.")
+  in
+  let plan_json =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "plan-json" ] ~docv:"FILE"
+          ~doc:
+            "Replay the fault plan stored in $(docv) (as written by $(b,--dump-plan)) instead \
+             of generating one per seed.  The same plan and workload reproduce the identical \
+             run, bit for bit.")
+  in
+  let dump_plan =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "dump-plan" ] ~docv:"FILE"
+          ~doc:"Write the last run's fault plan to $(docv) as JSON.")
+  in
   Cmd.v
-    (Cmd.info "stress" ~doc:"Randomized crash-schedule runs with the durability oracle")
-    Term.(const stress $ runs $ start)
+    (Cmd.info "stress"
+       ~doc:
+         "Randomized crash-schedule runs with the durability oracle, optionally under \
+          deterministic fault injection")
+    Term.(const stress $ runs $ start $ faults $ plan_json $ dump_plan)
 
 let () =
   let doc = "client-based logging for high performance distributed architectures (ICDE'96)" in

@@ -1,7 +1,15 @@
 #!/bin/sh
-# Local CI: build, formatting check (when ocamlformat is installed), tests.
+# Local CI: build, formatting check (when ocamlformat is installed),
+# tests, and an optional randomized stress sweep.
+#
+#   STRESS_RUNS=N ./ci.sh    additionally runs N randomized crash/verify
+#                            stress iterations, once clean and once with
+#                            every fault class injected (--faults all).
+#                            0 (the default) skips the sweep.
 set -eu
 cd "$(dirname "$0")"
+
+STRESS_RUNS="${STRESS_RUNS:-0}"
 
 echo "== dune build =="
 dune build
@@ -18,5 +26,12 @@ fi
 
 echo "== dune runtest =="
 dune runtest
+
+if [ "$STRESS_RUNS" -gt 0 ]; then
+  echo "== stress: $STRESS_RUNS clean runs =="
+  dune exec bin/cblsim.exe -- stress --runs "$STRESS_RUNS"
+  echo "== stress: $STRESS_RUNS fault-injected runs (--faults all) =="
+  dune exec bin/cblsim.exe -- stress --runs "$STRESS_RUNS" --faults all
+fi
 
 echo "CI OK"

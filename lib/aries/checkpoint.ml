@@ -2,7 +2,7 @@ module Record = Repro_wal.Record
 module Log_manager = Repro_wal.Log_manager
 module Lsn = Repro_wal.Lsn
 
-let take log env metrics ~dpt ~active ~master =
+let take ?(on_before_master = fun () -> ()) log env metrics ~dpt ~active ~master =
   let module Env = Repro_sim.Env in
   let module Event = Repro_obs.Event in
   let node = metrics.Repro_sim.Metrics.node in
@@ -18,6 +18,7 @@ let take log env metrics ~dpt ~active ~master =
       { Record.txn = Record.system_txn; prev = begin_lsn; body = Checkpoint_end }
   in
   Log_manager.force log ~upto:end_lsn;
+  on_before_master ();
   Master.set master begin_lsn;
   metrics.Repro_sim.Metrics.checkpoints_taken <- metrics.Repro_sim.Metrics.checkpoints_taken + 1;
   let g = Repro_sim.Env.global_metrics env in

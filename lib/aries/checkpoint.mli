@@ -7,6 +7,7 @@
     checkpointing is entirely local. *)
 
 val take :
+  ?on_before_master:(unit -> unit) ->
   Repro_wal.Log_manager.t ->
   Repro_sim.Env.t ->
   Repro_sim.Metrics.t ->
@@ -14,4 +15,8 @@ val take :
   active:Repro_wal.Record.active_txn list ->
   master:Master.t ->
   Repro_wal.Lsn.t
-(** Returns the LSN of the begin record (the new master value). *)
+(** Returns the LSN of the begin record (the new master value).
+    [on_before_master] runs after the checkpoint pair is forced but
+    before the master record moves — the fault layer hangs its
+    mid-checkpoint crash point there (a crash in that window must
+    recover from the {e previous} master). *)

@@ -3,6 +3,7 @@ type reason =
   | Node_down of { node : int }
   | Log_space of { node : int }
   | Page_recovering of Repro_storage.Page_id.t
+  | Net_unreachable of { src : int; dst : int }
 
 exception Would_block of reason
 
@@ -19,3 +20,5 @@ let pp_reason ppf = function
   | Log_space { node } -> Format.fprintf ppf "node %d is out of log space" node
   | Page_recovering pid ->
     Format.fprintf ppf "page %a is being recovered" Repro_storage.Page_id.pp pid
+  | Net_unreachable { src; dst } ->
+    Format.fprintf ppf "node %d cannot reach node %d (partition)" src dst

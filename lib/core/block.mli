@@ -15,6 +15,8 @@ type reason =
       (** the node's log is full and freeing space is itself blocked *)
   | Page_recovering of Repro_storage.Page_id.t
       (** access stopped until the owner finishes recovering the page *)
+  | Net_unreachable of { src : int; dst : int }
+      (** an injected partition blocks the link; retry heals it *)
 
 exception Would_block of reason
 

@@ -15,10 +15,10 @@ type t = {
   deadlock : Deadlock.t;
 }
 
-let create ?(trace = false) ?(seed = 42) ?(pool_capacity = 64) ?pool_policy ?log_capacity
-    ?scheme ?retain_cached_locks ~nodes config =
+let create ?(trace = false) ?(seed = 42) ?faults ?(pool_capacity = 64) ?pool_policy
+    ?log_capacity ?scheme ?retain_cached_locks ~nodes config =
   if nodes <= 0 then invalid_arg "Cluster.create: need at least one node";
-  let env = Env.create ~trace ~seed config in
+  let env = Env.create ~trace ~seed ?faults config in
   let members =
     Array.init nodes (fun id ->
         Node.create env ~id ~pool_capacity ?pool_policy ?log_capacity ?scheme
@@ -95,8 +95,22 @@ let operational_nodes t =
 let recover_timed ?strategy t ~nodes:ids =
   let crashed = List.map (node t) ids in
   let crashed_ids = List.map Node.id crashed in
+  (* Recovery treats every node outside the crashed set as a live
+     source of page bases, DPT claims and log records.  A node that is
+     down but not being recovered would silently contribute a stale
+     disk base and none of its log records — a redo gap waiting to
+     happen — so demand the caller recovers all down nodes together. *)
+  List.iter
+    (fun n ->
+      if (not (Node.is_up n)) && not (List.mem (Node.id n) crashed_ids) then
+        invalid_arg
+          (Printf.sprintf
+             "Cluster.recover: node %d is down but not in the crashed set; all down nodes must \
+              recover together"
+             (Node.id n)))
+    (nodes t);
   let operational =
-    List.filter (fun n -> Node.is_up n && not (List.mem (Node.id n) crashed_ids)) (nodes t)
+    List.filter (fun n -> not (List.mem (Node.id n) crashed_ids)) (nodes t)
   in
   Recovery.run ?strategy ~crashed ~operational ()
 

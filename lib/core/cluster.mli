@@ -21,6 +21,7 @@ type t
 val create :
   ?trace:bool ->
   ?seed:int ->
+  ?faults:Repro_fault.Injector.t ->
   ?pool_capacity:int ->
   ?pool_policy:Repro_buffer.Buffer_pool.policy ->
   ?log_capacity:int ->

@@ -84,6 +84,39 @@ let deallocate_page t pid =
   Alloc_map.deallocate t.alloc page
 
 (* ------------------------------------------------------------------ *)
+(* Crash and injected crash points                                     *)
+(* ------------------------------------------------------------------ *)
+
+let crash t =
+  t.up <- false;
+  Buffer_pool.clear t.pool;
+  Local_locks.clear t.locks;
+  Global_locks.clear t.glocks;
+  Dpt.clear t.dpt;
+  Txn_table.clear t.txns;
+  Page_id.Tbl.reset t.flush_waiters;
+  Page_id.Tbl.reset t.reservations;
+  t.recovering_pages <- Page_id.Set.empty;
+  Log_manager.crash ?faults:(Env.faults t.env) t.log;
+  if Env.tracing t.env then Env.emit t.env ~node:t.id Event.Crash [];
+  tracef t "node %d crashed" t.id
+
+(* A named protocol crash point: with a fault injector installed, the
+   node may crash *here* — mid-commit-force, mid-checkpoint, mid-ship,
+   mid-rollback — the schedules most likely to expose recovery bugs.
+   The crash surfaces as [Node_down] so the caller unwinds exactly as
+   it would for any other crash. *)
+let maybe_crashpoint t point =
+  match Env.faults t.env with
+  | Some inj when Repro_fault.Injector.crashpoint inj point ->
+    bump t (fun m -> m.Metrics.injected_crashes <- m.Metrics.injected_crashes + 1);
+    Env.emit t.env ~node:t.id Event.Fault_crash
+      [ ("point", Event.Str (Repro_fault.Injector.point_name point)) ];
+    crash t;
+    Block.block (Block.Node_down { node = t.id })
+  | Some _ | None -> ()
+
+(* ------------------------------------------------------------------ *)
 (* Flush acknowledgements (§2.5)                                       *)
 (* ------------------------------------------------------------------ *)
 
@@ -109,19 +142,30 @@ let owner_after_flush t pid ~flushed_psn =
   List.iter
     (fun waiter ->
       let n = peer t waiter in
-      tracef t "ACK node%d -> node%d %a flushed=%d" t.id waiter Page_id.pp pid flushed_psn;
-      send t ~dst:waiter ~bytes:Wire.control ();
-      if n.up then begin
-        Dpt.on_flush_ack n.dpt pid ~flushed_psn;
-        (* The durable copy covers the waiter's cached version: that
-           copy is no longer dirty — there is nothing left to ship —
-           and keeping the flag would leave a dirty frame behind after
-           the ack retires the DPT entry. *)
-        match Buffer_pool.peek n.pool pid with
-        | Some f when f.dirty && Page.psn f.page <= flushed_psn ->
-          f.dirty <- false;
-          f.rec_lsn <- Lsn.nil
-        | Some _ | None -> ()
+      if not (link_up t ~dst:waiter) then
+        (* The ack cannot cross the partition right now.  Keep the
+           waiter registered — losing it silently would strand its DPT
+           entry forever; a later flush (or §2.5 request) re-sends. *)
+        register_flush_waiter t pid ~waiter
+      else begin
+        tracef t "ACK node%d -> node%d %a flushed=%d" t.id waiter Page_id.pp pid flushed_psn;
+        let dup = send_dup t ~dst:waiter ~bytes:Wire.control () in
+        if n.up then begin
+          let deliver () =
+            Dpt.on_flush_ack n.dpt pid ~flushed_psn;
+            (* The durable copy covers the waiter's cached version: that
+               copy is no longer dirty — there is nothing left to ship —
+               and keeping the flag would leave a dirty frame behind after
+               the ack retires the DPT entry. *)
+            match Buffer_pool.peek n.pool pid with
+            | Some f when f.dirty && Page.psn f.page <= flushed_psn ->
+              f.dirty <- false;
+              f.rec_lsn <- Lsn.nil
+            | Some _ | None -> ()
+          in
+          deliver ();
+          if dup then deliver ()
+        end
       end)
     waiters
 
@@ -143,7 +187,8 @@ let rec evict_frame t (frame : Buffer_pool.frame) =
      second lineage under the same PSNs. *)
   if frame.dirty && Page_id.owner pid <> t.id then begin
     let owner = peer t (Page_id.owner pid) in
-    if not owner.up then Block.block (Block.Node_down { node = owner.id })
+    if not owner.up then Block.block (Block.Node_down { node = owner.id });
+    ensure_link t ~dst:owner.id
   end;
   Buffer_pool.remove t.pool pid;
   if frame.dirty then begin
@@ -164,7 +209,8 @@ let rec evict_frame t (frame : Buffer_pool.frame) =
    owner-side install.  The single place the [pages_shipped] counter and
    the [Page_ship] event are produced. *)
 and ship_to_owner t ~owner ?(commit_path = false) page =
-  send t ~dst:owner.id ~commit_path ~bytes:(Wire.page (Env.config t.env)) ();
+  maybe_crashpoint t Repro_fault.Injector.Page_ship;
+  let dup = send_dup t ~dst:owner.id ~commit_path ~bytes:(Wire.page (Env.config t.env)) () in
   bump t (fun m -> m.Metrics.pages_shipped <- m.Metrics.pages_shipped + 1);
   if Env.tracing t.env then
     Env.emit t.env ~node:t.id Event.Page_ship
@@ -173,7 +219,11 @@ and ship_to_owner t ~owner ?(commit_path = false) page =
         ("page", Event.Str (Format.asprintf "%a" Page_id.pp (Page.id page)));
         ("psn", Event.Int (Page.psn page));
       ];
-  owner_receive_replaced owner (Page.copy page) ~from:t.id
+  owner_receive_replaced owner (Page.copy page) ~from:t.id;
+  (* A duplicated ship delivers the same copy twice; the owner-side
+     install is a PSN-guarded merge, so the second delivery is a no-op
+     beyond re-registering the (deduplicated) flush waiter. *)
+  if dup then owner_receive_replaced owner (Page.copy page) ~from:t.id
 
 (* Owner role: a peer replaced a dirty page and shipped it here.  The
    owner caches it dirty (it is now responsible for eventually forcing
@@ -193,6 +243,10 @@ and owner_receive_replaced t page ~from =
       frame.dirty <- false;
       owner_after_flush t pid ~flushed_psn:(Page.psn frame.page)
     | Local_logging | Server_logging _ | Pca_double_logging -> ())
+  | exception Block.Would_block _ when not t.up ->
+    (* The eviction chain hit an injected crash point and felled THIS
+       node: nothing here may keep running on the wiped state. *)
+    Block.block (Block.Node_down { node = t.id })
   | exception Block.Would_block _ ->
     (* No evictable frame to make room with.  The ship must not fail
        part-way — the sender has already dropped its copy — so force
@@ -221,6 +275,11 @@ and make_room t =
         | Some victim -> (
           try evict_frame t victim
           with Block.Would_block _ as e ->
+            (* Parking is for victims whose OWNER is unreachable.  If the
+               eviction instead crashed this very node (injected crash
+               point mid-ship), the wiped state must not keep running:
+               surface the crash to the caller. *)
+            if not t.up then raise e;
             if !blocked = None then blocked := Some e;
             Buffer_pool.pin victim;
             parked := victim :: !parked)
@@ -263,6 +322,7 @@ let fetch_page_from_owner t pid =
   else begin
     let owner = peer t owner_id in
     if not owner.up then Block.block (Block.Node_down { node = owner_id });
+    ensure_link t ~dst:owner_id;
     if Page_id.Set.mem pid owner.recovering_pages then Block.block (Block.Page_recovering pid);
     send t ~dst:owner_id ~bytes:Wire.control ();
     let page = owner_latest_copy owner pid in
@@ -375,6 +435,7 @@ let owner_grant_lock t ~requester ~txn ~pid ~mode ~need_page =
         (fun (holder_id, _held) ->
           let holder = peer t holder_id in
           if not holder.up then Block.block (Block.Node_down { node = holder_id });
+          ensure_link t ~dst:holder_id;
           bump t (fun m -> m.Metrics.callbacks_sent <- m.Metrics.callbacks_sent + 1);
           if Env.tracing t.env then
             Env.emit t.env ~node:t.id Event.Lock_callback
@@ -461,6 +522,7 @@ let acquire t ~txn ~pid ~mode =
       else begin
         let owner = peer t owner_id in
         if not owner.up then Block.block (Block.Node_down { node = owner_id });
+        ensure_link t ~dst:owner_id;
         bump t (fun m -> m.Metrics.lock_requests_remote <- m.Metrics.lock_requests_remote + 1);
         send t ~dst:owner_id ~bytes:Wire.control ();
         let page = owner_grant_lock owner ~requester:t.id ~txn ~pid ~mode ~need_page in
@@ -528,7 +590,8 @@ let free_log_space t =
       end
       else begin
         let owner = peer t (Page_id.owner pid) in
-        if not owner.up then Block.block (Block.Log_space { node = t.id });
+        if (not owner.up) || not (link_up t ~dst:owner.id) then
+          Block.block (Block.Log_space { node = t.id });
         ship_to_owner t ~owner frame.page;
         Dpt.on_replaced t.dpt pid ~end_of_log:(Log_manager.end_lsn t.log);
         frame.dirty <- false;
@@ -539,7 +602,8 @@ let free_log_space t =
     if owner_id = t.id then owner_flush_page t pid
     else begin
       let owner = peer t owner_id in
-      if not owner.up then Block.block (Block.Log_space { node = t.id });
+      if (not owner.up) || not (link_up t ~dst:owner_id) then
+        Block.block (Block.Log_space { node = t.id });
       bump t (fun m -> m.Metrics.flush_requests <- m.Metrics.flush_requests + 1);
       send t ~dst:owner_id ~bytes:Wire.control ();
       (* the request itself (re-)registers us: an earlier flush may have
@@ -620,6 +684,7 @@ let append_txn_record t record =
   | Global_log { log_node } when log_node <> t.id ->
     let target = peer t log_node in
     if not target.up then Block.block (Block.Node_down { node = log_node });
+    ensure_link t ~dst:log_node;
     let encoded = String.length (Record.encode record) in
     send t ~dst:log_node ~bytes:(Wire.log_record encoded) ();
     bump t (fun m -> m.Metrics.log_records_shipped <- m.Metrics.log_records_shipped + 1);
@@ -646,6 +711,10 @@ let begin_txn t ~id =
   txn
 
 let active_txn t id =
+  (* An injected crash can fell the node between a script's steps: the
+     table was cleared with it, so the caller must see [Node_down] (a
+     retryable block), not an unknown-transaction error. *)
+  check_up t;
   let txn = Txn_table.find_exn t.txns id in
   if not (Txn.is_active txn) then
     invalid_arg (Printf.sprintf "Node: transaction %d is not active" id);
@@ -717,6 +786,7 @@ let commit_scheme_work t (txn : Txn.t) lsn =
        forces it, and acknowledges. *)
     let srv = peer t server in
     if not srv.up then Block.block (Block.Node_down { node = server });
+    ensure_link t ~dst:server;
     send t ~dst:server ~commit_path:true ~bytes:(Wire.log_record txn.Txn.logged_bytes) ();
     bump t (fun m ->
         m.Metrics.log_records_shipped <- m.Metrics.log_records_shipped + txn.Txn.logged_records);
@@ -742,6 +812,7 @@ let commit_scheme_work t (txn : Txn.t) lsn =
       (fun pid ->
         let owner = peer t (Page_id.owner pid) in
         if not owner.up then Block.block (Block.Node_down { node = owner.id });
+        ensure_link t ~dst:owner.id;
         (match Buffer_pool.peek t.pool pid with
         | Some frame -> ship_to_owner t ~owner ~commit_path:true frame.page
         | None -> () (* already replaced to the owner earlier *));
@@ -755,6 +826,7 @@ let commit_scheme_work t (txn : Txn.t) lsn =
     (* The commit record already travelled to the shared log; force it
        there and wait for the acknowledgement. *)
     let ln = peer t log_node in
+    ensure_link t ~dst:log_node;
     Log_manager.force ln.log ~upto:lsn;
     if log_node <> t.id then send ln ~dst:t.id ~commit_path:true ~bytes:Wire.control ()
 
@@ -764,7 +836,15 @@ let commit_scheme_work t (txn : Txn.t) lsn =
 let release_unused_cached_locks t =
   List.iter
     (fun (pid, _mode) ->
-      if (not (Local_locks.any_txn_holds t.locks pid)) && Page_id.owner pid <> t.id then begin
+      if
+        (not (Local_locks.any_txn_holds t.locks pid))
+        && Page_id.owner pid <> t.id
+        (* Partitioned from a live owner: keep the cached lock and the
+           page — dropping them locally while the owner still records
+           the grant would break the cross-node lock invariant.  The
+           next end-of-transaction retries the release. *)
+        && ((not (peer t (Page_id.owner pid)).up) || link_up t ~dst:(Page_id.owner pid))
+      then begin
         (match Buffer_pool.peek t.pool pid with
         | Some frame ->
           if frame.dirty then begin
@@ -798,6 +878,10 @@ let commit t ~txn =
     append_txn_record t { Record.txn = txn.Txn.id; prev = txn.Txn.last_lsn; body = Commit }
   in
   Txn.record_logged txn lsn;
+  (* The window the tentpole cares about: the Commit record is appended
+     but not yet forced — a crash here must abort the transaction at
+     recovery (its commit was never acknowledged). *)
+  maybe_crashpoint t Repro_fault.Injector.Commit_force;
   commit_scheme_work t txn lsn;
   txn.Txn.state <- Txn.Committed;
   let durable_at = Env.now t.env in
@@ -819,6 +903,7 @@ let undo_ops t (txn : Txn.t) =
     Undo.read_record = (fun lsn -> Log_manager.read (txn_log t) lsn);
     perform_undo =
       (fun ~txn:txn_id ~pid ~op ~undo_next ->
+        maybe_crashpoint t Repro_fault.Injector.Rollback;
         (* The page may have been replaced since the update; re-fetch it
            from the owner (§2.2: "the rollback procedure may have to
            fetch some of the affected pages from the owner nodes"). *)
@@ -892,21 +977,9 @@ let checkpoint t =
   check_up t;
   ignore
     (Repro_aries.Checkpoint.take t.log t.env t.metrics ~dpt:(Dpt.snapshot t.dpt)
-       ~active:(Txn_table.snapshot_active t.txns) ~master:t.master)
-
-let crash t =
-  t.up <- false;
-  Buffer_pool.clear t.pool;
-  Local_locks.clear t.locks;
-  Global_locks.clear t.glocks;
-  Dpt.clear t.dpt;
-  Txn_table.clear t.txns;
-  Page_id.Tbl.reset t.flush_waiters;
-  Page_id.Tbl.reset t.reservations;
-  t.recovering_pages <- Page_id.Set.empty;
-  Log_manager.crash t.log;
-  if Env.tracing t.env then Env.emit t.env ~node:t.id Event.Crash [];
-  tracef t "node %d crashed" t.id
+       ~active:(Txn_table.snapshot_active t.txns) ~master:t.master
+       ~on_before_master:(fun () ->
+         maybe_crashpoint t Repro_fault.Injector.Checkpoint))
 
 let install_recovered_page t page ~waiters =
   let pid = Page.id page in

@@ -137,11 +137,37 @@ let create env ~id ~pool_capacity ~pool_policy ~log_capacity ~scheme ~retain_cac
   node
 
 let peer t id = t.resolve id
+let tracef t fmt = Env.tracef t.env fmt
+
+(* Bump a hand-maintained counter on both the node and the global
+   aggregate (the charged counters do this inside Env). *)
+let bump t f =
+  f t.metrics;
+  f (Env.global_metrics t.env)
 
 (* Charge a message from [t] to [dst]; local "messages" (owner = self)
-   cost nothing, matching the paper's message counting. *)
+   cost nothing, matching the paper's message counting.  This is the
+   single network choke point: with a fault injector installed, lost
+   attempts are retransmitted after an RTO (each paying bytes + timeout)
+   and a random queueing delay models bounded reordering — the message
+   always eventually arrives, so exchanges never fail halfway. *)
 let send t ~dst ?(commit_path = false) ?(recovery = false) ~bytes () =
   if dst <> t.id then begin
+    (match Env.faults t.env with
+    | Some inj ->
+      let v = Repro_fault.Injector.on_message inj ~src:t.id ~dst in
+      for _ = 1 to v.Repro_fault.Injector.drops do
+        Env.charge_message t.env t.metrics ~commit_path ~recovery ~bytes ();
+        Env.charge_cpu t.env (Repro_fault.Injector.rto inj);
+        bump t (fun m -> m.Metrics.net_msgs_dropped <- m.Metrics.net_msgs_dropped + 1);
+        Env.emit t.env ~node:t.id Event.Fault_drop [ ("dst", Event.Int dst) ]
+      done;
+      if v.Repro_fault.Injector.delay > 0. then begin
+        Env.charge_cpu t.env v.Repro_fault.Injector.delay;
+        bump t (fun m -> m.Metrics.net_msgs_delayed <- m.Metrics.net_msgs_delayed + 1);
+        Env.emit t.env ~node:t.id Event.Fault_delay [ ("dst", Event.Int dst) ]
+      end
+    | None -> ());
     Env.charge_message t.env t.metrics ~commit_path ~recovery ~bytes ();
     if Env.tracing t.env then begin
       let attrs =
@@ -154,10 +180,40 @@ let send t ~dst ?(commit_path = false) ?(recovery = false) ~bytes () =
     end
   end
 
-let tracef t fmt = Env.tracef t.env fmt
+(* Like [send], but additionally asks the injector whether the network
+   duplicates the message.  Returns [true] on duplication; callers use
+   it ONLY where the receive path is idempotent, re-running the delivery
+   to prove it. *)
+let send_dup t ~dst ?(commit_path = false) ?(recovery = false) ~bytes () =
+  send t ~dst ~commit_path ~recovery ~bytes ();
+  if dst = t.id then false
+  else
+    match Env.faults t.env with
+    | Some inj when Repro_fault.Injector.duplicate inj ->
+      Env.charge_message t.env t.metrics ~commit_path ~recovery ~bytes ();
+      bump t (fun m -> m.Metrics.net_msgs_duplicated <- m.Metrics.net_msgs_duplicated + 1);
+      Env.emit t.env ~node:t.id Event.Fault_dup [ ("dst", Event.Int dst) ];
+      true
+    | Some _ | None -> false
 
-(* Bump a hand-maintained counter on both the node and the global
-   aggregate (the charged counters do this inside Env). *)
-let bump t f =
-  f t.metrics;
-  f (Env.global_metrics t.env)
+(* Probe the link to [dst] before starting a multi-step exchange.  A
+   [false] answer is an injected temporary partition: the caller must
+   back off before mutating state on either side.  Each failed probe
+   costs one RTO and drains the partition's bounded budget, so blocked
+   transactions retry their way through it. *)
+let link_up t ~dst =
+  if dst = t.id then true
+  else
+    match Env.faults t.env with
+    | None -> true
+    | Some inj ->
+      if Repro_fault.Injector.link_up inj ~a:t.id ~b:dst then true
+      else begin
+        Env.charge_cpu t.env (Repro_fault.Injector.rto inj);
+        bump t (fun m -> m.Metrics.net_link_blocks <- m.Metrics.net_link_blocks + 1);
+        Env.emit t.env ~node:t.id Event.Fault_partition [ ("dst", Event.Int dst) ];
+        false
+      end
+
+let ensure_link t ~dst =
+  if not (link_up t ~dst) then Block.block (Block.Net_unreachable { src = t.id; dst })

@@ -31,6 +31,11 @@ let bump_redone n =
 let analysis_phase crashed =
   List.map
     (fun n ->
+      (* A torn crash can leave garbage bytes beyond the last whole
+         record; seal trims the log back to a true record boundary so
+         the scans below — and every later append — see a clean tail. *)
+      let discarded = Log_manager.seal n.log in
+      if discarded > 0 then tracef n "recovery(%d): sealed torn tail, %d bytes gone" n.id discarded;
       let result = Analysis.run n.log ~master:n.master in
       Dpt.load_snapshot n.dpt result.Analysis.dpt;
       tracef n "recovery(%d): analysis found %d dirty pages, %d losers" n.id
@@ -419,6 +424,23 @@ let run ?(strategy = Psn_coordinated) ~crashed ~operational () =
   List.iter
     (fun n -> if not n.up then invalid_arg "Recovery.run: node in operational list is down")
     operational;
+  (* Fault injection pauses for the whole of recovery: the model is
+     that the recovery protocol runs over a reliable transport (its
+     exchanges have no retry story), and a partition that outlived the
+     crash would deadlock the page-fetch phase.  Torn tails were already
+     decided at crash time, so nothing is lost. *)
+  let inj =
+    match crashed @ operational with n :: _ -> Env.faults n.env | [] -> None
+  in
+  (match inj with
+  | Some i ->
+    Repro_fault.Injector.suspend i;
+    Repro_fault.Injector.heal_partitions i
+  | None -> ());
+  Fun.protect
+    ~finally:(fun () ->
+      match inj with Some i -> Repro_fault.Injector.resume i | None -> ())
+  @@ fun () ->
   (* Phase timing: every phase runs inside [timed], which records a
      span, a Recovery_phase event and a per-phase histogram sample, and
      accumulates the summary returned to the caller (E4/E5/E8 report

@@ -1,0 +1,191 @@
+module Rng = Repro_util.Rng
+module Json = Repro_obs.Json
+
+type classes = { net : bool; disk : bool; crashpoints : bool }
+
+let no_classes = { net = false; disk = false; crashpoints = false }
+let all_classes = { net = true; disk = true; crashpoints = true }
+
+let classes_of_string s =
+  let s = String.trim (String.lowercase_ascii s) in
+  if s = "" || s = "none" then Ok no_classes
+  else if s = "all" then Ok all_classes
+  else
+    List.fold_left
+      (fun acc part ->
+        match acc with
+        | Error _ as e -> e
+        | Ok c -> (
+          match part with
+          | "net" -> Ok { c with net = true }
+          | "disk" -> Ok { c with disk = true }
+          | "crashpoints" | "crash" -> Ok { c with crashpoints = true }
+          | other ->
+            Error
+              (Printf.sprintf "unknown fault class %S (have: net, disk, crashpoints, all)" other)))
+      (Ok no_classes)
+      (List.filter
+         (fun p -> p <> "")
+         (List.map String.trim (String.split_on_char ',' s)))
+
+type net = {
+  drop : float;  (* per-message chance an attempt is lost on the wire *)
+  max_drops : int;  (* lost attempts before a retransmission gets through *)
+  dup : float;  (* chance a delivered message arrives twice *)
+  delay : float;  (* chance a message sits in a queue (bounded reorder) *)
+  max_delay : float;  (* bound (seconds) on the extra queueing *)
+  rto : float;  (* retransmission timeout charged per lost attempt *)
+  partition : float;  (* chance a link probe finds the link partitioned *)
+  max_partition : int;  (* probes a partition absorbs before healing *)
+}
+
+type disk = {
+  torn : float;  (* chance a crash tears the unforced log tail *)
+  corrupt : float;  (* given torn: bit-flip a whole record vs short write *)
+}
+
+type crashpoints = {
+  commit_force : float;  (* commit record appended, force not yet issued *)
+  checkpoint : float;  (* checkpoint forced, master record not yet updated *)
+  page_ship : float;  (* dirty page copy about to leave the node *)
+  rollback : float;  (* between two undo steps of an abort *)
+  budget : int;  (* total injected crashes allowed per run *)
+}
+
+type t = { seed : int; net : net; disk : disk; crashpoints : crashpoints }
+
+let quiet_net =
+  {
+    drop = 0.;
+    max_drops = 0;
+    dup = 0.;
+    delay = 0.;
+    max_delay = 0.;
+    rto = 0.;
+    partition = 0.;
+    max_partition = 0;
+  }
+
+let quiet_disk = { torn = 0.; corrupt = 0. }
+
+let quiet_crashpoints =
+  { commit_force = 0.; checkpoint = 0.; page_ship = 0.; rollback = 0.; budget = 0 }
+
+let none = { seed = 0; net = quiet_net; disk = quiet_disk; crashpoints = quiet_crashpoints }
+
+(* Draw a plan's magnitudes from [rng].  The plan carries its own seed:
+   the injector replays bit-identically from the plan alone, whether the
+   plan was generated here or loaded from JSON. *)
+let generate rng ~classes =
+  let ({ net = want_net; disk = want_disk; crashpoints = want_crashpoints } : classes) =
+    classes
+  in
+  let seed = Rng.int rng 0x3FFFFFFF in
+  let net =
+    if not want_net then quiet_net
+    else
+      {
+        drop = 0.01 +. Rng.float rng 0.10;
+        max_drops = 1 + Rng.int rng 3;
+        dup = 0.01 +. Rng.float rng 0.08;
+        delay = 0.02 +. Rng.float rng 0.10;
+        max_delay = 0.001 +. Rng.float rng 0.01;
+        rto = 0.002 +. Rng.float rng 0.008;
+        partition = 0.002 +. Rng.float rng 0.010;
+        max_partition = 4 + Rng.int rng 28;
+      }
+  in
+  let disk =
+    if not want_disk then quiet_disk
+    else { torn = 0.4 +. Rng.float rng 0.5; corrupt = Rng.float rng 1.0 }
+  in
+  let crashpoints =
+    if not want_crashpoints then quiet_crashpoints
+    else
+      {
+        commit_force = 0.002 +. Rng.float rng 0.008;
+        checkpoint = 0.05 +. Rng.float rng 0.20;
+        page_ship = 0.001 +. Rng.float rng 0.004;
+        rollback = 0.002 +. Rng.float rng 0.010;
+        budget = 1 + Rng.int rng 3;
+      }
+  in
+  { seed; net; disk; crashpoints }
+
+(* ---- JSON (dump / replay) ---- *)
+
+let to_json t =
+  Json.Obj
+    [
+      ("seed", Json.Int t.seed);
+      ( "net",
+        Json.Obj
+          [
+            ("drop", Json.Float t.net.drop);
+            ("max_drops", Json.Int t.net.max_drops);
+            ("dup", Json.Float t.net.dup);
+            ("delay", Json.Float t.net.delay);
+            ("max_delay", Json.Float t.net.max_delay);
+            ("rto", Json.Float t.net.rto);
+            ("partition", Json.Float t.net.partition);
+            ("max_partition", Json.Int t.net.max_partition);
+          ] );
+      ( "disk",
+        Json.Obj [ ("torn", Json.Float t.disk.torn); ("corrupt", Json.Float t.disk.corrupt) ] );
+      ( "crashpoints",
+        Json.Obj
+          [
+            ("commit_force", Json.Float t.crashpoints.commit_force);
+            ("checkpoint", Json.Float t.crashpoints.checkpoint);
+            ("page_ship", Json.Float t.crashpoints.page_ship);
+            ("rollback", Json.Float t.crashpoints.rollback);
+            ("budget", Json.Int t.crashpoints.budget);
+          ] );
+    ]
+
+let fnum j name ~default =
+  match Json.member name j with
+  | Some v -> (
+    match Json.to_float_opt v with
+    | Some f -> f
+    | None -> ( match Json.to_int_opt v with Some i -> float_of_int i | None -> default))
+  | None -> default
+
+let inum j name ~default =
+  match Option.bind (Json.member name j) Json.to_int_opt with Some v -> v | None -> default
+
+let of_json j =
+  let seed = inum j "seed" ~default:0 in
+  let net =
+    match Json.member "net" j with
+    | None -> quiet_net
+    | Some n ->
+      {
+        drop = fnum n "drop" ~default:0.;
+        max_drops = inum n "max_drops" ~default:0;
+        dup = fnum n "dup" ~default:0.;
+        delay = fnum n "delay" ~default:0.;
+        max_delay = fnum n "max_delay" ~default:0.;
+        rto = fnum n "rto" ~default:0.;
+        partition = fnum n "partition" ~default:0.;
+        max_partition = inum n "max_partition" ~default:0;
+      }
+  in
+  let disk =
+    match Json.member "disk" j with
+    | None -> quiet_disk
+    | Some d -> { torn = fnum d "torn" ~default:0.; corrupt = fnum d "corrupt" ~default:0. }
+  in
+  let crashpoints =
+    match Json.member "crashpoints" j with
+    | None -> quiet_crashpoints
+    | Some c ->
+      {
+        commit_force = fnum c "commit_force" ~default:0.;
+        checkpoint = fnum c "checkpoint" ~default:0.;
+        page_ship = fnum c "page_ship" ~default:0.;
+        rollback = fnum c "rollback" ~default:0.;
+        budget = inum c "budget" ~default:0;
+      }
+  in
+  { seed; net; disk; crashpoints }

@@ -1,0 +1,48 @@
+(** A seed-deterministic fault plan.
+
+    The plan is pure data: per-class probabilities and bounds plus the
+    injector's own RNG seed.  A plan replays bit-identically — building
+    an {!Injector} from an equal plan and running the identical workload
+    yields the identical fault schedule, which is what makes a dumped
+    plan ([to_json] / [of_json]) a complete repro artefact. *)
+
+type classes = { net : bool; disk : bool; crashpoints : bool }
+
+val no_classes : classes
+val all_classes : classes
+
+val classes_of_string : string -> (classes, string) result
+(** Parses ["net,disk,crashpoints"], ["all"], ["none"] or [""]. *)
+
+type net = {
+  drop : float;
+  max_drops : int;
+  dup : float;
+  delay : float;
+  max_delay : float;
+  rto : float;
+  partition : float;
+  max_partition : int;
+}
+
+type disk = { torn : float; corrupt : float }
+
+type crashpoints = {
+  commit_force : float;
+  checkpoint : float;
+  page_ship : float;
+  rollback : float;
+  budget : int;
+}
+
+type t = { seed : int; net : net; disk : disk; crashpoints : crashpoints }
+
+val none : t
+(** All probabilities zero: an injector built from it never fires. *)
+
+val generate : Repro_util.Rng.t -> classes:classes -> t
+(** Draw magnitudes for the enabled classes; disabled classes stay
+    quiet (zero probabilities). *)
+
+val to_json : t -> Repro_obs.Json.t
+val of_json : Repro_obs.Json.t -> t

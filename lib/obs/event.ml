@@ -26,6 +26,12 @@ type kind =
   | Recovery_phase
   | Span_begin
   | Span_end
+  | Fault_drop
+  | Fault_dup
+  | Fault_delay
+  | Fault_partition
+  | Fault_torn
+  | Fault_crash
   | Note
 
 type t = {
@@ -62,6 +68,12 @@ let kind_name = function
   | Recovery_phase -> "recovery.phase"
   | Span_begin -> "span.begin"
   | Span_end -> "span.end"
+  | Fault_drop -> "fault.drop"
+  | Fault_dup -> "fault.dup"
+  | Fault_delay -> "fault.delay"
+  | Fault_partition -> "fault.partition"
+  | Fault_torn -> "fault.torn"
+  | Fault_crash -> "fault.crash"
   | Note -> "note"
 
 let all_kinds =
@@ -69,7 +81,8 @@ let all_kinds =
     Msg_send; Msg_recv; Log_append; Log_force; Page_read; Page_write; Page_ship;
     Cache_install; Cache_evict; Lock_request; Lock_grant; Lock_callback; Lock_demote;
     Lock_release; Ckpt_begin; Ckpt_end; Txn_begin; Txn_commit; Txn_abort; Crash;
-    Recovery_begin; Recovery_end; Recovery_phase; Span_begin; Span_end; Note;
+    Recovery_begin; Recovery_end; Recovery_phase; Span_begin; Span_end; Fault_drop;
+    Fault_dup; Fault_delay; Fault_partition; Fault_torn; Fault_crash; Note;
   ]
 
 let kind_of_name s = List.find_opt (fun k -> kind_name k = s) all_kinds

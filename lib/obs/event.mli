@@ -35,6 +35,12 @@ type kind =
   | Recovery_phase
   | Span_begin
   | Span_end
+  | Fault_drop
+  | Fault_dup
+  | Fault_delay
+  | Fault_partition
+  | Fault_torn
+  | Fault_crash
   | Note
 
 type t = {

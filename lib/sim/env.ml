@@ -7,15 +7,17 @@ type t = {
   obs : Recorder.t;
   rng : Repro_util.Rng.t;
   global : Metrics.t;
+  faults : Repro_fault.Injector.t option;
 }
 
-let create ?(trace = false) ?(seed = 42) config =
+let create ?(trace = false) ?(seed = 42) ?faults config =
   {
     config;
     clock = Clock.create ();
     obs = Recorder.create ~enabled:trace ();
     rng = Repro_util.Rng.create seed;
     global = Metrics.create ();
+    faults;
   }
 
 let config t = t.config
@@ -25,6 +27,7 @@ let obs t = t.obs
 let trace t = t.obs
 let rng t = t.rng
 let global_metrics t = t.global
+let faults t = t.faults
 let tracing t = Recorder.enabled t.obs
 let tracef t fmt = Trace.event t.obs fmt
 

@@ -8,7 +8,11 @@
 
 type t
 
-val create : ?trace:bool -> ?seed:int -> Config.t -> t
+val create : ?trace:bool -> ?seed:int -> ?faults:Repro_fault.Injector.t -> Config.t -> t
+(** [faults] installs a deterministic fault injector; every message,
+    crash and protocol crash point consults it.  Absent, no fault code
+    runs at all. *)
+
 val config : t -> Config.t
 val clock : t -> Clock.t
 val now : t -> float
@@ -19,6 +23,9 @@ val obs : t -> Repro_obs.Recorder.t
 
 val rng : t -> Repro_util.Rng.t
 val global_metrics : t -> Metrics.t
+
+val faults : t -> Repro_fault.Injector.t option
+(** The cluster's fault injector, if one is installed. *)
 
 val tracing : t -> bool
 (** Whether event recording is on.  Hot paths must check this before

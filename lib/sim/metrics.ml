@@ -25,6 +25,13 @@ type t = {
   mutable checkpoints_taken : int;
   mutable log_space_stalls : int;
   mutable flush_requests : int;
+  mutable net_msgs_dropped : int;
+  mutable net_msgs_duplicated : int;
+  mutable net_msgs_delayed : int;
+  mutable net_link_blocks : int;
+  mutable torn_crashes : int;
+  mutable torn_bytes_discarded : int;
+  mutable injected_crashes : int;
   mutable busy_seconds : float;
 }
 
@@ -56,6 +63,13 @@ let create ?(node = -1) () =
     checkpoints_taken = 0;
     log_space_stalls = 0;
     flush_requests = 0;
+    net_msgs_dropped = 0;
+    net_msgs_duplicated = 0;
+    net_msgs_delayed = 0;
+    net_link_blocks = 0;
+    torn_crashes = 0;
+    torn_bytes_discarded = 0;
+    injected_crashes = 0;
     busy_seconds = 0.;
   }
 
@@ -98,6 +112,17 @@ let fields =
     ("checkpoints_taken", (fun t -> t.checkpoints_taken), fun t v -> t.checkpoints_taken <- v);
     ("log_space_stalls", (fun t -> t.log_space_stalls), fun t v -> t.log_space_stalls <- v);
     ("flush_requests", (fun t -> t.flush_requests), fun t v -> t.flush_requests <- v);
+    ("net_msgs_dropped", (fun t -> t.net_msgs_dropped), fun t v -> t.net_msgs_dropped <- v);
+    ( "net_msgs_duplicated",
+      (fun t -> t.net_msgs_duplicated),
+      fun t v -> t.net_msgs_duplicated <- v );
+    ("net_msgs_delayed", (fun t -> t.net_msgs_delayed), fun t v -> t.net_msgs_delayed <- v);
+    ("net_link_blocks", (fun t -> t.net_link_blocks), fun t v -> t.net_link_blocks <- v);
+    ("torn_crashes", (fun t -> t.torn_crashes), fun t v -> t.torn_crashes <- v);
+    ( "torn_bytes_discarded",
+      (fun t -> t.torn_bytes_discarded),
+      fun t v -> t.torn_bytes_discarded <- v );
+    ("injected_crashes", (fun t -> t.injected_crashes), fun t v -> t.injected_crashes <- v);
   ]
 
 let reset t =

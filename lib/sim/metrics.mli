@@ -36,6 +36,13 @@ type t = {
   mutable checkpoints_taken : int;
   mutable log_space_stalls : int;  (** times a txn waited for log space (E6) *)
   mutable flush_requests : int;  (** §2.5 owner-force requests *)
+  mutable net_msgs_dropped : int;  (** injected: message attempts lost then retransmitted *)
+  mutable net_msgs_duplicated : int;  (** injected: messages delivered twice *)
+  mutable net_msgs_delayed : int;  (** injected: messages held in a queue (reordering) *)
+  mutable net_link_blocks : int;  (** injected: sends refused by a temporary partition *)
+  mutable torn_crashes : int;  (** injected: crashes that tore the unforced log tail *)
+  mutable torn_bytes_discarded : int;  (** torn-tail bytes trimmed by the recovery seal *)
+  mutable injected_crashes : int;  (** crashes fired at protocol crash points *)
   mutable busy_seconds : float;
       (** simulated seconds of work performed {e by this node} — the
           makespan of a run is bounded below by the busiest node's

@@ -2,12 +2,14 @@ type t = {
   buf : Buffer.t; (* logical offset 0 is buffer index 0; history kept in memory *)
   mutable durable : int;
   mutable low_water : int;
+  mutable suspect : int option;
   capacity : int option;
 }
 
 exception Log_full
 
-let create ?capacity () = { buf = Buffer.create 4096; durable = 0; low_water = 0; capacity }
+let create ?capacity () =
+  { buf = Buffer.create 4096; durable = 0; low_water = 0; suspect = None; capacity }
 
 let end_offset t = Buffer.length t.buf
 let durable_offset t = t.durable
@@ -44,7 +46,38 @@ let read t ~pos ~len =
 let truncate_to t off =
   if off > t.low_water then t.low_water <- min off t.durable
 
-let crash t =
-  let keep = Buffer.sub t.buf 0 t.durable in
+let crash ?(keep_tail = 0) t =
+  let tail = end_offset t - t.durable in
+  let kept_tail = min (max 0 keep_tail) tail in
+  let keep = Buffer.sub t.buf 0 (t.durable + kept_tail) in
   Buffer.clear t.buf;
-  Buffer.add_string t.buf keep
+  Buffer.add_string t.buf keep;
+  if kept_tail > 0 then begin
+    (* The surviving torn bytes start at the old durable boundary; keep
+       the earliest suspect point across repeated crashes. *)
+    (match t.suspect with
+    | None -> t.suspect <- Some t.durable
+    | Some s -> t.suspect <- Some (min s t.durable));
+    t.durable <- t.durable + kept_tail
+  end
+
+let scribble t ~pos =
+  if pos < 0 || pos >= end_offset t then
+    invalid_arg (Printf.sprintf "Log_device.scribble: offset %d beyond end %d" pos (end_offset t));
+  let b = Buffer.to_bytes t.buf in
+  Bytes.set b pos (Char.chr (Char.code (Bytes.get b pos) lxor 0xFF));
+  Buffer.clear t.buf;
+  Buffer.add_bytes t.buf b
+
+let trim_end t off =
+  if off < t.low_water || off > end_offset t then
+    invalid_arg
+      (Printf.sprintf "Log_device.trim_end: offset %d outside [%d,%d]" off t.low_water
+         (end_offset t));
+  let keep = Buffer.sub t.buf 0 off in
+  Buffer.clear t.buf;
+  Buffer.add_string t.buf keep;
+  t.durable <- min t.durable off
+
+let suspect t = t.suspect
+let clear_suspect t = t.suspect <- None

@@ -56,6 +56,26 @@ val used : t -> int
 val available : t -> int option
 (** Remaining capacity, or [None] if unbounded. *)
 
-val crash : t -> unit
+val crash : ?keep_tail:int -> t -> unit
 (** Discards the volatile tail: [end_offset] snaps back to
-    [durable_offset]. *)
+    [durable_offset].  A torn write is modelled with [keep_tail > 0]:
+    that many unforced bytes (clamped to the tail length) survive the
+    crash as if the device had partially written them, the old durable
+    boundary is remembered as the {!suspect} point, and [durable]
+    advances over the surviving bytes (they {e are} on disk — they are
+    just not trustworthy). *)
+
+val scribble : t -> pos:int -> unit
+(** Flip the bits of the byte at [pos] — models a corrupt sector inside
+    a torn write.  Recovery must detect it via checksums. *)
+
+val trim_end : t -> int -> unit
+(** [trim_end t off] discards everything at and beyond [off] — the
+    recovery seal uses it to cut a torn tail back to the last whole
+    record.  [off] must be within [low_water, end_offset]. *)
+
+val suspect : t -> int option
+(** The offset from which bytes may be torn (set by
+    [crash ~keep_tail]); [None] when the log is trustworthy. *)
+
+val clear_suspect : t -> unit

@@ -83,4 +83,65 @@ let fold t ?upto ~from ~init f =
 let used_bytes t = Log_device.used t.device
 let available_bytes t = Log_device.available t.device
 let truncate_to t lsn = if not (Lsn.is_nil lsn) then Log_device.truncate_to t.device lsn
-let crash t = Log_device.crash t.device
+
+let bump t f =
+  f t.metrics;
+  f (Env.global_metrics t.env)
+
+let crash ?faults t =
+  let dur = Log_device.durable_offset t.device in
+  let tail = Log_device.end_offset t.device - dur in
+  let torn =
+    match faults with
+    | Some inj when tail > 0 ->
+      let first_framed =
+        if tail >= header_size then begin
+          let hdr = Log_device.read t.device ~pos:dur ~len:header_size in
+          let d = Codec.decoder hdr in
+          let len = Codec.read_u32 d in
+          let framed = header_size + len in
+          if framed <= tail then Some framed else None
+        end
+        else None
+      in
+      Repro_fault.Injector.on_crash_tail inj ~tail_len:tail ~header:header_size ~first_framed
+    | Some _ | None -> None
+  in
+  match torn with
+  | None -> Log_device.crash t.device
+  | Some { Repro_fault.Injector.keep; flip } ->
+    Log_device.crash ~keep_tail:keep t.device;
+    (match flip with
+    | Some off -> Log_device.scribble t.device ~pos:(dur + off)
+    | None -> ());
+    bump t (fun m -> m.Repro_sim.Metrics.torn_crashes <- m.Repro_sim.Metrics.torn_crashes + 1);
+    Env.emit t.env ~node:t.metrics.Repro_sim.Metrics.node Repro_obs.Event.Fault_torn
+      [ ("kept", Repro_obs.Event.Int keep) ]
+
+let seal t =
+  match Log_device.suspect t.device with
+  | None -> 0
+  | Some from ->
+    let start = max from (Log_device.low_water t.device) in
+    let stop = Log_device.end_offset t.device in
+    let rec scan lsn =
+      if lsn >= stop then lsn
+      else
+        match read_frame t lsn with
+        | _, size ->
+          Env.charge_log_scan_record t.env t.metrics ~bytes:size;
+          scan (lsn + size)
+        | exception Codec.Corrupt _ -> lsn
+    in
+    let good = scan start in
+    let discarded = stop - good in
+    if discarded > 0 then begin
+      Log_device.trim_end t.device good;
+      bump t (fun m ->
+          m.Repro_sim.Metrics.torn_bytes_discarded <-
+            m.Repro_sim.Metrics.torn_bytes_discarded + discarded);
+      Env.emit t.env ~node:t.metrics.Repro_sim.Metrics.node Repro_obs.Event.Fault_torn
+        [ ("discarded", Repro_obs.Event.Int discarded) ]
+    end;
+    Log_device.clear_suspect t.device;
+    discarded

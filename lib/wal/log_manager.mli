@@ -60,5 +60,17 @@ val truncate_to : t -> Lsn.t -> unit
 
 (** {1 Failure} *)
 
-val crash : t -> unit
-(** Loses the volatile tail. *)
+val crash : ?faults:Repro_fault.Injector.t -> t -> unit
+(** Loses the volatile tail.  With a fault injector, the crash may
+    instead tear the tail: a prefix of the unforced bytes survives —
+    cut strictly inside the first unforced record, or that record kept
+    whole with a payload byte corrupted so its CRC fails — and the
+    device is marked suspect.  A torn crash never exposes a complete
+    valid record beyond the pre-crash durable boundary. *)
+
+val seal : t -> int
+(** Recovery's first step after a possibly-torn crash: scan forward
+    from the suspect point and trim the log at the first corrupt or
+    partial frame, restoring the invariant that every byte below
+    [end_lsn] is a whole valid record.  Returns the number of bytes
+    discarded (0 when the log was clean). *)

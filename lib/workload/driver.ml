@@ -58,7 +58,7 @@ let rec drop_to_mark name = function
   | (Delta _ | Mark _) :: rest -> drop_to_mark name rest
 
 let run (engine : Engine.t) ?(events = []) ?(max_rounds = 100_000) ?(policy = Wound_wait)
-    ?(mpl = max_int) scripts =
+    ?(mpl = max_int) ?auto_recover scripts =
   let progs =
     List.map
       (fun script ->
@@ -186,17 +186,76 @@ let run (engine : Engine.t) ?(events = []) ?(max_rounds = 100_000) ?(policy = Wo
           if p.status = Running && p.script.Op.node = node && p.txn <> None then reset_prog p)
         progs;
       engine.Engine.crash ~node
-    | Recover nodes -> engine.Engine.recover ~nodes
+    | Recover nodes -> (
+      (* An injected crash may already have been recovered (or never
+         happened): recover only what is actually down — Recovery.run
+         rejects up nodes in the crashed list.  And recover every down
+         node at once, not just the scheduled ones: recovery gathers
+         claims, page bases and log records from every node outside the
+         crashed set, so recovering a subset while another node is still
+         down reads stale disk bases for its pages and misses its log
+         records entirely (observed as redo gaps on re-crash). *)
+      match List.filter (fun n -> not (engine.Engine.is_up ~node:n)) nodes with
+      | [] -> ()
+      | _ :: _ ->
+        let down =
+          List.filter (fun n -> not (engine.Engine.is_up ~node:n)) engine.Engine.nodes
+        in
+        (* A crash point may have felled the node within this same round
+           (a checkpoint event crashing mid-way just before this Recover
+           fires): scripts homed there still hold transactions that died
+           in the crash and must restart. *)
+        Array.iter
+          (fun p ->
+            if p.status = Running && List.mem p.script.Op.node down && p.txn <> None then begin
+              (match p.txn with
+              | Some txn -> Deadlock.remove_txn engine.Engine.deadlock txn
+              | None -> ());
+              reset_prog p
+            end)
+          progs;
+        engine.Engine.recover ~nodes:down)
     | Checkpoint node -> if engine.Engine.is_up ~node then engine.Engine.checkpoint ~node
   in
   let round = ref 0 in
   let stalled = ref 0 in
   let unfinished () = Array.exists (fun p -> p.status = Running) progs in
   let events = ref events in
+  let known_down = Hashtbl.create 8 in
   while unfinished () && !round < max_rounds && !stalled < 1000 do
+    (* With fault injection, nodes crash at protocol crash points — no
+       Recover event exists for those.  Detect newly-down nodes, strand
+       no scripts on them, and schedule their recovery.  This scan runs
+       BEFORE the due events: a pre-scheduled Recover could otherwise
+       bring the node back first, leaving scripts holding transactions
+       that died in the crash. *)
+    (match auto_recover with
+    | None -> ()
+    | Some delay ->
+      List.iter
+        (fun node ->
+          let up = engine.Engine.is_up ~node in
+          if (not up) && not (Hashtbl.mem known_down node) then begin
+            Hashtbl.replace known_down node ();
+            Array.iter
+              (fun p ->
+                if p.status = Running && p.script.Op.node = node && p.txn <> None then begin
+                  (match p.txn with
+                  | Some txn -> Deadlock.remove_txn engine.Engine.deadlock txn
+                  | None -> ());
+                  reset_prog p
+                end)
+              progs;
+            events := (!round + delay, Recover [ node ]) :: !events
+          end
+          else if up then Hashtbl.remove known_down node)
+        engine.Engine.nodes);
     let due, later = List.partition (fun (r, _) -> r <= !round) !events in
     events := later;
-    List.iter (fun (_, e) -> fire e) due;
+    (* A fired event can itself hit an injected crash point (a
+       checkpoint crashing mid-way): the crash is the point, the event
+       just stops. *)
+    List.iter (fun (_, e) -> try fire e with Block.Would_block _ -> ()) due;
     let progressed = ref false in
     (* multiprogramming limit: at most [mpl] in-flight transactions per
        node; surplus scripts wait to begin *)
@@ -213,8 +272,19 @@ let run (engine : Engine.t) ?(events = []) ?(max_rounds = 100_000) ?(policy = Wo
         else if p.status = Running && p.aborting then (
           match p.txn with
           | Some txn ->
-            abort_prog p txn;
-            if not p.aborting then progressed := true
+            if not (engine.Engine.is_up ~node:p.script.Op.node) then begin
+              (* The home node crashed under the half-aborted
+                 transaction: its volatile state is gone and recovery
+                 finishes the rollback — retrying the abort after
+                 recovery would ask for a transaction that no longer
+                 exists.  Restart from scratch. *)
+              Deadlock.remove_txn engine.Engine.deadlock txn;
+              reset_prog p
+            end
+            else begin
+              abort_prog p txn;
+              if not p.aborting then progressed := true
+            end
           | None -> p.aborting <- false)
         else if
           p.status = Running
@@ -233,29 +303,44 @@ let run (engine : Engine.t) ?(events = []) ?(max_rounds = 100_000) ?(policy = Wo
                out a few rounds before retrying. *)
             p.cooldown <- 4;
             p.last_block <- Format.asprintf "%a" Block.pp_reason reason;
-            (match (reason, p.txn) with
-            | Block.Lock_conflict { blockers }, Some txn when blockers = [ txn ] ->
-              (* self-blocking (e.g. the transaction's own undo chain
-                 pins a full log): forced abort and restart *)
-              abort_prog p txn
-            | Block.Lock_conflict { blockers }, Some txn -> begin
-              match policy with
-              | Wound_wait ->
-                (* Older transactions wound younger blockers; younger
-                   waiters simply wait.  Starvation-free, no cycles. *)
-                List.iter
-                  (fun blocker ->
-                    if blocker > txn then
-                      match find_prog_by_txn blocker with
-                      | Some q -> abort_prog q blocker
-                      | None -> ())
-                  blockers
-              | Detect ->
-                Deadlock.set_waits engine.Engine.deadlock ~waiter:txn ~blockers;
-                resolve_deadlocks ()
+            if p.txn <> None && not (engine.Engine.is_up ~node:p.script.Op.node) then begin
+              (* The home node itself crashed mid-operation (an injected
+                 crash point): the in-flight transaction died with it.
+                 Restart it once the node is back. *)
+              (match p.txn with
+              | Some txn -> Deadlock.remove_txn engine.Engine.deadlock txn
+              | None -> ());
+              reset_prog p
             end
-            | (Block.Lock_conflict _ | Block.Node_down _ | Block.Log_space _
-              | Block.Page_recovering _), _ -> ())
+            else
+              (match (reason, p.txn) with
+              | Block.Lock_conflict { blockers }, Some txn when blockers = [ txn ] ->
+                (* self-blocking (e.g. the transaction's own undo chain
+                   pins a full log): forced abort and restart *)
+                abort_prog p txn
+              | Block.Lock_conflict { blockers }, Some txn -> begin
+                match policy with
+                | Wound_wait ->
+                  (* Older transactions wound younger blockers; younger
+                     waiters simply wait.  Starvation-free, no cycles. *)
+                  List.iter
+                    (fun blocker ->
+                      if blocker > txn then
+                        match find_prog_by_txn blocker with
+                        | Some q -> abort_prog q blocker
+                        | None -> ())
+                    blockers
+                | Detect ->
+                  Deadlock.set_waits engine.Engine.deadlock ~waiter:txn ~blockers;
+                  resolve_deadlocks ()
+              end
+              | ( ( Block.Lock_conflict _ | Block.Node_down _ | Block.Log_space _
+                  | Block.Page_recovering _ | Block.Net_unreachable _ ),
+                  _ ) ->
+                (* Net_unreachable heals by retrying: every probe drains
+                   the partition's budget, so sitting out the cooldown
+                   and retrying is the bounded-retry loop. *)
+                ())
         end)
       progs;
     if !progressed then stalled := 0 else incr stalled;
@@ -285,6 +370,10 @@ let run (engine : Engine.t) ?(events = []) ?(max_rounds = 100_000) ?(policy = Wo
 
 let verify outcome =
   let engine = outcome.engine in
+  (* The oracle reads must see the cluster as it is: no further faults. *)
+  (match Env.faults engine.Engine.env with
+  | Some inj -> Repro_fault.Injector.set_armed inj false
+  | None -> ());
   let reader_node =
     let rec find i = if engine.Engine.is_up ~node:i then i else find (i + 1) in
     find 0

@@ -46,13 +46,17 @@ val run :
   ?max_rounds:int ->
   ?policy:conflict_policy ->
   ?mpl:int ->
+  ?auto_recover:int ->
   Op.script list ->
   outcome
 (** [events] fire at the start of the given round (0-based).
     [max_rounds] defaults to a generous bound; exceeding it marks the
     remaining scripts stuck rather than looping forever.  [mpl] caps
     the in-flight transactions per node (multiprogramming level);
-    surplus scripts queue to begin. *)
+    surplus scripts queue to begin.  [auto_recover], for fault-injected
+    runs, schedules a [Recover] that many rounds after a node is first
+    seen down (injected crash points fire without a matching event) and
+    restarts the scripts stranded on it. *)
 
 val verify : outcome -> (unit, string list) result
 (** Reads every shadow cell back through the engine (at the first

@@ -15,6 +15,7 @@ type t = {
   crash : node:int -> unit;
   recover : nodes:int list -> unit;
   is_up : node:int -> bool;
+  nodes : int list;
   deadlock : Repro_lock.Deadlock.t;
   env : Repro_sim.Env.t;
 }
@@ -22,6 +23,7 @@ type t = {
 let of_cluster cluster =
   {
     name = "cbl";
+    nodes = List.init (Cluster.node_count cluster) Fun.id;
     begin_txn = (fun ~node -> Cluster.begin_txn cluster ~node);
     read_cell = (fun ~txn ~pid ~off -> Cluster.read_cell cluster ~txn ~pid ~off);
     update_delta = (fun ~txn ~pid ~off d -> Cluster.update_delta cluster ~txn ~pid ~off d);

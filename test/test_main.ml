@@ -14,6 +14,7 @@ let () =
       ("recovery", Test_recovery.suite);
       ("recovery-edge", Test_recovery_edge.suite);
       ("workload", Test_workload.suite);
+      ("fault", Test_fault.suite);
       ("properties", Test_props.suite);
       ("experiments", Test_experiments.suite);
     ]
