@@ -1,0 +1,121 @@
+(* Bench smoke regression gate.
+
+   Compares the throughput column of freshly generated BENCH_<id>.json
+   reports against the committed baseline (bench/bench_baseline.json)
+   and fails on a >15% drop.  The reports come from the simulated
+   clock, so they are bit-deterministic: any drift is a real behaviour
+   change in a hot path, not measurement noise.
+
+   Usage (from a directory containing the BENCH_*.json files, i.e.
+   after `dune exec bench/main.exe -- json`):
+
+     dune exec bench/check_regression.exe -- bench/bench_baseline.json
+
+   The comparison table is also written to BENCH_DIFF.txt so CI can
+   upload it alongside the reports. *)
+
+module Json = Repro_obs.Json
+
+let read_file path =
+  let ic = open_in_bin path in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  s
+
+let die fmt =
+  Printf.ksprintf
+    (fun s ->
+      prerr_endline ("bench regression gate: " ^ s);
+      exit 1)
+    fmt
+
+let tolerance = 0.15
+
+let () =
+  let baseline_path =
+    if Array.length Sys.argv > 1 then Sys.argv.(1) else "bench/bench_baseline.json"
+  in
+  let baseline =
+    match Json.of_string (read_file baseline_path) with
+    | Json.Obj kvs -> kvs
+    | _ -> die "%s: expected a top-level object" baseline_path
+    | exception Sys_error e -> die "%s" e
+  in
+  let buf = Buffer.create 512 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf (s ^ "\n")) fmt in
+  let failed = ref false in
+  line "%-4s %-24s %12s %12s %8s  %s" "exp" "row" "baseline" "measured" "drift" "status";
+  List.iter
+    (fun (id, spec) ->
+      let column =
+        match Json.member "column" spec with
+        | Some (Json.Str c) -> c
+        | _ -> die "baseline %s: missing \"column\"" id
+      in
+      let want =
+        match Json.member "values" spec with
+        | Some (Json.List vs) ->
+          List.map
+            (fun v ->
+              match Json.to_float_opt v with
+              | Some f -> f
+              | None -> die "baseline %s: non-numeric value" id)
+            vs
+        | _ -> die "baseline %s: missing \"values\"" id
+      in
+      let file = Printf.sprintf "BENCH_%s.json" id in
+      let report =
+        match Json.of_string (read_file file) with
+        | r -> r
+        | exception Sys_error e -> die "%s (run `dune exec bench/main.exe -- json` first)" e
+      in
+      let header =
+        match Json.member "header" report with
+        | Some (Json.List hs) -> List.filter_map Json.to_string_opt hs
+        | _ -> die "%s: missing header" file
+      in
+      let idx =
+        match List.find_index (String.equal column) header with
+        | Some i -> i
+        | None -> die "%s: no column %S in header" file column
+      in
+      let rows =
+        match Json.member "rows" report with
+        | Some (Json.List rs) ->
+          List.map
+            (fun r ->
+              match r with
+              | Json.List cells -> List.filter_map Json.to_string_opt cells
+              | _ -> die "%s: malformed row" file)
+            rs
+        | _ -> die "%s: missing rows" file
+      in
+      if List.length rows <> List.length want then
+        die "%s: %d rows but baseline has %d values — regenerate the baseline" file
+          (List.length rows) (List.length want);
+      List.iteri
+        (fun i row ->
+          let got =
+            match float_of_string_opt (List.nth row idx) with
+            | Some f -> f
+            | None -> die "%s row %d: %S is not a number" file i (List.nth row idx)
+          in
+          let base = List.nth want i in
+          let drift = (got -. base) /. base in
+          let label =
+            String.concat "/" (List.filteri (fun j _ -> j < 2 && j < idx) row)
+          in
+          let regressed = got < base *. (1. -. tolerance) in
+          if regressed then failed := true;
+          line "%-4s %-24s %12.2f %12.2f %+7.1f%%  %s" id label base got (drift *. 100.)
+            (if regressed then "FAIL" else "ok"))
+        rows)
+    baseline;
+  let table = Buffer.contents buf in
+  let oc = open_out "BENCH_DIFF.txt" in
+  output_string oc table;
+  close_out oc;
+  print_string table;
+  if !failed then die "throughput regressed by more than %.0f%%" (tolerance *. 100.)
+  else Printf.printf "bench smoke: all throughput columns within %.0f%% of baseline\n"
+      (tolerance *. 100.)

@@ -32,6 +32,7 @@ module Page_id = Repro_storage.Page_id
 module Redo = Repro_aries.Redo
 module Node_psn_list = Repro_cbl.Node_psn_list
 module Config = Repro_sim.Config
+module Buffer_pool = Repro_buffer.Buffer_pool
 open Bechamel
 open Toolkit
 
@@ -102,7 +103,106 @@ let micro_tests =
             let t = Cluster.begin_txn cluster ~node:0 in
             List.iter (fun p -> Cluster.update_delta cluster ~txn:t ~pid:p ~off:0 1L) pages;
             Cluster.commit cluster ~txn:t));
+    (* unbatched vs batched force: same 8 commits, 8 forces vs 1 *)
+    Test.make ~name:"commit-8-txns-unbatched (8 forces)"
+      (Staged.stage
+         (let cluster = Cluster.create ~nodes:1 Config.instant in
+          let pages = Cluster.allocate_pages cluster ~owner:0 ~count:8 in
+          fun () ->
+            List.iter
+              (fun p ->
+                let t = Cluster.begin_txn cluster ~node:0 in
+                Cluster.update_delta cluster ~txn:t ~pid:p ~off:0 1L;
+                Cluster.commit cluster ~txn:t)
+              pages));
+    Test.make ~name:"commit-8-txns-batched (1 shared force)"
+      (Staged.stage
+         (let config = Config.with_group_commit Config.instant ~window_ms:10. ~max_batch:8 in
+          let cluster = Cluster.create ~nodes:1 config in
+          let pages = Cluster.allocate_pages cluster ~owner:0 ~count:8 in
+          fun () ->
+            let txns =
+              List.map
+                (fun p ->
+                  let t = Cluster.begin_txn cluster ~node:0 in
+                  Cluster.update_delta cluster ~txn:t ~pid:p ~off:0 1L;
+                  t)
+                pages
+            in
+            (* the 8th submit fills the batch and triggers the one force *)
+            List.iter (fun t -> Cluster.commit cluster ~txn:t) txns;
+            List.iter (fun t -> ignore (Cluster.commit_outcome cluster ~txn:t)) txns));
+    Test.make ~name:"log-8-appends+8-forces"
+      (Staged.stage
+         (let env = Repro_sim.Env.create Config.instant in
+          let log = Log_manager.create env (Repro_sim.Metrics.create ()) () in
+          fun () ->
+            for _ = 1 to 8 do
+              let lsn = Log_manager.append log sample_update in
+              Log_manager.force log ~upto:lsn
+            done));
+    Test.make ~name:"log-8-appends+1-shared-force"
+      (Staged.stage
+         (let env = Repro_sim.Env.create Config.instant in
+          let log = Log_manager.create env (Repro_sim.Metrics.create ()) () in
+          fun () ->
+            let last = ref Lsn.nil in
+            for _ = 1 to 8 do
+              last := Log_manager.append log sample_update
+            done;
+            Log_manager.force_shared log ~upto:!last ~sharers:8));
+    (* eviction policies at a large pool: the clock hand is amortised
+       O(1) per victim, the LRU scan is O(n) *)
+    Test.make ~name:"evict-clock (4096 frames)"
+      (Staged.stage
+         (let pool = Buffer_pool.create ~policy:Buffer_pool.Clock ~capacity:4096 () in
+          for i = 0 to 4095 do
+            ignore
+              (Buffer_pool.install pool
+                 (Page.create ~id:(Page_id.make ~owner:0 ~slot:i) ~psn:0 ~size:64))
+          done;
+          fun () ->
+            match Buffer_pool.choose_victim pool with
+            | Some f -> f.Buffer_pool.referenced <- true (* keep the sweep honest *)
+            | None -> assert false));
+    Test.make ~name:"evict-lru (4096 frames)"
+      (Staged.stage
+         (let pool = Buffer_pool.create ~policy:Buffer_pool.Lru ~capacity:4096 () in
+          for i = 0 to 4095 do
+            ignore
+              (Buffer_pool.install pool
+                 (Page.create ~id:(Page_id.make ~owner:0 ~slot:i) ~psn:0 ~size:64))
+          done;
+          fun () -> ignore (Buffer_pool.choose_victim pool)));
   ]
+
+(* Allocation of the record codec: the shared scratch buffer means a
+   steady-state encode allocates only the result string, not a fresh
+   Buffer per call.  The fresh-encoder row replays the same payload
+   through [Codec.encoder ()] per call — the pre-scratch code path —
+   so the difference is exactly what the shared scratch saves. *)
+let measure_codec_alloc () =
+  let module Codec = Repro_util.Codec in
+  let n = 10_000 in
+  let words_per_op f =
+    f () (* warm: first call may grow the scratch *);
+    let before = Gc.minor_words () in
+    for _ = 1 to n do
+      f ()
+    done;
+    (Gc.minor_words () -. before) /. float_of_int n
+  in
+  let shared = words_per_op (fun () -> ignore (Record.encode sample_update)) in
+  let fresh =
+    words_per_op (fun () ->
+        let e = Codec.encoder () in
+        Codec.bytes e encoded_update;
+        ignore (Codec.to_string e))
+  in
+  Format.printf "record-encode (shared scratch): %5.1f minor words/op@." shared;
+  Format.printf "same payload, fresh Buffer/op:  %5.1f minor words/op (%.0f%% more allocation)@."
+    fresh
+    ((fresh -. shared) /. shared *. 100.)
 
 (* One Bechamel test per experiment table (quick configuration). *)
 let experiment_tests =
@@ -139,6 +239,8 @@ let run_bechamel ~quota tests =
 let run_micro () =
   Format.printf "@.#### Bechamel: hot paths (wall clock) ####@.";
   run_bechamel ~quota:0.5 micro_tests;
+  Format.printf "@.#### Allocation: record codec ####@.";
+  measure_codec_alloc ();
   Format.printf "@.#### Bechamel: one Test.make per experiment table (quick config) ####@.";
   run_bechamel ~quota:1.0 experiment_tests
 

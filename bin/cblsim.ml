@@ -292,7 +292,7 @@ let write_plan file plan =
   output_char oc '\n';
   close_out oc
 
-let stress runs start faults_spec plan_file dump_plan =
+let stress runs start faults_spec plan_file dump_plan group_commit =
   let classes =
     match Fault_plan.classes_of_string faults_spec with
     | Ok c -> c
@@ -320,9 +320,23 @@ let stress runs start faults_spec plan_file dump_plan =
     in
     if plan <> None then last_plan := plan;
     let faults = Option.map Injector.create plan in
+    let config =
+      (* like the plan, group-commit parameters come from their own
+         substream; with the flag off no draw happens and historical
+         seeds reproduce bit-identically *)
+      if group_commit then begin
+        let gr = Rng.split rng in
+        if Rng.chance gr 0.75 then
+          Config.with_group_commit Config.instant
+            ~window_ms:(0.5 +. Rng.float gr 20.)
+            ~max_batch:(2 + Rng.int gr 7)
+        else Config.instant
+      end
+      else Config.instant
+    in
     let nodes = 2 + Rng.int rng 4 in
     let cluster =
-      Cluster.create ~seed ?faults ~nodes ~pool_capacity:(8 + Rng.int rng 24) Config.instant
+      Cluster.create ~seed ?faults ~nodes ~pool_capacity:(8 + Rng.int rng 24) config
     in
     let owners = List.init (1 + Rng.int rng (min 3 nodes)) (fun i -> i) in
     let pages_by_owner =
@@ -464,12 +478,21 @@ let stress_cmd =
       & info [ "dump-plan" ] ~docv:"FILE"
           ~doc:"Write the last run's fault plan to $(docv) as JSON.")
   in
+  let group_commit =
+    Arg.(
+      value & flag
+      & info [ "group-commit" ]
+          ~doc:
+            "Randomize group-commit batching per seed (~3/4 of the runs get a window and \
+             batch cap drawn from a dedicated substream), so the faulted sweep exercises \
+             batched commit paths.")
+  in
   Cmd.v
     (Cmd.info "stress"
        ~doc:
          "Randomized crash-schedule runs with the durability oracle, optionally under \
           deterministic fault injection")
-    Term.(const stress $ runs $ start $ faults $ plan_json $ dump_plan)
+    Term.(const stress $ runs $ start $ faults $ plan_json $ dump_plan $ group_commit)
 
 let () =
   let doc = "client-based logging for high performance distributed architectures (ICDE'96)" in

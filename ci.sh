@@ -32,6 +32,12 @@ if [ "$STRESS_RUNS" -gt 0 ]; then
   dune exec bin/cblsim.exe -- stress --runs "$STRESS_RUNS"
   echo "== stress: $STRESS_RUNS fault-injected runs (--faults all) =="
   dune exec bin/cblsim.exe -- stress --runs "$STRESS_RUNS" --faults all
+  echo "== stress: $STRESS_RUNS fault-injected runs with group commit (--faults all --group-commit) =="
+  dune exec bin/cblsim.exe -- stress --runs "$STRESS_RUNS" --faults all --group-commit
 fi
+
+echo "== bench smoke: quick JSON reports + throughput regression gate =="
+dune exec bench/main.exe -- json
+dune exec bench/check_regression.exe -- bench/bench_baseline.json
 
 echo "CI OK"

@@ -11,12 +11,18 @@ type frame = {
   mutable last_lsn : Lsn.t;
   mutable last_use : int;
   mutable referenced : bool;
+  mutable slot : int;
 }
 
 type t = {
   policy : policy;
   capacity : int;
   frames : frame Page_id.Tbl.t;
+  ring : frame option array;
+      (* fixed residence slots; the clock hand sweeps this in place of
+         sorting the candidate list on every eviction *)
+  mutable hand : int;
+  mutable free : int list; (* vacant ring slots *)
   mutable tick : int;
   mutable tracer : string -> Page_id.t -> unit;
 }
@@ -25,7 +31,16 @@ let no_trace _ _ = ()
 
 let create ?(policy = Lru) ~capacity () =
   if capacity <= 0 then invalid_arg "Buffer_pool.create: capacity must be positive";
-  { policy; capacity; frames = Page_id.Tbl.create capacity; tick = 0; tracer = no_trace }
+  {
+    policy;
+    capacity;
+    frames = Page_id.Tbl.create capacity;
+    ring = Array.make capacity None;
+    hand = 0;
+    free = List.init capacity Fun.id;
+    tick = 0;
+    tracer = no_trace;
+  }
 
 let set_tracer t f = t.tracer <- f
 
@@ -53,6 +68,13 @@ let install t page =
   if contains t pid then
     invalid_arg (Format.asprintf "Buffer_pool.install: %a already cached" Page_id.pp pid);
   if is_full t then invalid_arg "Buffer_pool.install: pool full, evict first";
+  let slot =
+    match t.free with
+    | s :: rest ->
+      t.free <- rest;
+      s
+    | [] -> assert false (* size < capacity was just checked *)
+  in
   let frame =
     {
       page;
@@ -62,9 +84,11 @@ let install t page =
       last_lsn = Lsn.nil;
       last_use = 0;
       referenced = true;
+      slot;
     }
   in
   touch t frame;
+  t.ring.(slot) <- Some frame;
   Page_id.Tbl.replace t.frames pid frame;
   t.tracer "install" pid;
   frame
@@ -85,35 +109,57 @@ let unpin frame =
 let victims t = Page_id.Tbl.fold (fun _ f acc -> if f.pin_count = 0 then f :: acc else acc) t.frames []
 
 let choose_victim t =
-  let candidates = victims t in
-  match (t.policy, candidates) with
-  | _, [] -> None
-  | Lru, _ ->
-    Some
-      (List.fold_left
-         (fun best f -> if f.last_use < best.last_use then f else best)
-         (List.hd candidates) candidates)
-  | Clock, _ ->
-    (* One sweep: prefer a frame whose reference bit is clear; clear
-       bits as the hand passes.  Deterministic order via last_use. *)
-    let ordered = List.sort (fun a b -> Int.compare a.last_use b.last_use) candidates in
-    let rec sweep = function
-      | [] -> None
-      | f :: rest ->
-        if f.referenced then begin
-          f.referenced <- false;
-          sweep rest
-        end
-        else Some f
+  match t.policy with
+  | Lru -> (
+    match victims t with
+    | [] -> None
+    | hd :: _ as candidates ->
+      Some
+        (List.fold_left
+           (fun best f -> if f.last_use < best.last_use then f else best)
+           hd candidates))
+  | Clock ->
+    (* Second-chance hand sweep over the residence ring: skip pinned
+       frames, clear reference bits as the hand passes, stop at the
+       first unpinned unreferenced frame.  Two laps suffice — the first
+       clears every unpinned reference bit, so the second stops at the
+       first unpinned frame; if 2n steps find nothing, every resident
+       frame is pinned and there is no victim.  Amortised O(1) per
+       eviction, versus scanning the whole candidate list. *)
+    let n = t.capacity in
+    let rec sweep steps =
+      if steps >= 2 * n then None
+      else begin
+        let i = t.hand in
+        t.hand <- (t.hand + 1) mod n;
+        match t.ring.(i) with
+        | None -> sweep (steps + 1)
+        | Some f ->
+          if f.pin_count > 0 then sweep (steps + 1)
+          else if f.referenced then begin
+            f.referenced <- false;
+            sweep (steps + 1)
+          end
+          else Some f
+      end
     in
-    (match sweep ordered with
-    | Some f -> Some f
-    | None -> Some (List.hd ordered) (* all referenced: second lap takes the oldest *))
+    sweep 0
 
 let remove t pid =
-  if Page_id.Tbl.mem t.frames pid then t.tracer "evict" pid;
-  Page_id.Tbl.remove t.frames pid
+  match Page_id.Tbl.find_opt t.frames pid with
+  | None -> ()
+  | Some f ->
+    t.tracer "evict" pid;
+    t.ring.(f.slot) <- None;
+    t.free <- f.slot :: t.free;
+    f.slot <- -1;
+    Page_id.Tbl.remove t.frames pid
 let cached_ids t = Page_id.Tbl.fold (fun pid _ acc -> pid :: acc) t.frames []
 let dirty_frames t = Page_id.Tbl.fold (fun _ f acc -> if f.dirty then f :: acc else acc) t.frames []
 let iter t f = Page_id.Tbl.iter (fun _ frame -> f frame) t.frames
-let clear t = Page_id.Tbl.reset t.frames
+
+let clear t =
+  Page_id.Tbl.reset t.frames;
+  Array.fill t.ring 0 t.capacity None;
+  t.free <- List.init t.capacity Fun.id;
+  t.hand <- 0

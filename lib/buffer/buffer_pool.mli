@@ -22,6 +22,7 @@ type frame = {
   mutable last_lsn : Repro_wal.Lsn.t;  (** latest update record; WAL force bound *)
   mutable last_use : int;
   mutable referenced : bool;  (** Clock's reference bit *)
+  mutable slot : int;  (** residence slot in the clock ring; [-1] once removed *)
 }
 
 type t
@@ -58,7 +59,10 @@ val pin : frame -> unit
 val unpin : frame -> unit
 
 val choose_victim : t -> frame option
-(** An unpinned frame per the policy, or [None] if all are pinned. *)
+(** An unpinned frame per the policy, or [None] if all are pinned.
+    Clock is an amortised-O(1) second-chance hand sweep over the
+    residence ring (install order, not [last_use] order); LRU scans for
+    the minimal [last_use]. *)
 
 val remove : t -> Page_id.t -> unit
 val cached_ids : t -> Page_id.t list

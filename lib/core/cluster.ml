@@ -6,6 +6,7 @@ module Global_locks = Repro_lock.Global_locks
 module Deadlock = Repro_lock.Deadlock
 module Txn = Repro_tx.Txn
 module Txn_table = Repro_tx.Txn_table
+module Group_commit = Repro_wal.Group_commit
 
 type t = {
   env : Env.t;
@@ -13,6 +14,12 @@ type t = {
   mutable next_txn : int;
   txn_home : (int, int) Hashtbl.t;
   deadlock : Deadlock.t;
+  durable_commits : (int, unit) Hashtbl.t;
+      (* group-commit outcomes: transactions whose commit record became
+         durable, not yet reported to the caller.  Written from the
+         [on_durable] hook BEFORE any completion work, so an injected
+         crash during completion cannot lose the verdict.  Read-once by
+         [commit_outcome]. *)
 }
 
 let create ?(trace = false) ?(seed = 42) ?faults ?(pool_capacity = 64) ?pool_policy
@@ -29,7 +36,14 @@ let create ?(trace = false) ?(seed = 42) ?faults ?(pool_capacity = 64) ?pool_pol
     members.(id)
   in
   Array.iter (fun n -> n.Node_state.resolve <- resolve) members;
-  { env; members; next_txn = 0; txn_home = Hashtbl.create 64; deadlock = Deadlock.create () }
+  let durable_commits = Hashtbl.create 64 in
+  Array.iter
+    (fun n ->
+      Node.wire_group_commit n ~on_durable:(fun ~txn ~submitted_at:_ ->
+          Hashtbl.replace durable_commits txn ()))
+    members;
+  { env; members; next_txn = 0; txn_home = Hashtbl.create 64; deadlock = Deadlock.create ();
+    durable_commits }
 
 let env t = t.env
 let node_count t = Array.length t.members
@@ -66,8 +80,62 @@ let update_bytes t ~txn ~pid ~off s = Node.update_bytes (home t txn) ~txn ~pid ~
 let update_delta t ~txn ~pid ~off d = Node.update_delta (home t txn) ~txn ~pid ~off d
 
 let commit t ~txn =
-  Node.commit (home t txn) ~txn;
-  Deadlock.remove_txn t.deadlock txn
+  let n = home t txn in
+  Node.commit n ~txn;
+  (* A committing transaction runs no further operations and holds no
+     waits, so it leaves the deadlock graph at submission. *)
+  Deadlock.remove_txn t.deadlock txn;
+  (* Synchronous completion (no batching, or the batch filled and
+     flushed inside [Node.commit]): the hook path already registered
+     batched completions; register the classic path here so
+     [commit_outcome] answers uniformly. *)
+  if not (Group_commit.is_pending n.Node_state.gc ~txn) then
+    Hashtbl.replace t.durable_commits txn ()
+
+let commit_outcome t ~txn =
+  let n = home t txn in
+  if Node.is_up n && Group_commit.is_pending n.Node_state.gc ~txn then `Pending
+  else if Hashtbl.mem t.durable_commits txn then begin
+    Hashtbl.remove t.durable_commits txn;
+    `Durable
+  end
+  else `Gone
+
+let pump_group_commit t ~idle =
+  let progressed = ref false in
+  let tick_one (n : Node_state.t) =
+    if Node.is_up n && Group_commit.pending_count n.Node_state.gc > 0 then begin
+      let before = Group_commit.pending_count n.Node_state.gc in
+      (match Group_commit.tick n.Node_state.gc ~now:(Env.now t.env) with
+      | () -> ()
+      | exception Block.Would_block _ ->
+        (* the batch force hit an injected crash point and felled the
+           node; its batch is lost — that IS progress for the caller *)
+        ());
+      if Group_commit.pending_count n.Node_state.gc <> before then progressed := true
+    end
+  in
+  Array.iter tick_one t.members;
+  if idle && not !progressed then begin
+    (* Every client is blocked on a pending commit and no batch is due:
+       advance the clock to the earliest deadline (the simulation's
+       version of the group-commit timer firing). *)
+    let earliest =
+      Array.fold_left
+        (fun acc n ->
+          if Node.is_up n then
+            match Group_commit.deadline n.Node_state.gc with Some d -> min acc d | None -> acc
+          else acc)
+        infinity t.members
+    in
+    if earliest < infinity then begin
+      let now = Env.now t.env in
+      if earliest > now then Env.charge_cpu t.env (earliest -. now);
+      Array.iter tick_one t.members;
+      progressed := true
+    end
+  end;
+  !progressed
 
 let abort t ~txn =
   Node.abort (home t txn) ~txn;

@@ -59,6 +59,25 @@ val read_cell : t -> txn:int -> pid:Repro_storage.Page_id.t -> off:int -> int64
 val update_bytes : t -> txn:int -> pid:Repro_storage.Page_id.t -> off:int -> string -> unit
 val update_delta : t -> txn:int -> pid:Repro_storage.Page_id.t -> off:int -> int64 -> unit
 val commit : t -> txn:int -> unit
+(** With group commit enabled, [commit] may return with the transaction
+    still [Committing] (in its node's pending batch, not yet durable);
+    poll {!commit_outcome} and drive {!pump_group_commit}.  Otherwise
+    the commit is durable on return. *)
+
+val commit_outcome : t -> txn:int -> [ `Pending | `Durable | `Gone ]
+(** Where a submitted commit stands.  [`Pending]: still in the node's
+    batch, not durable — keep pumping.  [`Durable]: the commit record
+    was forced; read-once (a second call answers [`Gone]).  [`Gone]:
+    the batch was lost to a crash before its force — the transaction
+    never committed and restart rolls it back. *)
+
+val pump_group_commit : t -> idle:bool -> bool
+(** Drive the group-commit timers: flush every batch whose window has
+    expired.  With [idle:true] (no client made progress this round) and
+    no batch due, advances the simulated clock to the earliest batch
+    deadline and flushes — the timer firing.  Returns whether any batch
+    moved. *)
+
 val abort : t -> txn:int -> unit
 val savepoint : t -> txn:int -> string -> unit
 val rollback_to : t -> txn:int -> string -> unit

@@ -7,6 +7,7 @@ module Alloc_map = Repro_storage.Alloc_map
 module Lsn = Repro_wal.Lsn
 module Record = Repro_wal.Record
 module Log_manager = Repro_wal.Log_manager
+module Group_commit = Repro_wal.Group_commit
 module Buffer_pool = Repro_buffer.Buffer_pool
 module Dpt = Repro_buffer.Dpt
 module Mode = Repro_lock.Mode
@@ -21,11 +22,6 @@ module Undo = Repro_aries.Undo
 open Node_state
 
 type t = Node_state.t
-
-let create env ~id ~pool_capacity ?(pool_policy = Buffer_pool.Lru) ?log_capacity
-    ?(scheme = Local_logging) ?(retain_cached_locks = true) () =
-  Node_state.create env ~id ~pool_capacity ~pool_policy ~log_capacity ~scheme
-    ~retain_cached_locks
 
 let id t = t.id
 let is_up t = t.up
@@ -45,7 +41,14 @@ let txn_log t =
 let wal_force t lsn =
   if not (Lsn.is_nil lsn) then
     match t.scheme with
-    | Local_logging | Pca_double_logging -> Log_manager.force t.log ~upto:lsn
+    | Local_logging | Pca_double_logging ->
+      Log_manager.force t.log ~upto:lsn;
+      (* Any force pushes durability to the device end, so commit
+         records sitting in the group-commit batch just became durable:
+         complete them now rather than letting them be reported pending
+         (a crash can no longer lose them, and a retry would
+         double-apply). *)
+      Group_commit.on_force t.gc
     | Global_log { log_node } -> Log_manager.force (peer t log_node).log ~upto:lsn
     | Server_logging _ -> ()
 
@@ -97,6 +100,9 @@ let crash t =
   Page_id.Tbl.reset t.flush_waiters;
   Page_id.Tbl.reset t.reservations;
   t.recovering_pages <- Page_id.Set.empty;
+  (* The pending group-commit batch is volatile: none of those commits
+     happened — recovery will abort them. *)
+  Group_commit.crash t.gc;
   Log_manager.crash ?faults:(Env.faults t.env) t.log;
   if Env.tracing t.env then Env.emit t.env ~node:t.id Event.Crash [];
   tracef t "node %d crashed" t.id
@@ -618,17 +624,22 @@ let free_log_space t =
       | None -> Log_manager.end_lsn t.log
       | Some lsn -> lsn
     in
-    (* an active transaction's undo chain pins the log from its first
-       record onwards *)
+    (* a live transaction's undo chain pins the log from its first
+       record onwards — [live], not [active]: a committing transaction
+       awaiting its group-commit force still needs its undo chain (a
+       crash before the force makes it a loser) *)
     List.fold_left
       (fun acc (txn : Txn.t) ->
         if Lsn.is_nil txn.Txn.first_lsn then acc else Lsn.min acc txn.Txn.first_lsn)
       dpt_bound
-      (Txn_table.active t.txns)
+      (Txn_table.live t.txns)
   in
   (* Space below the low-water mark is only reclaimable once durable
      (the device clamps truncation at the forced boundary). *)
-  if low_water > Log_manager.durable_lsn t.log then Log_manager.force t.log ~upto:(low_water - 1);
+  if low_water > Log_manager.durable_lsn t.log then begin
+    Log_manager.force t.log ~upto:(low_water - 1);
+    Group_commit.on_force t.gc
+  end;
   Log_manager.truncate_to t.log low_water
 
 let append_record t record =
@@ -651,6 +662,11 @@ let append_record t record =
       let before = state () in
       free_log_space t;
       if state () = before then begin
+        (* A committing transaction may be the oldest pinner; flushing
+           the pending batch completes it (and unpins its undo chain)
+           without blocking anyone. *)
+        if Group_commit.pending_count t.gc > 0 then Group_commit.flush t.gc
+        else begin
         let pinner =
           List.fold_left
             (fun acc (txn : Txn.t) ->
@@ -669,6 +685,7 @@ let append_record t record =
             (Printf.sprintf
                "Node.append_record: log capacity smaller than the working set (node=%d used=%d)"
                t.id (Log_manager.used_bytes t.log))
+        end
       end;
       if attempts > 1024 then invalid_arg "Node.append_record: cannot free log space";
       go (attempts + 1)
@@ -834,6 +851,23 @@ let commit_scheme_work t (txn : Txn.t) lsn =
    cached locks (and the pages under them — callback-locking invariant)
    back to their owners as soon as no local transaction holds them. *)
 let release_unused_cached_locks t =
+  let cached = Local_locks.cached_pages t.locks in
+  (* Coalesced WAL-before-ship: one force to the max last-LSN over every
+     dirty page about to leave this round, instead of one force per
+     page.  Conservatively covers a superset (owner-up / link checks
+     happen per page below) — forcing a little further is always
+     WAL-safe. *)
+  let ship_upto =
+    List.fold_left
+      (fun acc (pid, _mode) ->
+        if (not (Local_locks.any_txn_holds t.locks pid)) && Page_id.owner pid <> t.id then
+          match Buffer_pool.peek t.pool pid with
+          | Some (frame : Buffer_pool.frame) when frame.dirty -> Lsn.max acc frame.last_lsn
+          | Some _ | None -> acc
+        else acc)
+      Lsn.nil cached
+  in
+  wal_force t ship_upto;
   List.iter
     (fun (pid, _mode) ->
       if
@@ -848,7 +882,7 @@ let release_unused_cached_locks t =
         (match Buffer_pool.peek t.pool pid with
         | Some frame ->
           if frame.dirty then begin
-            wal_force t frame.last_lsn;
+            (* covered by the round's coalesced force above *)
             let owner = peer t (Page_id.owner pid) in
             if owner.up then begin
               ship_to_owner t ~owner frame.page;
@@ -864,25 +898,17 @@ let release_unused_cached_locks t =
           Global_locks.release owner.glocks ~node:t.id ~pid
         end
       end)
-    (Local_locks.cached_pages t.locks)
+    cached
 
 let end_of_txn_lock_release t txn_id =
   Local_locks.release_txn t.locks ~txn:txn_id;
   if not t.retain_cached_locks then release_unused_cached_locks t
 
-let commit t ~txn =
-  check_up t;
-  let txn = active_txn t txn in
-  let commit_from = Env.now t.env in
-  let lsn =
-    append_txn_record t { Record.txn = txn.Txn.id; prev = txn.Txn.last_lsn; body = Commit }
-  in
-  Txn.record_logged txn lsn;
-  (* The window the tentpole cares about: the Commit record is appended
-     but not yet forced — a crash here must abort the transaction at
-     recovery (its commit was never acknowledged). *)
-  maybe_crashpoint t Repro_fault.Injector.Commit_force;
-  commit_scheme_work t txn lsn;
+(* Everything after "the commit record is durable": release locks,
+   retire the descriptor, account.  [commit_from] is when the commit was
+   requested (= when the transaction joined the batch, under group
+   commit), so commit_latency includes the batching wait. *)
+let complete_commit t (txn : Txn.t) ~commit_from =
   txn.Txn.state <- Txn.Committed;
   let durable_at = Env.now t.env in
   (* commit request -> durable: the paper's E1 subject *)
@@ -897,6 +923,63 @@ let commit t ~txn =
     Recorder.span_end (Env.obs t.env) ~time:durable_at txn.Txn.span
   end;
   tracef t "T%d committed at node %d" txn.Txn.id t.id
+
+(* Group-commit completion: the batch force (or a piggybacking force)
+   just made [txn]'s commit record durable.  Idempotent — a transaction
+   that is no longer [Committing] (crash wiped the table) is left
+   alone. *)
+let finish_commit t ~txn ~submitted_at =
+  match Txn_table.find t.txns txn with
+  | Some descr when descr.Txn.state = Txn.Committing ->
+    complete_commit t descr ~commit_from:submitted_at
+  | Some _ | None -> ()
+
+(* Install the group-commit hooks.  [on_durable] runs BEFORE the node's
+   own completion work so a caller-side durable registry is written
+   first — completion can hit an injected crash point, and the caller
+   must still know the commit survived. *)
+let wire_group_commit t ~on_durable =
+  Group_commit.set_hooks t.gc
+    ~before_force:(fun () ->
+      (* The batch is still pending here: an injected crash loses every
+         member — none of their commit records were forced. *)
+      maybe_crashpoint t Repro_fault.Injector.Commit_force)
+    ~on_durable:(fun ~txn ~submitted_at ->
+      on_durable ~txn ~submitted_at;
+      finish_commit t ~txn ~submitted_at)
+
+let create env ~id ~pool_capacity ?(pool_policy = Buffer_pool.Lru) ?log_capacity
+    ?(scheme = Local_logging) ?(retain_cached_locks = true) () =
+  let t =
+    Node_state.create env ~id ~pool_capacity ~pool_policy ~log_capacity ~scheme
+      ~retain_cached_locks
+  in
+  (* Standalone default: complete commits with no external registry.
+     [Cluster.create] re-wires with its durable-commit registry. *)
+  wire_group_commit t ~on_durable:(fun ~txn:_ ~submitted_at:_ -> ());
+  t
+
+let commit t ~txn =
+  check_up t;
+  let txn = active_txn t txn in
+  let commit_from = Env.now t.env in
+  let lsn =
+    append_txn_record t { Record.txn = txn.Txn.id; prev = txn.Txn.last_lsn; body = Commit }
+  in
+  Txn.record_logged txn lsn;
+  (* The window the tentpole cares about: the Commit record is appended
+     but not yet forced — a crash here must abort the transaction at
+     recovery (its commit was never acknowledged). *)
+  maybe_crashpoint t Repro_fault.Injector.Commit_force;
+  match t.scheme with
+  | Local_logging when Group_commit.batching t.gc ->
+    (* Group commit: join the node's pending batch instead of forcing
+       alone.  Not durable yet — the caller must poll the outcome. *)
+    txn.Txn.state <- Txn.Committing;
+    Group_commit.submit t.gc ~txn:txn.Txn.id ~lsn
+  | Local_logging | Server_logging _ | Pca_double_logging | Global_log _ ->
+    commit_scheme_work t txn lsn;
+    complete_commit t txn ~commit_from
 
 let undo_ops t (txn : Txn.t) =
   {
@@ -975,10 +1058,21 @@ let rollback_to t ~txn name =
 
 let checkpoint t =
   check_up t;
+  (* [snapshot_active] excludes [Committing] transactions, which is
+     safe: a committing transaction's commit record precedes the
+     checkpoint-begin record in the log, so the checkpoint's force
+     below makes the commit durable too — analysis never needs it as a
+     loser once this checkpoint is the restart point. *)
   ignore
     (Repro_aries.Checkpoint.take t.log t.env t.metrics ~dpt:(Dpt.snapshot t.dpt)
        ~active:(Txn_table.snapshot_active t.txns) ~master:t.master
        ~on_before_master:(fun () ->
+         (* The checkpoint just forced the log: complete piggybacked
+            pending commits BEFORE the crash point below can fire —
+            their records are durable now, and dropping them as
+            "pending" at the crash would let the driver retry a
+            transaction that recovery will also redo. *)
+         Group_commit.on_force t.gc;
          maybe_crashpoint t Repro_fault.Injector.Checkpoint))
 
 let install_recovered_page t page ~waiters =

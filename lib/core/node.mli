@@ -68,7 +68,26 @@ val update_delta : t -> txn:int -> pid:Repro_storage.Page_id.t -> off:int -> int
 val commit : t -> txn:int -> unit
 (** Appends the commit record and forces the local log.  No messages,
     no page forces — the paper's headline commit path.  Locks release
-    locally; node-level cached locks are retained. *)
+    locally; node-level cached locks are retained.
+
+    With group commit enabled ({!Repro_sim.Config.group_commit_enabled}
+    and the local-logging scheme), the transaction instead joins the
+    node's pending batch in state [Committing] and this function
+    returns {e before} the commit is durable — completion happens when
+    the batch forces (full, window expiry via {!Cluster.pump_group_commit},
+    or a piggybacking force).  Callers must then poll
+    {!Cluster.commit_outcome}. *)
+
+val finish_commit : t -> txn:int -> submitted_at:float -> unit
+(** Group-commit completion hook: finish a [Committing] transaction
+    whose commit record became durable.  Idempotent; no-op if the
+    transaction is unknown (crash wiped the table) or not committing. *)
+
+val wire_group_commit : t -> on_durable:(txn:int -> submitted_at:float -> unit) -> unit
+(** Re-wire the node's group-commit hooks.  [on_durable] runs before
+    the node's own completion work for each transaction whose commit
+    record became durable — {!Cluster} records durability there, so a
+    crash during completion cannot lose the verdict. *)
 
 val abort : t -> txn:int -> unit
 (** Total rollback with CLRs (re-fetching replaced pages from their

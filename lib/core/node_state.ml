@@ -45,6 +45,10 @@ type t = {
   alloc : Repro_storage.Alloc_map.t;
   log : Repro_wal.Log_manager.t;
   master : Repro_aries.Master.t;
+  gc : Repro_wal.Group_commit.t;
+      (* group-commit batch over [log].  The pending batch itself is
+         volatile ([Node.crash] drops it); listed here with the durable
+         fields only because it wraps the log manager. *)
   (* volatile state *)
   mutable up : bool;
   mutable pool : Repro_buffer.Buffer_pool.t;
@@ -108,6 +112,7 @@ let wire_tracers node =
 
 let create env ~id ~pool_capacity ~pool_policy ~log_capacity ~scheme ~retain_cached_locks =
   let metrics = Metrics.create ~node:id () in
+  let log = Repro_wal.Log_manager.create env metrics ?capacity:log_capacity () in
   let rec node =
     {
       id;
@@ -115,8 +120,9 @@ let create env ~id ~pool_capacity ~pool_policy ~log_capacity ~scheme ~retain_cac
       metrics;
       disk = Repro_storage.Disk.create env metrics;
       alloc = Repro_storage.Alloc_map.create ~owner:id;
-      log = Repro_wal.Log_manager.create env metrics ?capacity:log_capacity ();
+      log;
       master = Repro_aries.Master.create ();
+      gc = Repro_wal.Group_commit.create env ~node:id log;
       up = true;
       pool = Repro_buffer.Buffer_pool.create ~policy:pool_policy ~capacity:pool_capacity ();
       locks = Repro_lock.Local_locks.create ();

@@ -48,10 +48,15 @@ let analysis_phase crashed =
 (* Phase 2: lock reconstruction (§2.3.3)                               *)
 (* ------------------------------------------------------------------ *)
 
-(* The exact set of pages a crashed node's losers updated — under
-   strict 2PL the node held an X lock on each at crash time.  Walking
-   the undo chains (rather than trusting the analysis scan) also covers
-   updates older than the last checkpoint. *)
+(* The pages the undo phase will actually write: each loser's
+   uncompensated updates, found by walking the undo chains (rather than
+   trusting the analysis scan), which also covers updates older than
+   the last checkpoint.  A CLR's page is deliberately NOT collected:
+   undo skips past it via [undo_next], so updates that were durably
+   compensated before the crash (a finished savepoint rollback or
+   abort) leave nothing to lock — and the transaction may have
+   legitimately released that lock before the crash, so re-granting X
+   here would collide with a surviving peer's grant. *)
 let loser_pages n (losers : Record.active_txn list) =
   List.fold_left
     (fun acc (l : Record.active_txn) ->
@@ -61,7 +66,7 @@ let loser_pages n (losers : Record.active_txn list) =
           let r = Log_manager.read n.log lsn in
           match r.Record.body with
           | Update { pid; _ } -> go (Page_id.Set.add pid acc) r.Record.prev
-          | Clr { pid; undo_next; _ } -> go (Page_id.Set.add pid acc) undo_next
+          | Clr { undo_next; _ } -> go acc undo_next
           | Savepoint _ -> go acc r.Record.prev
           | Commit | Abort | Checkpoint_begin _ | Checkpoint_end -> acc
       in
@@ -500,8 +505,12 @@ let run ?(strategy = Psn_coordinated) ~crashed ~operational () =
               | Some f -> f
               | None -> assert false
             in
-            if frame.Buffer_pool.dirty && not (Lsn.is_nil frame.Buffer_pool.last_lsn) then
+            if frame.Buffer_pool.dirty && not (Lsn.is_nil frame.Buffer_pool.last_lsn) then begin
               Log_manager.force m.log ~upto:frame.Buffer_pool.last_lsn;
+              (* the survivor's force may have made its own pending
+                 group-commit batch durable *)
+              Repro_wal.Group_commit.on_force m.gc
+            end;
             send m ~dst:n.id ~recovery:true ~bytes:(Wire.page (Env.config n.env)) ();
             bump_transfers n;
             (* The cacher keeps its (possibly dirty) copy and therefore

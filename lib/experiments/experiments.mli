@@ -47,6 +47,11 @@ val e10 : ?quick:bool -> unit -> Report.t
 (** Pages exchanged between nodes without disk forces (§3.2 vs
     Rdb/VMS and the medium scheme of Mohan–Narang). *)
 
+val e11 : ?quick:bool -> unit -> Report.t
+(** Group commit: committed txn/s and commit latency as the batching
+    window and batch cap grow; the unbatched row is today's commit
+    path. *)
+
 val all : ?quick:bool -> unit -> Report.t list
 (** Every experiment, in order. *)
 

@@ -58,8 +58,13 @@ let clear_revoke_pending t pid =
 
 let cached_pages t = Page_id.Tbl.fold (fun pid e acc -> (pid, e.cached) :: acc) t.table []
 
+(* One fold with the owner filter applied in place — not a filter over
+   [cached_pages], which would materialise the full list first (this
+   runs per crashed-node peer during recovery's claim gathering). *)
 let cached_pages_owned_by t owner =
-  List.filter (fun (pid, _) -> Page_id.owner pid = owner) (cached_pages t)
+  Page_id.Tbl.fold
+    (fun pid e acc -> if Page_id.owner pid = owner then (pid, e.cached) :: acc else acc)
+    t.table []
 
 type conflict = { holders : int list }
 

@@ -20,6 +20,7 @@ type kind =
   | Txn_begin
   | Txn_commit
   | Txn_abort
+  | Commit_batch
   | Crash
   | Recovery_begin
   | Recovery_end
@@ -62,6 +63,7 @@ let kind_name = function
   | Txn_begin -> "txn.begin"
   | Txn_commit -> "txn.commit"
   | Txn_abort -> "txn.abort"
+  | Commit_batch -> "commit.batch"
   | Crash -> "crash"
   | Recovery_begin -> "recovery.begin"
   | Recovery_end -> "recovery.end"
@@ -80,7 +82,7 @@ let all_kinds =
   [
     Msg_send; Msg_recv; Log_append; Log_force; Page_read; Page_write; Page_ship;
     Cache_install; Cache_evict; Lock_request; Lock_grant; Lock_callback; Lock_demote;
-    Lock_release; Ckpt_begin; Ckpt_end; Txn_begin; Txn_commit; Txn_abort; Crash;
+    Lock_release; Ckpt_begin; Ckpt_end; Txn_begin; Txn_commit; Txn_abort; Commit_batch; Crash;
     Recovery_begin; Recovery_end; Recovery_phase; Span_begin; Span_end; Fault_drop;
     Fault_dup; Fault_delay; Fault_partition; Fault_torn; Fault_crash; Note;
   ]

@@ -29,6 +29,7 @@ type kind =
   | Txn_begin
   | Txn_commit
   | Txn_abort
+  | Commit_batch
   | Crash
   | Recovery_begin
   | Recovery_end

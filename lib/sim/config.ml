@@ -7,6 +7,8 @@ type t = {
   cpu_per_log_record : float;
   cpu_per_lock_op : float;
   page_size : int;
+  group_commit_window_ms : float;
+  group_commit_max_batch : int;
 }
 
 let default =
@@ -19,6 +21,8 @@ let default =
     cpu_per_log_record = 20.0e-6;
     cpu_per_lock_op = 5.0e-6;
     page_size = 8192;
+    group_commit_window_ms = 0.;
+    group_commit_max_batch = 1;
   }
 
 let instant =
@@ -31,10 +35,17 @@ let instant =
     cpu_per_log_record = 0.;
     cpu_per_lock_op = 0.;
     page_size = 512;
+    group_commit_window_ms = 0.;
+    group_commit_max_batch = 1;
   }
 
 let with_net_latency t v = { t with net_latency = v }
 let with_page_size t v = { t with page_size = v }
+
+let with_group_commit t ~window_ms ~max_batch =
+  { t with group_commit_window_ms = window_ms; group_commit_max_batch = max_batch }
+
+let group_commit_enabled t = t.group_commit_max_batch > 1
 
 let pp ppf t =
   Format.fprintf ppf
@@ -53,4 +64,6 @@ let to_json t =
         ("cpu_per_log_record", Float t.cpu_per_log_record);
         ("cpu_per_lock_op", Float t.cpu_per_lock_op);
         ("page_size", Int t.page_size);
+        ("group_commit_window_ms", Float t.group_commit_window_ms);
+        ("group_commit_max_batch", Int t.group_commit_max_batch);
       ])

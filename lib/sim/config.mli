@@ -22,6 +22,14 @@ type t = {
   cpu_per_log_record : float;  (** CPU to build / apply one log record *)
   cpu_per_lock_op : float;  (** CPU of a lock table operation *)
   page_size : int;  (** bytes per database page *)
+  group_commit_window_ms : float;
+      (** group-commit batching window in *milliseconds* of simulated
+          time: a batch leader waits at most this long for followers
+          before forcing.  Ignored when [group_commit_max_batch <= 1]. *)
+  group_commit_max_batch : int;
+      (** maximum commits sharing one log force.  [1] (the default)
+          disables group commit entirely — every commit forces alone,
+          bit-identical to the pre-group-commit behaviour. *)
 }
 
 val default : t
@@ -34,5 +42,12 @@ val instant : t
 
 val with_net_latency : t -> float -> t
 val with_page_size : t -> int -> t
+
+val with_group_commit : t -> window_ms:float -> max_batch:int -> t
+(** Set the group-commit knobs; [max_batch = 1] turns batching off. *)
+
+val group_commit_enabled : t -> bool
+(** [true] iff [group_commit_max_batch > 1]. *)
+
 val pp : Format.formatter -> t -> unit
 val to_json : t -> Repro_obs.Json.t

@@ -93,6 +93,18 @@ let charge_log_force t m ~bytes =
     Recorder.emit t.obs ~time:(now t) ~node:m.Metrics.node Event.Log_force
       [ ("bytes", Event.Int bytes) ]
 
+let charge_log_force_shared t m ~bytes ~sharers =
+  let dt = t.config.log_force_seek +. (t.config.disk_per_byte *. float_of_int bytes) in
+  Clock.advance t.clock dt;
+  busy t m dt;
+  both t m (fun c ->
+      c.Metrics.log_forces <- c.Metrics.log_forces + 1;
+      c.Metrics.commit_batches <- c.Metrics.commit_batches + 1;
+      c.Metrics.batched_commits <- c.Metrics.batched_commits + sharers);
+  if Recorder.enabled t.obs then
+    Recorder.emit t.obs ~time:(now t) ~node:m.Metrics.node Event.Log_force
+      [ ("bytes", Event.Int bytes); ("sharers", Event.Int sharers) ]
+
 let charge_log_scan_record t m ~bytes =
   let dt = t.config.cpu_per_log_record +. (t.config.disk_per_byte *. float_of_int bytes) in
   Clock.advance t.clock dt;

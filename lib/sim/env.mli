@@ -57,6 +57,13 @@ val charge_log_append : t -> Metrics.t -> bytes:int -> unit
 val charge_log_force : t -> Metrics.t -> bytes:int -> unit
 (** A synchronous force of [bytes] of buffered log. *)
 
+val charge_log_force_shared : t -> Metrics.t -> bytes:int -> sharers:int -> unit
+(** One physical log force whose cost is shared by [sharers]
+    concurrently committing transactions (group commit).  Charges the
+    same seek+transfer time as {!charge_log_force} — once, not per
+    sharer — and additionally bumps the [commit_batches] /
+    [batched_commits] counters. *)
+
 val charge_log_scan_record : t -> Metrics.t -> bytes:int -> unit
 (** Reading one record during a recovery scan. *)
 

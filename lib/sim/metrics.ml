@@ -18,6 +18,8 @@ type t = {
   mutable cache_misses : int;
   mutable txn_committed : int;
   mutable txn_aborted : int;
+  mutable commit_batches : int;
+  mutable batched_commits : int;
   mutable recovery_log_records_scanned : int;
   mutable recovery_pages_redone : int;
   mutable recovery_messages : int;
@@ -56,6 +58,8 @@ let create ?(node = -1) () =
     cache_misses = 0;
     txn_committed = 0;
     txn_aborted = 0;
+    commit_batches = 0;
+    batched_commits = 0;
     recovery_log_records_scanned = 0;
     recovery_pages_redone = 0;
     recovery_messages = 0;
@@ -99,6 +103,8 @@ let fields =
     ("cache_misses", (fun t -> t.cache_misses), fun t v -> t.cache_misses <- v);
     ("txn_committed", (fun t -> t.txn_committed), fun t v -> t.txn_committed <- v);
     ("txn_aborted", (fun t -> t.txn_aborted), fun t v -> t.txn_aborted <- v);
+    ("commit_batches", (fun t -> t.commit_batches), fun t v -> t.commit_batches <- v);
+    ("batched_commits", (fun t -> t.batched_commits), fun t v -> t.batched_commits <- v);
     ( "recovery_log_records_scanned",
       (fun t -> t.recovery_log_records_scanned),
       fun t v -> t.recovery_log_records_scanned <- v );

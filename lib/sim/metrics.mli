@@ -29,6 +29,8 @@ type t = {
   mutable cache_misses : int;
   mutable txn_committed : int;
   mutable txn_aborted : int;
+  mutable commit_batches : int;  (** group-commit batches forced (shared forces) *)
+  mutable batched_commits : int;  (** commits whose force was shared via group commit *)
   mutable recovery_log_records_scanned : int;
   mutable recovery_pages_redone : int;
   mutable recovery_messages : int;

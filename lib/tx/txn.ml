@@ -1,6 +1,6 @@
 module Lsn = Repro_wal.Lsn
 
-type state = Active | Committed | Aborted
+type state = Active | Committing | Committed | Aborted
 
 type t = {
   id : int;
@@ -42,6 +42,7 @@ let release_savepoints_after t lsn =
 
 let pp_state ppf = function
   | Active -> Format.pp_print_string ppf "active"
+  | Committing -> Format.pp_print_string ppf "committing"
   | Committed -> Format.pp_print_string ppf "committed"
   | Aborted -> Format.pp_print_string ppf "aborted"
 

@@ -6,7 +6,12 @@
     then name transactions unambiguously.  Lower id = older, which the
     deadlock victim policy relies on. *)
 
-type state = Active | Committed | Aborted
+type state = Active | Committing | Committed | Aborted
+(** [Committing]: the commit record is appended and the transaction
+    sits in the node's group-commit batch awaiting the shared force.
+    Not active — it runs no further operations and holds no waits — and
+    not durable: a crash before the batch force loses it and recovery
+    aborts it. *)
 
 type t = {
   id : int;

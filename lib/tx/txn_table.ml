@@ -12,6 +12,14 @@ let find_exn t id =
 let active t =
   Hashtbl.fold (fun _ txn acc -> if Txn.is_active txn then txn :: acc else acc) t.table []
 
+let live t =
+  Hashtbl.fold
+    (fun _ (txn : Txn.t) acc ->
+      match txn.Txn.state with
+      | Txn.Active | Txn.Committing -> txn :: acc
+      | Txn.Committed | Txn.Aborted -> acc)
+    t.table []
+
 let remove t id = Hashtbl.remove t.table id
 
 let snapshot_active t =

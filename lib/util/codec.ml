@@ -8,6 +8,18 @@ let encoder () = Buffer.create 128
 let to_string = Buffer.contents
 let length = Buffer.length
 
+(* One process-wide scratch encoder, reused by the record/framing hot
+   paths instead of allocating a fresh [Buffer.t] per record.  Safe
+   because the simulator is single-threaded and callers never nest
+   [with_scratch] (each call materialises its string before returning,
+   so the buffer is free again). *)
+let scratch = Buffer.create 512
+
+let with_scratch f =
+  Buffer.clear scratch;
+  f scratch;
+  Buffer.contents scratch
+
 let u8 e v = Buffer.add_char e (Char.chr (v land 0xFF))
 
 let u16 e v =

@@ -18,6 +18,13 @@ val encoder : unit -> encoder
 val to_string : encoder -> string
 val length : encoder -> int
 
+val with_scratch : (encoder -> unit) -> string
+(** Runs the function against a shared, cleared scratch encoder and
+    returns the accumulated bytes.  Avoids a buffer allocation per
+    encode on the log hot path.  Calls must not nest (the simulator is
+    single-threaded, and every caller materialises its result string
+    before returning, so the scratch is free again on exit). *)
+
 val u8 : encoder -> int -> unit
 (** Writes the low 8 bits. *)
 

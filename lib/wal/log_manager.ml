@@ -12,10 +12,12 @@ let header_size = 8
 let create env metrics ?capacity () = { env; metrics; device = Log_device.create ?capacity () }
 
 let frame payload =
-  let e = Codec.encoder () in
-  Codec.u32 e (String.length payload);
-  Codec.u32 e (Int32.to_int (Int32.logand (Crc32.string payload) 0x7FFFFFFFl));
-  Codec.to_string e ^ payload
+  let header =
+    Codec.with_scratch (fun e ->
+        Codec.u32 e (String.length payload);
+        Codec.u32 e (Int32.to_int (Int32.logand (Crc32.string payload) 0x7FFFFFFFl)))
+  in
+  header ^ payload
 
 let append ?overdraft t record =
   let payload = Record.encode record in
@@ -41,6 +43,12 @@ let force t ~upto =
   end
 
 let force_all t = force t ~upto:(end_lsn t - 1)
+
+let force_shared t ~upto ~sharers =
+  if upto >= durable_lsn t then begin
+    let moved = Log_device.force t.device ~upto:(end_lsn t) in
+    if moved > 0 then Env.charge_log_force_shared t.env t.metrics ~bytes:moved ~sharers
+  end
 
 let read_frame t lsn =
   if lsn < 0 || lsn + header_size > end_lsn t then

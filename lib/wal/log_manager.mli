@@ -30,6 +30,12 @@ val force : t -> upto:Lsn.t -> unit
 
 val force_all : t -> unit
 
+val force_shared : t -> upto:Lsn.t -> sharers:int -> unit
+(** Like {!force}, but the single physical force is accounted as shared
+    by [sharers] concurrently committing transactions (group commit):
+    one seek charge total, plus the [commit_batches]/[batched_commits]
+    counters.  A no-op (already durable) charges nothing. *)
+
 (** {1 Reading} *)
 
 val read : t -> Lsn.t -> Record.t

@@ -40,6 +40,11 @@ type prog = {
       (* a wound/victim abort blocked part-way (its undo needs a down
          node): the transaction is half rolled back and must not run
          forward again — only the abort is retried until it completes *)
+  mutable committing : bool;
+      (* the commit was submitted to a group-commit batch and is not yet
+         durable: the script runs nothing further and polls
+         [commit_outcome] until the batch forces (Durable) or a crash
+         loses it (Gone) *)
 }
 
 let reset_prog p =
@@ -47,6 +52,7 @@ let reset_prog p =
   p.step <- 0;
   p.effects <- [];
   p.aborting <- false;
+  p.committing <- false;
   p.retries <- p.retries + 1;
   (* Backoff breaks the symmetry that would otherwise re-create the
      same deadlock cycle on the very next round. *)
@@ -73,6 +79,7 @@ let run (engine : Engine.t) ?(events = []) ?(max_rounds = 100_000) ?(policy = Wo
           cooldown = 0;
           last_block = "";
           aborting = false;
+          committing = false;
         })
       scripts
   in
@@ -99,13 +106,38 @@ let run (engine : Engine.t) ?(events = []) ?(max_rounds = 100_000) ?(policy = Wo
         | Mark _ -> ())
       (List.rev p.effects)
   in
-  let finish_commit p txn =
-    engine.Engine.commit ~txn;
-    Deadlock.clear_waits engine.Engine.deadlock txn;
+  (* The commit is durable: credit the script's effects. *)
+  let finalize_commit p =
+    p.committing <- false;
     apply_effects p;
     p.status <- Committed;
     incr committed;
     latencies := (Env.now engine.Engine.env -. p.began_at) :: !latencies
+  in
+  let finish_commit p txn =
+    engine.Engine.commit ~txn;
+    Deadlock.clear_waits engine.Engine.deadlock txn;
+    match engine.Engine.commit_outcome ~txn with
+    | `Durable -> finalize_commit p
+    | `Pending | `Gone ->
+      (* Group commit: the transaction joined its node's batch and is
+         not durable yet — the script stops here and polls. *)
+      p.committing <- true
+  in
+  (* The script's home node crashed (or is about to): decide what the
+     in-flight transaction's fate is.  A submitted commit whose batch
+     already forced IS durable — it survives the crash and must never
+     be re-run (double apply); anything else died with the node's
+     volatile state and restarts from scratch. *)
+  let crash_reset p =
+    match p.txn with
+    | None -> ()
+    | Some txn ->
+      if p.committing && engine.Engine.commit_outcome ~txn = `Durable then finalize_commit p
+      else begin
+        Deadlock.remove_txn engine.Engine.deadlock txn;
+        reset_prog p
+      end
   in
   (* Abort [txn] on behalf of prog [p] (wound, deadlock victim, or a
      retried half-abort).  The rollback itself can block — a CLR may
@@ -132,6 +164,10 @@ let run (engine : Engine.t) ?(events = []) ?(max_rounds = 100_000) ?(policy = Wo
       | Some cycle ->
         let victim = Deadlock.victim cycle in
         (match find_prog_by_txn victim with
+        | Some p when p.committing ->
+          (* cannot be wound once committing; it also holds no waits, so
+             dropping it from the graph breaks any stale cycle *)
+          Deadlock.remove_txn engine.Engine.deadlock victim
         | Some p -> abort_prog p victim
         | None -> Deadlock.remove_txn engine.Engine.deadlock victim);
         loop ()
@@ -180,10 +216,12 @@ let run (engine : Engine.t) ?(events = []) ?(max_rounds = 100_000) ?(policy = Wo
   in
   let fire = function
     | Crash node ->
-      (* Scripts homed at the node lose their in-flight transaction. *)
+      (* Scripts homed at the node lose their in-flight transaction —
+         except a submitted commit whose batch already forced, which is
+         durable and survives. *)
       Array.iter
         (fun p ->
-          if p.status = Running && p.script.Op.node = node && p.txn <> None then reset_prog p)
+          if p.status = Running && p.script.Op.node = node && p.txn <> None then crash_reset p)
         progs;
       engine.Engine.crash ~node
     | Recover nodes -> (
@@ -207,12 +245,8 @@ let run (engine : Engine.t) ?(events = []) ?(max_rounds = 100_000) ?(policy = Wo
            in the crash and must restart. *)
         Array.iter
           (fun p ->
-            if p.status = Running && List.mem p.script.Op.node down && p.txn <> None then begin
-              (match p.txn with
-              | Some txn -> Deadlock.remove_txn engine.Engine.deadlock txn
-              | None -> ());
-              reset_prog p
-            end)
+            if p.status = Running && List.mem p.script.Op.node down && p.txn <> None then
+              crash_reset p)
           progs;
         engine.Engine.recover ~nodes:down)
     | Checkpoint node -> if engine.Engine.is_up ~node then engine.Engine.checkpoint ~node
@@ -239,12 +273,8 @@ let run (engine : Engine.t) ?(events = []) ?(max_rounds = 100_000) ?(policy = Wo
             Hashtbl.replace known_down node ();
             Array.iter
               (fun p ->
-                if p.status = Running && p.script.Op.node = node && p.txn <> None then begin
-                  (match p.txn with
-                  | Some txn -> Deadlock.remove_txn engine.Engine.deadlock txn
-                  | None -> ());
-                  reset_prog p
-                end)
+                if p.status = Running && p.script.Op.node = node && p.txn <> None then
+                  crash_reset p)
               progs;
             events := (!round + delay, Recover [ node ]) :: !events
           end
@@ -286,6 +316,23 @@ let run (engine : Engine.t) ?(events = []) ?(max_rounds = 100_000) ?(policy = Wo
               if not p.aborting then progressed := true
             end
           | None -> p.aborting <- false)
+        else if p.status = Running && p.committing then (
+          (* Poll a submitted group commit.  This branch sits BEFORE the
+             advance branch: a committing transaction is no longer
+             Active and must not re-enter [commit]. *)
+          match p.txn with
+          | Some txn -> (
+            match engine.Engine.commit_outcome ~txn with
+            | `Durable ->
+              finalize_commit p;
+              progressed := true
+            | `Pending -> () (* the pump below drives the window timer *)
+            | `Gone ->
+              (* the batch was lost to a crash before its force: the
+                 commit never happened — restart the script *)
+              Deadlock.remove_txn engine.Engine.deadlock txn;
+              reset_prog p)
+          | None -> p.committing <- false)
         else if
           p.status = Running
           && (p.txn <> None
@@ -303,15 +350,11 @@ let run (engine : Engine.t) ?(events = []) ?(max_rounds = 100_000) ?(policy = Wo
                out a few rounds before retrying. *)
             p.cooldown <- 4;
             p.last_block <- Format.asprintf "%a" Block.pp_reason reason;
-            if p.txn <> None && not (engine.Engine.is_up ~node:p.script.Op.node) then begin
+            if p.txn <> None && not (engine.Engine.is_up ~node:p.script.Op.node) then
               (* The home node itself crashed mid-operation (an injected
                  crash point): the in-flight transaction died with it.
                  Restart it once the node is back. *)
-              (match p.txn with
-              | Some txn -> Deadlock.remove_txn engine.Engine.deadlock txn
-              | None -> ());
-              reset_prog p
-            end
+              crash_reset p
             else
               (match (reason, p.txn) with
               | Block.Lock_conflict { blockers }, Some txn when blockers = [ txn ] ->
@@ -327,6 +370,12 @@ let run (engine : Engine.t) ?(events = []) ?(max_rounds = 100_000) ?(policy = Wo
                     (fun blocker ->
                       if blocker > txn then
                         match find_prog_by_txn blocker with
+                        | Some q when q.committing ->
+                          (* Already committing: not abortable (its fate
+                             is the batch force), and its locks release
+                             the moment the batch flushes — waiting is
+                             both necessary and short. *)
+                          ()
                         | Some q -> abort_prog q blocker
                         | None -> ())
                     blockers
@@ -343,6 +392,11 @@ let run (engine : Engine.t) ?(events = []) ?(max_rounds = 100_000) ?(policy = Wo
                 ())
         end)
       progs;
+    (* Drive the group-commit window timers.  When nothing else moved
+       (every client is waiting on a pending batch), the pump may jump
+       the clock to the earliest batch deadline — the timer firing is
+       the progress. *)
+    (if engine.Engine.pump_commits ~idle:(not !progressed) then progressed := true);
     if !progressed then stalled := 0 else incr stalled;
     incr round
   done;

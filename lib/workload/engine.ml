@@ -10,6 +10,14 @@ type t = {
   savepoint : txn:int -> string -> unit;
   rollback_to : txn:int -> string -> unit;
   commit : txn:int -> unit;
+  commit_outcome : txn:int -> [ `Pending | `Durable | `Gone ];
+      (* group commit: where a submitted commit stands.  [`Durable] is
+         read-once; engines without batching answer [`Durable] exactly
+         once right after [commit] returns. *)
+  pump_commits : idle:bool -> bool;
+      (* drive the group-commit window timers; [idle] = no client made
+         progress this round, allowing a clock jump to the next batch
+         deadline.  Returns whether any batch moved. *)
   abort : txn:int -> unit;
   checkpoint : node:int -> unit;
   crash : node:int -> unit;
@@ -31,6 +39,8 @@ let of_cluster cluster =
     savepoint = (fun ~txn name -> Cluster.savepoint cluster ~txn name);
     rollback_to = (fun ~txn name -> Cluster.rollback_to cluster ~txn name);
     commit = (fun ~txn -> Cluster.commit cluster ~txn);
+    commit_outcome = (fun ~txn -> Cluster.commit_outcome cluster ~txn);
+    pump_commits = (fun ~idle -> Cluster.pump_group_commit cluster ~idle);
     abort = (fun ~txn -> Cluster.abort cluster ~txn);
     checkpoint = (fun ~node -> Cluster.checkpoint cluster ~node);
     crash = (fun ~node -> Cluster.crash cluster ~node);

@@ -17,6 +17,14 @@ type t = {
   savepoint : txn:int -> string -> unit;
   rollback_to : txn:int -> string -> unit;
   commit : txn:int -> unit;
+  commit_outcome : txn:int -> [ `Pending | `Durable | `Gone ];
+      (** Group commit: where a submitted commit stands.  [`Durable] is
+          read-once; without batching every commit answers [`Durable]
+          exactly once right after [commit] returns. *)
+  pump_commits : idle:bool -> bool;
+      (** Drive the group-commit window timers; [idle] means no client
+          made progress this round, allowing a clock jump to the next
+          batch deadline.  Returns whether any batch moved. *)
   abort : txn:int -> unit;
   checkpoint : node:int -> unit;
   crash : node:int -> unit;

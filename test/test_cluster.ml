@@ -210,6 +210,92 @@ let test_fairness_reservation_blocks_younger () =
   ignore (Cluster.read_cell c ~txn:t_young ~pid:p ~off:0);
   Cluster.commit c ~txn:t_young
 
+(* ---- group commit ---- *)
+
+let mk_gc ~window_ms ~max_batch =
+  let config = Config.with_group_commit Config.instant ~window_ms ~max_batch in
+  let c = Cluster.create ~pool_capacity:16 ~nodes:1 config in
+  let pages = Cluster.allocate_pages c ~owner:0 ~count:8 in
+  (c, pages)
+
+let test_group_commit_one_force_per_batch () =
+  let c, pages = mk_gc ~window_ms:10. ~max_batch:4 in
+  let txns =
+    List.mapi
+      (fun i p ->
+        let t = Cluster.begin_txn c ~node:0 in
+        Cluster.update_delta c ~txn:t ~pid:p ~off:0 (Int64.of_int (i + 1));
+        t)
+      (List.filteri (fun i _ -> i < 4) pages)
+  in
+  let before = (Cluster.node_metrics c 0).Metrics.log_forces in
+  List.iteri
+    (fun i t ->
+      Cluster.commit c ~txn:t;
+      if i < 3 then
+        Alcotest.(check bool) "still pending before the batch fills" true
+          (Cluster.commit_outcome c ~txn:t = `Pending))
+    txns;
+  let m = Cluster.node_metrics c 0 in
+  Alcotest.(check int) "one force for the whole batch" (before + 1) m.Metrics.log_forces;
+  Alcotest.(check int) "one batch" 1 m.Metrics.commit_batches;
+  Alcotest.(check int) "four commits shared it" 4 m.Metrics.batched_commits;
+  List.iter
+    (fun t ->
+      Alcotest.(check bool) "durable after the batch force" true
+        (Cluster.commit_outcome c ~txn:t = `Durable))
+    txns;
+  Cluster.check_invariants c
+
+let test_group_commit_window_flushes_partial_batch () =
+  let c, pages = mk_gc ~window_ms:5. ~max_batch:8 in
+  let p0 = List.nth pages 0 and p1 = List.nth pages 1 in
+  let t0 = Cluster.begin_txn c ~node:0 in
+  Cluster.update_delta c ~txn:t0 ~pid:p0 ~off:0 1L;
+  let t1 = Cluster.begin_txn c ~node:0 in
+  Cluster.update_delta c ~txn:t1 ~pid:p1 ~off:0 2L;
+  Cluster.commit c ~txn:t0;
+  Cluster.commit c ~txn:t1;
+  Alcotest.(check bool) "pending before the window expires" true
+    (Cluster.commit_outcome c ~txn:t0 = `Pending);
+  (* idle pump: the clock jumps to the batch deadline and flushes *)
+  Alcotest.(check bool) "pump makes progress" true (Cluster.pump_group_commit c ~idle:true);
+  let m = Cluster.node_metrics c 0 in
+  Alcotest.(check int) "partial batch forced once" 1 m.Metrics.commit_batches;
+  Alcotest.(check int) "both commits rode it" 2 m.Metrics.batched_commits;
+  Alcotest.(check bool) "t0 durable" true (Cluster.commit_outcome c ~txn:t0 = `Durable);
+  Alcotest.(check bool) "t1 durable" true (Cluster.commit_outcome c ~txn:t1 = `Durable);
+  Cluster.check_invariants c
+
+let test_group_commit_crash_loses_whole_batch () =
+  let c, pages = mk_gc ~window_ms:50. ~max_batch:8 in
+  let p0 = List.nth pages 0 and p1 = List.nth pages 1 in
+  (* seed a durable prefix so recovery has something to preserve *)
+  let t = Cluster.begin_txn c ~node:0 in
+  Cluster.update_delta c ~txn:t ~pid:p0 ~off:0 7L;
+  Cluster.commit c ~txn:t;
+  ignore (Cluster.pump_group_commit c ~idle:true);
+  Alcotest.(check bool) "prefix durable" true (Cluster.commit_outcome c ~txn:t = `Durable);
+  (* two commits submit into a batch that never gets forced *)
+  let t0 = Cluster.begin_txn c ~node:0 in
+  Cluster.update_delta c ~txn:t0 ~pid:p0 ~off:8 1L;
+  let t1 = Cluster.begin_txn c ~node:0 in
+  Cluster.update_delta c ~txn:t1 ~pid:p1 ~off:0 2L;
+  Cluster.commit c ~txn:t0;
+  Cluster.commit c ~txn:t1;
+  Cluster.crash c ~node:0;
+  Cluster.recover c ~nodes:[ 0 ];
+  (* the WHOLE batch is lost — no prefix of it committed *)
+  Alcotest.(check bool) "t0 gone" true (Cluster.commit_outcome c ~txn:t0 = `Gone);
+  Alcotest.(check bool) "t1 gone" true (Cluster.commit_outcome c ~txn:t1 = `Gone);
+  let r = Cluster.begin_txn c ~node:0 in
+  Alcotest.(check int64) "durable prefix survives" 7L (Cluster.read_cell c ~txn:r ~pid:p0 ~off:0);
+  Alcotest.(check int64) "batched update lost" 0L (Cluster.read_cell c ~txn:r ~pid:p0 ~off:8);
+  Alcotest.(check int64) "batched update lost (2)" 0L (Cluster.read_cell c ~txn:r ~pid:p1 ~off:0);
+  Cluster.commit c ~txn:r;
+  ignore (Cluster.pump_group_commit c ~idle:true);
+  Cluster.check_invariants c
+
 let suite =
   [
     ("remote update, zero commit messages", `Quick, test_remote_update_and_zero_commit_messages);
@@ -224,4 +310,9 @@ let suite =
     ("global-log scheme", `Quick, test_global_log_scheme);
     ("baselines reject recovery", `Quick, test_baselines_reject_recovery);
     ("fairness reservation blocks younger", `Quick, test_fairness_reservation_blocks_younger);
+    ("group commit: one force per batch", `Quick, test_group_commit_one_force_per_batch);
+    ("group commit: window flushes partial batch", `Quick,
+     test_group_commit_window_flushes_partial_batch);
+    ("group commit: crash loses the whole batch", `Quick,
+     test_group_commit_crash_loses_whole_batch);
   ]

@@ -58,6 +58,18 @@ let test_e10_cbl_ships_without_forcing () =
   Alcotest.(check bool) "global log forces at handover" true
     (float_of_string (List.nth glog 2) > 0.5)
 
+let test_e11_batching_raises_throughput () =
+  let r = E.e11 ~quick:true () in
+  (* quick mode runs two rows: unbatched, then batch=8/window=20ms *)
+  let committed row = int_of_string (cell r ~row ~col:2) in
+  Alcotest.(check int) "batching loses no commits" (committed 0) (committed 1);
+  Alcotest.(check bool) "batches actually form" true
+    (float_of_string (cell r ~row:1 ~col:6) >= 2.);
+  Alcotest.(check bool) "fewer forces per txn" true
+    (float_of_string (cell r ~row:1 ~col:7) < float_of_string (cell r ~row:0 ~col:7));
+  Alcotest.(check bool) "throughput rises" true
+    (float_of_string (cell r ~row:1 ~col:4) > float_of_string (cell r ~row:0 ~col:4))
+
 let suite =
   [
     ("F1: zero commit messages", `Slow, test_f1_zero_commit_messages);
@@ -68,4 +80,5 @@ let suite =
     ("E7: checkpoints are message-free", `Slow, test_e7_checkpoints_send_no_messages);
     ("E8: multi-crash oracle", `Slow, test_e8_multi_crash_oracle);
     ("E10: transfers without forces", `Slow, test_e10_cbl_ships_without_forcing);
+    ("E11: group commit raises throughput", `Slow, test_e11_batching_raises_throughput);
   ]

@@ -54,10 +54,10 @@ let test_plan_json_roundtrip () =
 (* A small faulted workload with a fixed shape: the only degrees of
    freedom are the fault plan and the workload RNG seed, so two runs
    with equal inputs must be bit-identical. *)
-let run_scenario ?(trace = false) ~plan seed =
+let run_scenario ?(trace = false) ?(config = Config.instant) ~plan seed =
   let rng = Rng.create seed in
   let faults = Injector.create plan in
-  let cluster = Cluster.create ~trace ~seed ~faults ~nodes:3 ~pool_capacity:12 Config.instant in
+  let cluster = Cluster.create ~trace ~seed ~faults ~nodes:3 ~pool_capacity:12 config in
   let pages_by_owner =
     List.map (fun o -> (o, Cluster.allocate_pages cluster ~owner:o ~count:6)) [ 0; 1 ]
   in
@@ -353,6 +353,22 @@ let stress_iteration seed =
 
 let test_regression_seeds () = List.iter stress_iteration [ 2; 147; 175 ]
 
+(* ---- Group commit under faults ---- *)
+
+(* Every fault class with commit batching on: a crash between a batch's
+   appends and its shared force must lose the WHOLE batch (no prefix of
+   it may surface as committed), which is exactly what the durability
+   oracle inside [run_scenario] checks. *)
+let test_faulted_sweep_with_batching () =
+  for seed = 60 to 67 do
+    let config =
+      Config.with_group_commit Config.instant
+        ~window_ms:(float_of_int (2 + (seed mod 3) * 8))
+        ~max_batch:(2 + (seed mod 4))
+    in
+    ignore (run_scenario ~config ~plan:(mk_plan seed) seed)
+  done
+
 let suite =
   [
     ("fault classes parse", `Quick, test_classes_of_string);
@@ -366,4 +382,5 @@ let suite =
     ("partitions heal and runs converge", `Quick, test_partition_heals_and_converges);
     ("crash-point schedules stay within budget", `Quick, test_crashpoint_schedule);
     ("regression seeds (2, 147, 175)", `Slow, test_regression_seeds);
+    ("faulted sweep with group commit on", `Slow, test_faulted_sweep_with_batching);
   ]
