@@ -19,7 +19,9 @@
    Run with:  dune exec bench/main.exe            (tables + bechamel)
               dune exec bench/main.exe -- tables  (tables only)
               dune exec bench/main.exe -- micro   (bechamel only)
-              dune exec bench/main.exe -- json    (quick tables, JSON files only) *)
+              dune exec bench/main.exe -- json    (quick tables, JSON files,
+                                                   lint timing guard)
+              dune exec bench/main.exe -- lint    (lint timing guard only) *)
 
 module Experiments = Repro_experiments.Experiments
 module Report = Repro_experiments.Report
@@ -54,6 +56,48 @@ let run_tables () =
   let reports = Experiments.all () in
   List.iter (Format.printf "%a" Report.render) reports;
   write_json_reports reports
+
+(* ---- layer 1b: lint timing guard ----
+
+   cbl-lint gates every CI run before the tests, so it must stay cheap:
+   a whole-repo pass (parse + all rules) gets a hard wall budget.  Run
+   from the repo root; skipped elsewhere (no tree to lint). *)
+
+let lint_budget_seconds = 2.0
+
+let bench_lint () =
+  if not (Sys.file_exists "lib" && Sys.file_exists "bin") then
+    Format.printf "lint timing: not at the repo root, skipped@."
+  else begin
+    let t0 = Sys.time () in
+    let result =
+      Repro_lint.Lint.run ~root:"." ~paths:[ "lib"; "bin"; "bench"; "test" ]
+        ~rules:Repro_lint.Rules.all ()
+    in
+    let elapsed = Sys.time () -. t0 in
+    let ok = elapsed <= lint_budget_seconds in
+    let module J = Repro_obs.Json in
+    let json =
+      J.Obj
+        [
+          ("id", J.Str "lint_timing");
+          ("files_scanned", J.Int result.Repro_lint.Lint.files_scanned);
+          ("seconds", J.Float elapsed);
+          ("budget_seconds", J.Float lint_budget_seconds);
+          ("ok", J.Bool ok);
+        ]
+    in
+    let oc = open_out "BENCH_LINT.json" in
+    output_string oc (J.to_string_pretty json);
+    output_char oc '\n';
+    close_out oc;
+    Format.printf "lint timing: %d files in %.3fs (budget %.1fs) — wrote BENCH_LINT.json@."
+      result.Repro_lint.Lint.files_scanned elapsed lint_budget_seconds;
+    if not ok then begin
+      Format.printf "lint timing over budget: the lint gate would slow every CI run@.";
+      exit 1
+    end
+  end
 
 (* ---- layer 2: bechamel ---- *)
 
@@ -249,7 +293,10 @@ let () =
   match what with
   | "tables" -> run_tables ()
   | "micro" -> run_micro ()
-  | "json" -> write_json_reports (Experiments.all ~quick:true ())
+  | "json" ->
+    write_json_reports (Experiments.all ~quick:true ());
+    bench_lint ()
+  | "lint" -> bench_lint ()
   | _ ->
     run_tables ();
     run_micro ()

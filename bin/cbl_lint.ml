@@ -1,0 +1,84 @@
+(* cbl-lint: enforce the repo's WAL/fault/determinism protocol rules.
+
+   Usage:  dune exec bin/cbl_lint.exe -- [options] [paths...]
+
+   Paths default to lib bin bench test.  Exit status is non-zero on any
+   unsuppressed finding, so ci.sh and the workflow gate on it.
+
+     --json            print the JSON report to stdout instead of the
+                       human file:line:col lines
+     --out FILE        additionally write the JSON report to FILE
+                       (CI uses --out LINT_REPORT.json)
+     --allowlist FILE  grandfathered-violation list
+                       (default: lint_allowlist.txt under --root)
+     --root DIR        repo root the paths are relative to (default .)
+     --rules           list the rules and exit *)
+
+module Lint = Repro_lint.Lint
+module Rules = Repro_lint.Rules
+module Json = Repro_obs.Json
+
+let usage () =
+  prerr_endline
+    "usage: cbl_lint [--json] [--out FILE] [--allowlist FILE] [--root DIR] [--rules] [paths...]";
+  exit 2
+
+let () =
+  let json = ref false and out = ref None and allowlist = ref None in
+  let root = ref "." and paths = ref [] and list_rules = ref false in
+  let rec parse = function
+    | [] -> ()
+    | "--json" :: rest ->
+      json := true;
+      parse rest
+    | "--out" :: file :: rest ->
+      out := Some file;
+      parse rest
+    | "--allowlist" :: file :: rest ->
+      allowlist := Some file;
+      parse rest
+    | "--root" :: dir :: rest ->
+      root := dir;
+      parse rest
+    | "--rules" :: rest ->
+      list_rules := true;
+      parse rest
+    | ("--out" | "--allowlist" | "--root") :: [] -> usage ()
+    | arg :: _ when String.length arg > 2 && String.sub arg 0 2 = "--" -> usage ()
+    | path :: rest ->
+      paths := path :: !paths;
+      parse rest
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  if !list_rules then begin
+    List.iter (fun r -> Printf.printf "%-24s %s\n" r.Lint.id r.Lint.doc) Rules.all;
+    exit 0
+  end;
+  let paths =
+    match List.rev !paths with [] -> [ "lib"; "bin"; "bench"; "test" ] | ps -> ps
+  in
+  let allowlist_file =
+    match !allowlist with
+    | Some f -> Some f
+    | None ->
+      let default = Filename.concat !root "lint_allowlist.txt" in
+      if Sys.file_exists default then Some default else None
+  in
+  let result = Lint.run ?allowlist_file ~root:!root ~paths ~rules:Rules.all () in
+  let report = Json.to_string_pretty (Lint.result_to_json ~rules:Rules.all result) in
+  (match !out with
+  | Some file ->
+    let oc = open_out file in
+    output_string oc report;
+    output_char oc '\n';
+    close_out oc
+  | None -> ());
+  if !json then print_endline report
+  else begin
+    List.iter (fun f -> print_endline (Lint.render_finding f)) result.Lint.findings;
+    Printf.printf "cbl-lint: %d files, %d findings (%d suppressed, %d allowlisted)\n"
+      result.Lint.files_scanned
+      (List.length result.Lint.findings)
+      result.Lint.suppressed result.Lint.allowlisted
+  end;
+  exit (if Lint.ok result then 0 else 1)

@@ -24,6 +24,9 @@ else
   echo "== ocamlformat not installed; skipping format check =="
 fi
 
+echo "== cbl-lint (protocol static analysis, gating) =="
+dune exec bin/cbl_lint.exe -- --out LINT_REPORT.json
+
 echo "== dune runtest =="
 dune runtest
 

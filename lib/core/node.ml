@@ -16,6 +16,8 @@ module Global_locks = Repro_lock.Global_locks
 module Txn = Repro_tx.Txn
 module Txn_table = Repro_tx.Txn_table
 module Undo = Repro_aries.Undo
+module Event = Repro_obs.Event
+module Recorder = Repro_obs.Recorder
 
 (* Node_state exports the shared state record; opening it is the
    "shared type definitions" exception to the no-open rule. *)
@@ -49,7 +51,10 @@ let wal_force t lsn =
          (a crash can no longer lose them, and a retry would
          double-apply). *)
       Group_commit.on_force t.gc
-    | Global_log { log_node } -> Log_manager.force (peer t log_node).log ~upto:lsn
+    | Global_log { log_node } ->
+      let ln = peer t log_node in
+      Log_manager.force ln.log ~upto:lsn;
+      Group_commit.on_force ln.gc
     | Server_logging _ -> ()
 
 (* ------------------------------------------------------------------ *)
@@ -795,8 +800,13 @@ let commit_scheme_work t (txn : Txn.t) lsn =
   match t.scheme with
   | Local_logging ->
     (* The paper's entire commit path: one local log force, zero
-       messages. *)
-    Log_manager.force t.log ~upto:lsn
+       messages.  Every force sweeps the group-commit batch
+       (force-to-device-end invariant); on this path the batch is
+       always empty — batching commits take the [Committing] branch in
+       [commit] instead — so the sweep is a no-op, but the invariant
+       stays locally checkable. *)
+    Log_manager.force t.log ~upto:lsn;
+    Group_commit.on_force t.gc
   | Server_logging { server } ->
     (* ARIES/CSA: the transaction's log records travel to the server in
        one batch; the server appends them to the only durable log,
@@ -814,14 +824,19 @@ let commit_scheme_work t (txn : Txn.t) lsn =
       bump srv (fun m -> m.Metrics.log_appends <- m.Metrics.log_appends + txn.Txn.logged_records);
       bump srv (fun m -> m.Metrics.log_bytes <- m.Metrics.log_bytes + txn.Txn.logged_bytes);
       Env.charge_log_force t.env srv.metrics ~bytes:txn.Txn.logged_bytes;
+      Group_commit.on_force srv.gc;
       send srv ~dst:t.id ~commit_path:true ~bytes:Wire.control ()
     end
-    else Log_manager.force t.log ~upto:lsn
+    else begin
+      Log_manager.force t.log ~upto:lsn;
+      Group_commit.on_force t.gc
+    end
   | Pca_double_logging ->
     (* Local force, then every updated remote page travels to its PCA
        node at commit, together with its log records, which the PCA
        node appends to its own log too (double logging). *)
     Log_manager.force t.log ~upto:lsn;
+    Group_commit.on_force t.gc;
     let remote = txn.Txn.remote_updated in
     let n_remote = max 1 (Page_id.Set.cardinal remote) in
     let bytes_per_page = txn.Txn.logged_bytes / n_remote in
@@ -837,7 +852,8 @@ let commit_scheme_work t (txn : Txn.t) lsn =
         bump t (fun m -> m.Metrics.log_records_shipped <- m.Metrics.log_records_shipped + 1);
         bump owner (fun m -> m.Metrics.log_appends <- m.Metrics.log_appends + 1);
         bump owner (fun m -> m.Metrics.log_bytes <- m.Metrics.log_bytes + bytes_per_page);
-        Env.charge_log_force t.env owner.metrics ~bytes:bytes_per_page)
+        Env.charge_log_force t.env owner.metrics ~bytes:bytes_per_page;
+        Group_commit.on_force owner.gc)
       remote
   | Global_log { log_node } ->
     (* The commit record already travelled to the shared log; force it
@@ -845,6 +861,7 @@ let commit_scheme_work t (txn : Txn.t) lsn =
     let ln = peer t log_node in
     ensure_link t ~dst:log_node;
     Log_manager.force ln.log ~upto:lsn;
+    Group_commit.on_force ln.gc;
     if log_node <> t.id then send ln ~dst:t.id ~commit_path:true ~bytes:Wire.control ()
 
 (* E9 ablation: without inter-transaction caching, the node gives the
@@ -1064,15 +1081,14 @@ let checkpoint t =
      below makes the commit durable too — analysis never needs it as a
      loser once this checkpoint is the restart point. *)
   ignore
-    (Repro_aries.Checkpoint.take t.log t.env t.metrics ~dpt:(Dpt.snapshot t.dpt)
+    (Repro_aries.Checkpoint.take t.log t.env t.metrics ~gc:t.gc ~dpt:(Dpt.snapshot t.dpt)
        ~active:(Txn_table.snapshot_active t.txns) ~master:t.master
        ~on_before_master:(fun () ->
-         (* The checkpoint just forced the log: complete piggybacked
-            pending commits BEFORE the crash point below can fire —
-            their records are durable now, and dropping them as
-            "pending" at the crash would let the driver retry a
-            transaction that recovery will also redo. *)
-         Group_commit.on_force t.gc;
+         (* [Checkpoint.take ~gc] has already swept the force it took:
+            piggybacked pending commits completed BEFORE this crash
+            point can fire — their records are durable now, and
+            dropping them as "pending" at the crash would let the
+            driver retry a transaction that recovery will also redo. *)
          maybe_crashpoint t Repro_fault.Injector.Checkpoint))
 
 let install_recovered_page t page ~waiters =

@@ -2,7 +2,6 @@ module Env = Repro_sim.Env
 module Metrics = Repro_sim.Metrics
 module Page = Repro_storage.Page
 module Page_id = Repro_storage.Page_id
-module Disk = Repro_storage.Disk
 module Lsn = Repro_wal.Lsn
 module Record = Repro_wal.Record
 module Log_manager = Repro_wal.Log_manager

@@ -1,14 +1,11 @@
 module Config = Repro_sim.Config
 module Env = Repro_sim.Env
 module Metrics = Repro_sim.Metrics
-module Page_id = Repro_storage.Page_id
 module Cluster = Repro_cbl.Cluster
-module Node_state = Repro_cbl.Node_state
 module Recovery = Repro_cbl.Recovery
 module Engine = Repro_workload.Engine
 module Driver = Repro_workload.Driver
 module Generators = Repro_workload.Generators
-module Op = Repro_workload.Op
 module Schemes = Repro_baselines.Schemes
 module Rng = Repro_util.Rng
 

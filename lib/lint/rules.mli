@@ -1,0 +1,32 @@
+(** The repo-specific rule registry.
+
+    Every rule is grounded in a bug class this repo has actually
+    shipped and fixed (see CHANGES.md and DESIGN.md "Static protocol
+    checking"):
+
+    - [force-sweep] — a log force outside the force-implementation
+      layer must pair with a [Group_commit.on_force] sweep in the same
+      top-level function (PR 3's force-to-device-end invariant).
+    - [swallowed-control-exn] — no catch-all exception handlers in
+      [lib/]: they can absorb the [Crash]/[Node_down] control
+      exceptions (PR 2's eviction-chain bug).
+    - [rng-discipline] — stdlib [Random] only in the designated RNG
+      module; no [Random.self_init]/[Unix.gettimeofday]/[Sys.time] in
+      [lib/] (seed replay must stay bit-identical).
+    - [crashpoint-registry] — the crash points passed to
+      [Node.maybe_crashpoint], the [Injector.point] constructors and
+      the [Fault_plan.crashpoints] fields must agree (two-pass symbol
+      table).
+    - [event-codec-exhaustive] — the [Event] codec functions must not
+      use a wildcard case, so a new event kind cannot serialize wrong
+      silently.
+    - [no-poly-compare] — no polymorphic [=]/[compare]/[Hashtbl.hash]
+      on identifiers naming mutable protocol state (frames, pages,
+      descriptors); use the module's explicit [equal].
+    - [mli-coverage] — every [lib/**/*.ml] has a sibling [.mli].
+    - [no-unsafe-obj] — no [Obj.*] in [lib/]. *)
+
+val all : Lint.rule list
+(** In reporting order; ids are unique. *)
+
+val find : string -> Lint.rule option

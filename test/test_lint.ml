@@ -1,0 +1,437 @@
+(* Tests for cbl-lint: every rule gets a positive (violation caught) and
+   a negative (clean idiom passes) fixture, plus the suppression and
+   allowlist escape hatches and the cross-file crashpoint registry.
+
+   Fixtures are inline source strings written into a fresh temp tree
+   whose layout mimics the repo (lib/..., bin/...), because most rules
+   scope on the root-relative path. *)
+
+module Lint = Repro_lint.Lint
+module Rules = Repro_lint.Rules
+module Json = Repro_obs.Json
+
+(* ---- fixture plumbing ---- *)
+
+let rec mkdir_p dir =
+  if not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    Sys.mkdir dir 0o755
+  end
+
+let fresh_root () =
+  let base = Filename.temp_file "cbl_lint_test" "" in
+  Sys.remove base;
+  Sys.mkdir base 0o755;
+  base
+
+let write_file root (rel, content) =
+  let path = Filename.concat root rel in
+  mkdir_p (Filename.dirname path);
+  let oc = open_out path in
+  output_string oc content;
+  close_out oc
+
+(* Lint a fixture tree.  [allowlist] is the allowlist file's content;
+   omitted = no allowlist. *)
+let lint ?allowlist files =
+  let root = fresh_root () in
+  List.iter (write_file root) files;
+  let allowlist_file =
+    Option.map
+      (fun content ->
+        write_file root ("allow.txt", content);
+        Filename.concat root "allow.txt")
+      allowlist
+  in
+  Lint.run ?allowlist_file ~root ~paths:[ "lib"; "bin" ] ~rules:Rules.all ()
+
+let findings_for rule result =
+  List.filter (fun f -> f.Lint.rule = rule) result.Lint.findings
+
+let count rule result = List.length (findings_for rule result)
+
+let check_count msg rule expected result = Alcotest.(check int) msg expected (count rule result)
+
+(* ---- rule 1: force-sweep ---- *)
+
+let test_force_sweep_positive () =
+  let r =
+    lint [ ("lib/core/foo.ml", "let commit log =\n  Log_manager.force log ~upto:3\n") ]
+  in
+  check_count "unswept force flagged" "force-sweep" 1 r;
+  let f = List.hd (findings_for "force-sweep" r) in
+  Alcotest.(check string) "file" "lib/core/foo.ml" f.Lint.file;
+  Alcotest.(check int) "line" 2 f.Lint.line
+
+let test_force_sweep_negative () =
+  let r =
+    lint
+      [
+        ( "lib/core/foo.ml",
+          "let commit log gc =\n  Log_manager.force log ~upto:3;\n  Group_commit.on_force gc\n"
+        );
+      ]
+  in
+  check_count "paired force passes" "force-sweep" 0 r
+
+let test_force_sweep_charge_variant () =
+  (* The cost-charging entry point counts as a force too. *)
+  let r = lint [ ("lib/core/foo.ml", "let commit env = charge_log_force env ~bytes:64\n") ] in
+  check_count "charge_log_force flagged" "force-sweep" 1 r
+
+let test_force_sweep_impl_layer_exempt () =
+  (* The force implementation itself cannot call the sweep (cycle). *)
+  let r =
+    lint [ ("lib/wal/log_manager.ml", "let force_all t =\n  Log_manager.force t ~upto:9\n") ]
+  in
+  check_count "impl layer exempt" "force-sweep" 0 r
+
+let test_force_sweep_outside_lib () =
+  let r = lint [ ("bin/tool.ml", "let main log = Log_manager.force log ~upto:3\n") ] in
+  check_count "bin/ not in scope" "force-sweep" 0 r
+
+(* The PR 3 bug shape: checkpoint forces the log, then runs the
+   mid-checkpoint crash hook with the group-commit batch still pending. *)
+let test_force_sweep_checkpoint_regression () =
+  let buggy =
+    "let take log ~on_before_master =\n\
+    \  let lsn = Log_manager.append log record in\n\
+    \  Log_manager.force log ~upto:lsn;\n\
+    \  on_before_master ();\n\
+    \  lsn\n"
+  in
+  let fixed =
+    "let take log gc ~on_before_master =\n\
+    \  let lsn = Log_manager.append log record in\n\
+    \  Log_manager.force log ~upto:lsn;\n\
+    \  Option.iter Group_commit.on_force gc;\n\
+    \  on_before_master ();\n\
+    \  lsn\n"
+  in
+  let r = lint [ ("lib/aries/checkpoint.ml", buggy) ] in
+  check_count "reintroduced checkpoint bug caught" "force-sweep" 1 r;
+  let f = List.hd (findings_for "force-sweep" r) in
+  Alcotest.(check int) "flagged at the force" 3 f.Lint.line;
+  let r = lint [ ("lib/aries/checkpoint.ml", fixed) ] in
+  check_count "swept checkpoint passes" "force-sweep" 0 r
+
+(* ---- rule 2: swallowed-control-exn ---- *)
+
+let test_swallowed_positive () =
+  let r =
+    lint
+      [
+        ("lib/core/a.ml", "let f g x = try g x with _ -> 0\n");
+        ("lib/core/b.ml", "let f g x = match g x with v -> v | exception e -> ignore e; 0\n");
+      ]
+  in
+  check_count "catch-all try and match-exception flagged" "swallowed-control-exn" 2 r
+
+let test_swallowed_negative () =
+  let r =
+    lint
+      [
+        ("lib/core/a.ml", "let f g x = try g x with Not_found -> 0\n");
+        ("lib/core/b.ml", "let f g x = try g x with e -> cleanup (); raise e\n");
+        ("lib/core/c.ml", "let f g x = try g x with e when is_benign e -> 0\n");
+        ("bin/tool.ml", "let f g x = try g x with _ -> 0\n");
+      ]
+  in
+  check_count "specific / re-raising / guarded / bin all pass" "swallowed-control-exn" 0 r
+
+(* ---- rule 3: rng-discipline ---- *)
+
+let test_rng_positive () =
+  let r =
+    lint
+      [
+        ("lib/sim/gen.ml", "let pick () = Random.int 10\n");
+        ("lib/util/rng.ml", "let () = Random.self_init ()\n");
+        ("lib/sim/clock.ml", "let now () = Unix.gettimeofday ()\nlet cpu () = Sys.time ()\n");
+      ]
+  in
+  check_count "stray Random, self_init and wall clocks flagged" "rng-discipline" 4 r
+
+let test_rng_negative () =
+  let r =
+    lint
+      [
+        ("lib/util/rng.ml", "let pick () = Random.int 10\n");
+        ("bin/tool.ml", "let now () = Unix.gettimeofday ()\n");
+      ]
+  in
+  check_count "designated module and bin/ pass" "rng-discipline" 0 r
+
+(* ---- rule 4: crashpoint-registry (cross-file) ---- *)
+
+let injector_decl = "type point = Commit_force | Page_ship\n"
+
+let fault_plan_decl =
+  "type crashpoints = { commit_force : float; page_ship : float; budget : int }\n"
+
+let uses_both =
+  "let maybe_crashpoint _ _ = ()\n\
+   let exercise t =\n\
+  \  maybe_crashpoint t Injector.Commit_force;\n\
+  \  maybe_crashpoint t Injector.Page_ship\n"
+
+let test_crashpoint_consistent () =
+  let r =
+    lint
+      [
+        ("lib/fault/injector.ml", injector_decl);
+        ("lib/fault/fault_plan.ml", fault_plan_decl);
+        ("lib/core/node.ml", uses_both);
+      ]
+  in
+  check_count "consistent registry passes" "crashpoint-registry" 0 r
+
+let test_crashpoint_undeclared_use () =
+  let r =
+    lint
+      [
+        ("lib/fault/injector.ml", injector_decl);
+        ("lib/fault/fault_plan.ml", fault_plan_decl);
+        ("lib/core/node.ml", uses_both ^ "let extra t = maybe_crashpoint t Injector.Rollback\n");
+      ]
+  in
+  check_count "undeclared point at a call site flagged" "crashpoint-registry" 1 r
+
+let test_crashpoint_declared_unused () =
+  let r =
+    lint
+      [
+        ("lib/fault/injector.ml", "type point = Commit_force | Page_ship | Checkpoint\n");
+        ( "lib/fault/fault_plan.ml",
+          "type crashpoints =\n\
+          \  { commit_force : float; page_ship : float; checkpoint : float; budget : int }\n" );
+        ("lib/core/node.ml", uses_both);
+      ]
+  in
+  check_count "declared-but-unexercised point flagged" "crashpoint-registry" 1 r
+
+let test_crashpoint_missing_field () =
+  let r =
+    lint
+      [
+        ("lib/fault/injector.ml", injector_decl);
+        ("lib/fault/fault_plan.ml", "type crashpoints = { commit_force : float; budget : int }\n");
+        ("lib/core/node.ml", uses_both);
+      ]
+  in
+  check_count "point without a plan probability field flagged" "crashpoint-registry" 1 r
+
+let test_crashpoint_orphan_field () =
+  let r =
+    lint
+      [
+        ("lib/fault/injector.ml", injector_decl);
+        ( "lib/fault/fault_plan.ml",
+          "type crashpoints =\n\
+          \  { commit_force : float; page_ship : float; rollback : float; budget : int }\n" );
+        ("lib/core/node.ml", uses_both);
+      ]
+  in
+  check_count "plan field without a constructor flagged" "crashpoint-registry" 1 r
+
+let test_crashpoint_skipped_without_registry () =
+  (* Registry modules outside the linted set: the rule stays silent
+     rather than flagging every use as undeclared. *)
+  let r = lint [ ("lib/core/node.ml", uses_both) ] in
+  check_count "no registry in scope, no findings" "crashpoint-registry" 0 r
+
+(* ---- rule 5: event-codec-exhaustive ---- *)
+
+let test_event_codec_positive () =
+  let r =
+    lint
+      [ ("lib/obs/event.ml", "let kind_name = function Log_force -> \"log_force\" | _ -> \"?\"\n") ]
+  in
+  check_count "wildcard in codec flagged" "event-codec-exhaustive" 1 r
+
+let test_event_codec_negative () =
+  let r =
+    lint
+      [
+        ( "lib/obs/event.ml",
+          "let kind_name = function Log_force -> \"log_force\" | Ckpt_begin -> \"ckpt_begin\"\n\
+           let pp_helper = function _ -> ()\n" );
+        ("lib/core/other.ml", "let kind_name = function _ -> \"?\"\n");
+      ]
+  in
+  check_count "exhaustive codec, non-codec fns and other files pass" "event-codec-exhaustive" 0 r
+
+(* ---- rule 6: no-poly-compare ---- *)
+
+let test_poly_compare_positive () =
+  let r =
+    lint
+      [
+        ( "lib/buffer/pool.ml",
+          "let same frame other = frame = other\nlet order victim x = compare victim x\n" );
+      ]
+  in
+  check_count "polymorphic = and compare on state flagged" "no-poly-compare" 2 r
+
+let test_poly_compare_negative () =
+  let r =
+    lint
+      [
+        ( "lib/buffer/pool.ml",
+          "let same frame other = Frame.equal frame other\nlet eq a b = a = b\n" );
+      ]
+  in
+  check_count "explicit equal and non-state operands pass" "no-poly-compare" 0 r
+
+(* ---- rule 7: mli-coverage ---- *)
+
+let test_mli_positive () =
+  let r = lint [ ("lib/core/solo.ml", "let x = 1\n") ] in
+  check_count "lib module without .mli flagged" "mli-coverage" 1 r
+
+let test_mli_negative () =
+  let r =
+    lint
+      [
+        ("lib/core/pair.ml", "let x = 1\n");
+        ("lib/core/pair.mli", "val x : int\n");
+        ("bin/tool.ml", "let x = 1\n");
+      ]
+  in
+  check_count "covered module and bin/ pass" "mli-coverage" 0 r
+
+(* ---- rule 8: no-unsafe-obj ---- *)
+
+let test_unsafe_obj () =
+  let r =
+    lint
+      [
+        ("lib/util/hack.ml", "let f x = Obj.magic x\n");
+        ("bin/tool.ml", "let f x = Obj.magic x\n");
+      ]
+  in
+  check_count "Obj in lib/ flagged, bin/ exempt" "no-unsafe-obj" 1 r
+
+(* ---- suppression and allowlist ---- *)
+
+let test_inline_suppression () =
+  let r =
+    lint
+      [
+        ( "lib/core/foo.ml",
+          "let commit log = (Log_manager.force log ~upto:3) [@cbl.lint.allow \"force-sweep\"]\n"
+        );
+      ]
+  in
+  check_count "attributed expression silenced" "force-sweep" 0 r;
+  Alcotest.(check int) "counted as suppressed" 1 r.Lint.suppressed
+
+let test_inline_suppression_wrong_rule () =
+  (* Suppression is per rule id: naming another rule silences nothing. *)
+  let r =
+    lint
+      [
+        ( "lib/core/foo.ml",
+          "let commit log = (Log_manager.force log ~upto:3) [@cbl.lint.allow \"mli-coverage\"]\n"
+        );
+      ]
+  in
+  check_count "mismatched rule id does not silence" "force-sweep" 1 r
+
+let test_floating_suppression () =
+  let r =
+    lint
+      [
+        ( "lib/core/foo.ml",
+          "[@@@cbl.lint.allow \"mli-coverage\"]\n\nlet commit log = Log_manager.force log ~upto:3\n"
+        );
+      ]
+  in
+  check_count "floating attribute silences whole file" "mli-coverage" 0 r;
+  check_count "other rules still fire" "force-sweep" 1 r;
+  Alcotest.(check int) "counted as suppressed" 1 r.Lint.suppressed
+
+let test_allowlist () =
+  let r =
+    lint
+      ~allowlist:"# grandfathered\nmli-coverage lib/core/solo.ml\n"
+      [ ("lib/core/solo.ml", "let x = 1\n") ]
+  in
+  check_count "allowlisted finding dropped" "mli-coverage" 0 r;
+  Alcotest.(check int) "counted as allowlisted" 1 r.Lint.allowlisted;
+  Alcotest.(check bool) "run is ok" true (Lint.ok r)
+
+(* ---- engine odds and ends ---- *)
+
+let test_parse_error_is_finding () =
+  let r = lint [ ("lib/core/bad.ml", "let let = in\n") ] in
+  check_count "unparseable file reported, run not aborted" "parse-error" 1 r;
+  Alcotest.(check bool) "run not ok" false (Lint.ok r)
+
+let test_json_report_shape () =
+  let r = lint [ ("lib/core/solo.ml", "let x = 1\n") ] in
+  let json = Lint.result_to_json ~rules:Rules.all r in
+  let member name = Json.member name json in
+  Alcotest.(check (option string))
+    "tool" (Some "cbl-lint")
+    (Option.bind (member "tool") Json.to_string_opt);
+  Alcotest.(check (option int))
+    "files_scanned" (Some 1)
+    (Option.bind (member "files_scanned") Json.to_int_opt);
+  (match member "rules" with
+  | Some (Json.List rules) -> Alcotest.(check int) "eight rules" 8 (List.length rules)
+  | _ -> Alcotest.fail "rules member missing");
+  match member "findings" with
+  | Some (Json.List (Json.Obj fields :: _)) ->
+    Alcotest.(check (option string))
+      "finding rule" (Some "mli-coverage")
+      (Option.bind (List.assoc_opt "rule" fields) Json.to_string_opt)
+  | _ -> Alcotest.fail "findings member missing"
+
+let test_clean_tree_ok () =
+  let r =
+    lint
+      [
+        ("lib/core/pair.ml", "let x = 1\n");
+        ("lib/core/pair.mli", "val x : int\n");
+      ]
+  in
+  Alcotest.(check bool) "ok" true (Lint.ok r);
+  Alcotest.(check int) "no findings" 0 (List.length r.Lint.findings);
+  Alcotest.(check int) "both files scanned" 2 r.Lint.files_scanned
+
+let suite =
+  [
+    Alcotest.test_case "force-sweep: unswept force flagged" `Quick test_force_sweep_positive;
+    Alcotest.test_case "force-sweep: paired force passes" `Quick test_force_sweep_negative;
+    Alcotest.test_case "force-sweep: charge variant" `Quick test_force_sweep_charge_variant;
+    Alcotest.test_case "force-sweep: impl layer exempt" `Quick test_force_sweep_impl_layer_exempt;
+    Alcotest.test_case "force-sweep: bin/ out of scope" `Quick test_force_sweep_outside_lib;
+    Alcotest.test_case "force-sweep: PR3 checkpoint bug shape" `Quick
+      test_force_sweep_checkpoint_regression;
+    Alcotest.test_case "swallowed-control-exn: catch-alls flagged" `Quick test_swallowed_positive;
+    Alcotest.test_case "swallowed-control-exn: clean idioms pass" `Quick test_swallowed_negative;
+    Alcotest.test_case "rng-discipline: violations flagged" `Quick test_rng_positive;
+    Alcotest.test_case "rng-discipline: clean idioms pass" `Quick test_rng_negative;
+    Alcotest.test_case "crashpoint: consistent registry" `Quick test_crashpoint_consistent;
+    Alcotest.test_case "crashpoint: undeclared use" `Quick test_crashpoint_undeclared_use;
+    Alcotest.test_case "crashpoint: declared unused" `Quick test_crashpoint_declared_unused;
+    Alcotest.test_case "crashpoint: missing plan field" `Quick test_crashpoint_missing_field;
+    Alcotest.test_case "crashpoint: orphan plan field" `Quick test_crashpoint_orphan_field;
+    Alcotest.test_case "crashpoint: silent without registry" `Quick
+      test_crashpoint_skipped_without_registry;
+    Alcotest.test_case "event-codec: wildcard flagged" `Quick test_event_codec_positive;
+    Alcotest.test_case "event-codec: exhaustive passes" `Quick test_event_codec_negative;
+    Alcotest.test_case "no-poly-compare: state operands flagged" `Quick test_poly_compare_positive;
+    Alcotest.test_case "no-poly-compare: clean idioms pass" `Quick test_poly_compare_negative;
+    Alcotest.test_case "mli-coverage: missing .mli flagged" `Quick test_mli_positive;
+    Alcotest.test_case "mli-coverage: sibling .mli passes" `Quick test_mli_negative;
+    Alcotest.test_case "no-unsafe-obj: Obj in lib/ flagged" `Quick test_unsafe_obj;
+    Alcotest.test_case "suppression: inline attribute" `Quick test_inline_suppression;
+    Alcotest.test_case "suppression: wrong rule id inert" `Quick test_inline_suppression_wrong_rule;
+    Alcotest.test_case "suppression: floating attribute" `Quick test_floating_suppression;
+    Alcotest.test_case "allowlist: grandfathered entry" `Quick test_allowlist;
+    Alcotest.test_case "engine: parse error is a finding" `Quick test_parse_error_is_finding;
+    Alcotest.test_case "engine: JSON report shape" `Quick test_json_report_shape;
+    Alcotest.test_case "engine: clean tree is ok" `Quick test_clean_tree_ok;
+  ]

@@ -17,4 +17,5 @@ let () =
       ("fault", Test_fault.suite);
       ("properties", Test_props.suite);
       ("experiments", Test_experiments.suite);
+      ("lint", Test_lint.suite);
     ]
