@@ -300,7 +300,7 @@ let stress runs start faults_spec plan_file dump_plan group_commit =
   in
   let faults_on =
     classes.Fault_plan.net || classes.Fault_plan.disk || classes.Fault_plan.crashpoints
-    || plan_file <> None
+    || classes.Fault_plan.recovery || plan_file <> None
   in
   let loaded_plan = Option.map read_plan plan_file in
   let last_plan = ref None in
@@ -398,12 +398,26 @@ let stress runs start faults_spec plan_file dump_plan group_commit =
         ?auto_recover:(if faults_on then Some 6 else None)
         scripts
     in
-    let down =
-      List.filter_map
-        (fun n -> if Cluster.node cluster n |> Node.is_up then None else Some n)
-        (List.init nodes (fun i -> i))
+    (* The end-of-run cleanup recovery can itself die at a recovery
+       crash point (that is the point of the recovery fault class);
+       re-enter with the grown down set.  Both the crash and the
+       partition budgets are bounded, so the loop terminates — the cap
+       is a backstop turning a livelock bug into a visible failure. *)
+    let rec recover_all attempts =
+      let down =
+        List.filter
+          (fun n -> not (Cluster.node cluster n |> Node.is_up))
+          (List.init nodes (fun i -> i))
+      in
+      if down <> [] then
+        if attempts > 100 then Fmt.failwith "seed %d: recovery did not converge" seed
+        else begin
+          (try Cluster.recover cluster ~nodes:down
+           with Repro_cbl.Block.Would_block _ -> ());
+          recover_all (attempts + 1)
+        end
     in
-    if down <> [] then Cluster.recover cluster ~nodes:down;
+    recover_all 0;
     Cluster.check_invariants cluster;
     (match (outcome.Driver.stuck, Driver.verify outcome) with
     | 0, Ok () -> ()
@@ -458,7 +472,10 @@ let stress_cmd =
           ~doc:
             "Enable deterministic fault injection.  Comma-separated classes from $(b,net) \
              (message drop / duplication / delay / temporary partitions), $(b,disk) (torn log \
-             writes on crash) and $(b,crashpoints) (crashes at named protocol points); \
+             writes on crash), $(b,crashpoints) (crashes at named protocol points) and \
+             $(b,recovery) (crashes, drops and partitions during recovery itself: named \
+             crash points after analysis, mid-redo, before undo, mid-undo and at the \
+             end-of-restart checkpoint — recovery must restart or defer its way through); \
              $(b,all) enables everything.")
   in
   let plan_json =

@@ -37,6 +37,14 @@ if [ "$STRESS_RUNS" -gt 0 ]; then
   dune exec bin/cblsim.exe -- stress --runs "$STRESS_RUNS" --faults all
   echo "== stress: $STRESS_RUNS fault-injected runs with group commit (--faults all --group-commit) =="
   dune exec bin/cblsim.exe -- stress --runs "$STRESS_RUNS" --faults all --group-commit
+  # recovery-fault leg: crashes at the recovery crash points, network
+  # faults during recovery exchanges — at least 200 seeds regardless of
+  # the requested sweep size, so the restart/deferral paths always get
+  # real coverage.
+  RECOVERY_RUNS="$STRESS_RUNS"
+  [ "$RECOVERY_RUNS" -lt 200 ] && RECOVERY_RUNS=200
+  echo "== stress: $RECOVERY_RUNS recovery-fault runs (--faults recovery) =="
+  dune exec bin/cblsim.exe -- stress --runs "$RECOVERY_RUNS" --faults recovery
 fi
 
 echo "== bench smoke: quick JSON reports + throughput regression gate =="

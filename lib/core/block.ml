@@ -3,6 +3,7 @@ type reason =
   | Node_down of { node : int }
   | Log_space of { node : int }
   | Page_recovering of Repro_storage.Page_id.t
+  | Page_unavailable of { pid : Repro_storage.Page_id.t; blocker : int }
   | Net_unreachable of { src : int; dst : int }
 
 exception Would_block of reason
@@ -20,5 +21,8 @@ let pp_reason ppf = function
   | Log_space { node } -> Format.fprintf ppf "node %d is out of log space" node
   | Page_recovering pid ->
     Format.fprintf ppf "page %a is being recovered" Repro_storage.Page_id.pp pid
+  | Page_unavailable { pid; blocker } ->
+    Format.fprintf ppf "page %a has deferred recovery blocked on down node %d"
+      Repro_storage.Page_id.pp pid blocker
   | Net_unreachable { src; dst } ->
     Format.fprintf ppf "node %d cannot reach node %d (partition)" src dst

@@ -15,6 +15,9 @@ type reason =
       (** the node's log is full and freeing space is itself blocked *)
   | Page_recovering of Repro_storage.Page_id.t
       (** access stopped until the owner finishes recovering the page *)
+  | Page_unavailable of { pid : Repro_storage.Page_id.t; blocker : int }
+      (** the page's recovery is deferred until [blocker] comes back;
+          retry after the blocker recovers *)
   | Net_unreachable of { src : int; dst : int }
       (** an injected partition blocks the link; retry heals it *)
 

@@ -160,29 +160,56 @@ let operational_nodes t =
     (fun n -> if Node.is_up n then Some (Node.id n) else None)
     (nodes t)
 
-let recover_timed ?strategy t ~nodes:ids =
+let recover_timed ?strategy ?(defer = []) t ~nodes:ids =
   let crashed = List.map (node t) ids in
   let crashed_ids = List.map Node.id crashed in
+  (match List.filter (fun id -> List.mem id crashed_ids) defer with
+  | [] -> ()
+  | both ->
+    invalid_arg
+      (Printf.sprintf "Cluster.recover: node(s) %s listed both to recover and to defer"
+         (String.concat ", " (List.map string_of_int both))));
+  List.iter
+    (fun id ->
+      if Node.is_up (node t id) then
+        invalid_arg
+          (Printf.sprintf "Cluster.recover: node %d is up, there is nothing to defer" id))
+    defer;
   (* Recovery treats every node outside the crashed set as a live
      source of page bases, DPT claims and log records.  A node that is
-     down but not being recovered would silently contribute a stale
-     disk base and none of its log records — a redo gap waiting to
-     happen — so demand the caller recovers all down nodes together. *)
-  List.iter
-    (fun n ->
-      if (not (Node.is_up n)) && not (List.mem (Node.id n) crashed_ids) then
-        invalid_arg
-          (Printf.sprintf
-             "Cluster.recover: node %d is down but not in the crashed set; all down nodes must \
-              recover together"
-             (Node.id n)))
-    (nodes t);
+     down but neither being recovered nor explicitly deferred would
+     silently contribute a stale disk base and none of its log records
+     — a redo gap waiting to happen.  Distinguish the caller who
+     {e forgot} a down node (error, naming the culprits) from one who
+     {e intentionally} deferred it ([defer], legal: its pages are
+     skipped and redo parks on it instead). *)
+  (match
+     List.filter
+       (fun n ->
+         (not (Node.is_up n))
+         && (not (List.mem (Node.id n) crashed_ids))
+         && not (List.mem (Node.id n) defer))
+       (nodes t)
+   with
+  | [] -> ()
+  | forgotten ->
+    invalid_arg
+      (Printf.sprintf
+         "Cluster.recover: node(s) %s are down but in neither the crashed nor the defer list; \
+          recover all down nodes together or defer them explicitly"
+         (String.concat ", " (List.map (fun n -> string_of_int (Node.id n)) forgotten))));
+  let deferred = List.map (node t) defer in
   let operational =
-    List.filter (fun n -> not (List.mem (Node.id n) crashed_ids)) (nodes t)
+    List.filter
+      (fun n ->
+        Node.is_up n
+        && (not (List.mem (Node.id n) crashed_ids))
+        && not (List.mem (Node.id n) defer))
+      (nodes t)
   in
-  Recovery.run ?strategy ~crashed ~operational ()
+  Recovery.run ?strategy ~deferred ~crashed ~operational ()
 
-let recover ?strategy t ~nodes = ignore (recover_timed ?strategy t ~nodes)
+let recover ?strategy ?defer t ~nodes = ignore (recover_timed ?strategy ?defer t ~nodes)
 
 let deadlock t = t.deadlock
 let global_metrics t = Env.global_metrics t.env

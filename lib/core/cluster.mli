@@ -94,12 +94,21 @@ val crash : t -> node:int -> unit
 (** Also drops the node's in-flight transactions from the deadlock
     graph (they are losers; restart will roll them back). *)
 
-val recover : ?strategy:Recovery.strategy -> t -> nodes:int list -> unit
+val recover : ?strategy:Recovery.strategy -> ?defer:int list -> t -> nodes:int list -> unit
 (** §2.3 for a single node, §2.4 for several.  [strategy] defaults to
     the paper's PSN-coordinated protocol; [Merged_logs] is the E4
-    baseline. *)
+    baseline.
 
-val recover_timed : ?strategy:Recovery.strategy -> t -> nodes:int list -> Recovery.summary
+    Every down node must appear in exactly one of [nodes] (recover it
+    now) or [defer] (leave it down {e intentionally}: its own pages are
+    skipped, and any redo that needs its log records parks on it —
+    deferred recovery — instead of erroring).  A down node in neither
+    list is a caller mistake and raises [Invalid_argument] naming the
+    offending node(s); so does listing a node in both, or deferring a
+    node that is up. *)
+
+val recover_timed :
+  ?strategy:Recovery.strategy -> ?defer:int list -> t -> nodes:int list -> Recovery.summary
 (** Like {!recover}, additionally returning the per-phase timing
     breakdown (E4/E5/E8 reporting). *)
 

@@ -95,8 +95,7 @@ let deallocate_page t pid =
 (* Crash and injected crash points                                     *)
 (* ------------------------------------------------------------------ *)
 
-let crash t =
-  t.up <- false;
+let wipe_volatile t =
   Buffer_pool.clear t.pool;
   Local_locks.clear t.locks;
   Global_locks.clear t.glocks;
@@ -105,12 +104,28 @@ let crash t =
   Page_id.Tbl.reset t.flush_waiters;
   Page_id.Tbl.reset t.reservations;
   t.recovering_pages <- Page_id.Set.empty;
+  Page_id.Tbl.reset t.deferred_pages;
+  t.deferred_losers <- [];
   (* The pending group-commit batch is volatile: none of those commits
      happened — recovery will abort them. *)
-  Group_commit.crash t.gc;
+  Group_commit.crash t.gc
+
+let crash t =
+  t.up <- false;
+  wipe_volatile t;
   Log_manager.crash ?faults:(Env.faults t.env) t.log;
   if Env.tracing t.env then Env.emit t.env ~node:t.id Event.Crash [];
   tracef t "node %d crashed" t.id
+
+(* Discard whatever volatile state a previous, aborted recovery attempt
+   left behind (partially recovered pages, reconstructed lock tables,
+   re-registered losers) WITHOUT touching the log: the node is already
+   down, its durable state is exactly what the next attempt must start
+   from, and re-tearing the tail would manufacture a second crash. *)
+let reset_volatile t =
+  assert (not t.up);
+  wipe_volatile t;
+  tracef t "node %d volatile state reset for recovery restart" t.id
 
 (* A named protocol crash point: with a fault injector installed, the
    node may crash *here* — mid-commit-force, mid-checkpoint, mid-ship,
@@ -327,14 +342,26 @@ let install_page t page = install_or_merge t page
 (* Page fetching (data shipping, §2.2)                                 *)
 (* ------------------------------------------------------------------ *)
 
+(* A page parked by deferred recovery must not be served from the
+   owner's (stale) base: its latest committed state can only be rebuilt
+   once the blocking peer's log is back.  Retryable, like a lock wait. *)
+let check_not_deferred owner pid =
+  match Page_id.Tbl.find_opt owner.deferred_pages pid with
+  | Some blocker -> Block.block (Block.Page_unavailable { pid; blocker })
+  | None -> ()
+
 let fetch_page_from_owner t pid =
   let owner_id = Page_id.owner pid in
-  if owner_id = t.id then install_page t (owner_latest_copy t pid)
+  if owner_id = t.id then begin
+    check_not_deferred t pid;
+    install_page t (owner_latest_copy t pid)
+  end
   else begin
     let owner = peer t owner_id in
     if not owner.up then Block.block (Block.Node_down { node = owner_id });
     ensure_link t ~dst:owner_id;
     if Page_id.Set.mem pid owner.recovering_pages then Block.block (Block.Page_recovering pid);
+    check_not_deferred owner pid;
     send t ~dst:owner_id ~bytes:Wire.control ();
     let page = owner_latest_copy owner pid in
     send owner ~dst:t.id ~bytes:(Wire.page (Env.config t.env)) ();
@@ -430,6 +457,7 @@ let handle_callback t ~pid ~requested ~for_txn ~for_node =
 let owner_grant_lock t ~requester ~txn ~pid ~mode ~need_page =
   check_up t;
   if Page_id.Set.mem pid t.recovering_pages then Block.block (Block.Page_recovering pid);
+  check_not_deferred t pid;
   (match Page_id.Tbl.find_opt t.reservations pid with
   | Some (rtxn, rnode) when rtxn <> txn ->
     if txn_active_at t ~txn:rtxn ~node:rnode then begin
@@ -565,6 +593,10 @@ let acquire t ~txn ~pid ~mode =
 let owner_flush_page t pid =
   assert (Page_id.owner pid = t.id);
   check_up t;
+  (* Flushing a deferred page would ack waiters against a base that is
+     missing the parked peer's updates, wrongly retiring their DPT
+     entries — the very claims the deferred redo still needs. *)
+  check_not_deferred t pid;
   match Buffer_pool.peek t.pool pid with
   | Some frame ->
     if frame.dirty then begin

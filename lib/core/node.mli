@@ -107,6 +107,18 @@ val crash : t -> unit
 (** Loses cache, lock tables, transaction table, DPT, flush waiters and
     the unforced log tail.  Durable state survives. *)
 
+val reset_volatile : t -> unit
+(** Wipe the volatile state of a node that is already down, {e without}
+    touching the log device.  Recovery calls this on entry so a
+    previous, aborted recovery attempt's partial state (recovered
+    pages, reconstructed locks, re-registered losers) cannot leak into
+    the new attempt. *)
+
+val maybe_crashpoint : t -> Repro_fault.Injector.point -> unit
+(** Probe a named protocol crash point; with an armed injector the node
+    may crash here, surfacing as [Would_block (Node_down _)].  Exposed
+    so recovery can place its own restartability crash points. *)
+
 (** {1 Owner-role services}
 
     Exposed for the recovery protocol and the test-suite; normal

@@ -65,6 +65,16 @@ type t = {
          fresh cache-hit acquisitions *)
   mutable recovering_pages : Page_id.Set.t;
       (* owned pages whose recovery is in progress; requests are stopped *)
+  deferred_pages : int Page_id.Tbl.t;
+      (* owner role: owned pages whose recovery is parked on a down peer
+         (pid -> blocking node).  The regranted locks are retained;
+         access raises a retryable [Page_unavailable] until the blocker
+         recovers and the parked redo completes. *)
+  mutable deferred_losers : (int * int) list;
+      (* loser transactions whose rollback is parked on a down peer
+         ((txn, blocking node)); the Txn stays registered so a further
+         crash's analysis re-finds it, and the rollback resumes when the
+         blocker recovers *)
   (* wiring *)
   mutable resolve : int -> t;
   pool_policy : Repro_buffer.Buffer_pool.policy;
@@ -132,6 +142,8 @@ let create env ~id ~pool_capacity ~pool_policy ~log_capacity ~scheme ~retain_cac
       flush_waiters = Page_id.Tbl.create 16;
       reservations = Page_id.Tbl.create 16;
       recovering_pages = Page_id.Set.empty;
+      deferred_pages = Page_id.Tbl.create 8;
+      deferred_losers = [];
       resolve = (fun _ -> node);
       pool_policy;
       pool_capacity;

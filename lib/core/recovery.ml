@@ -15,6 +15,8 @@ module Txn_table = Repro_tx.Txn_table
 module Analysis = Repro_aries.Analysis
 module Redo = Repro_aries.Redo
 module Undo = Repro_aries.Undo
+module Fault_plan = Repro_fault.Fault_plan
+module Injector = Repro_fault.Injector
 open Node_state
 
 let bump_transfers n =
@@ -22,6 +24,104 @@ let bump_transfers n =
 
 let bump_redone n =
   bump n (fun m -> m.Metrics.recovery_pages_redone <- m.Metrics.recovery_pages_redone + 1)
+
+(* ------------------------------------------------------------------ *)
+(* Restartability and peer-fault machinery                             *)
+(* ------------------------------------------------------------------ *)
+
+(* Does the plan give recovery's own crash points any probability?  If
+   so the injector stays live for the whole of recovery — the new crash
+   points fire, messages drop and links partition mid-protocol — and the
+   recovery code must retry, restart or defer its way through.  With all
+   of them at zero (every legacy plan) the injector suspends as before,
+   keeping historical seeds bit-identical. *)
+let recovery_faults_on (plan : Fault_plan.t) =
+  let c = plan.Fault_plan.crashpoints in
+  c.Fault_plan.recovery_analysis > 0.
+  || c.Fault_plan.recovery_redo > 0.
+  || c.Fault_plan.recovery_pre_undo > 0.
+  || c.Fault_plan.recovery_undo > 0.
+  || c.Fault_plan.recovery_checkpoint > 0.
+
+(* Probe the Recovery_redo crash point once every [redo_crash_interval]
+   applied redo records, not on every record: the interesting schedules
+   are "partway through a page's redo", and probing each record would
+   burn the crash budget before the later phases see any faults. *)
+let redo_crash_interval = 4
+
+(* Bounded retry with exponential backoff around a recovery exchange
+   with [dst].  A dropped message is already retransmitted inside
+   [send]; what can stall an exchange is an injected partition, so probe
+   the link first and back off while it lasts.  Each failed probe drains
+   the partition's bounded budget, so the loop heals it in practice; if
+   the budget outlasts the attempts, surface the retryable
+   [Net_unreachable] — the driver re-enters recovery later.  With the
+   injector suspended (legacy plans) the probe short-circuits to [true]
+   without consuming randomness, so this wrapper is free there. *)
+let max_exchange_attempts = 8
+
+let recovery_exchange src ~dst f =
+  if dst = src.id then f ()
+  else begin
+    let rec go attempt =
+      if link_up src ~dst then f ()
+      else if attempt >= max_exchange_attempts - 1 then
+        Block.block (Block.Net_unreachable { src = src.id; dst })
+      else begin
+        (* the failed probe already cost one RTO; add the backoff wait,
+           doubling per attempt *)
+        (match Env.faults src.env with
+        | Some inj -> Env.charge_cpu src.env (Injector.rto inj *. float_of_int ((1 lsl attempt) - 1))
+        | None -> ());
+        bump src (fun m -> m.Metrics.recovery_retries <- m.Metrics.recovery_retries + 1);
+        Env.emit src.env ~node:src.id Repro_obs.Event.Recovery_retry
+          [ ("dst", Repro_obs.Event.Int dst); ("attempt", Repro_obs.Event.Int (attempt + 1)) ];
+        go (attempt + 1)
+      end
+    in
+    go 0
+  end
+
+(* Raised by a redo round that meets a record whose PSN is ahead of the
+   page: some node's updates between the base and this record are
+   missing from the participant set.  With a deferred (down,
+   not-yet-recovering) peer to attribute the gap to, the page's recovery
+   parks; without one it is a protocol bug and the caller re-raises as
+   [Invalid_argument]. *)
+exception Redo_gap of { node : int; psn : int; page_psn : int }
+
+(* Attribute a redo gap to a down peer: prefer a deferred node that
+   holds a retained lock on the page (its uncompensated updates are the
+   missing PSNs), fall back to any deferred node. *)
+let pick_blocker ~deferred ~owner ~pid =
+  let is_deferred id = List.exists (fun (d : Node_state.t) -> d.id = id) deferred in
+  let holders = Global_locks.holders owner.glocks ~pid in
+  match List.find_opt (fun (holder, _) -> is_deferred holder) holders with
+  | Some (holder, _) -> Some holder
+  | None -> ( match deferred with d :: _ -> Some d.id | [] -> None)
+
+let park_deferred ~owner ~pid ~blocker =
+  Page_id.Tbl.replace owner.deferred_pages pid blocker;
+  bump owner (fun m ->
+      m.Metrics.recovery_deferred_pages <- m.Metrics.recovery_deferred_pages + 1);
+  Env.emit owner.env ~node:owner.id Repro_obs.Event.Recovery_deferred
+    [
+      ("action", Repro_obs.Event.Str "parked");
+      ("page", Repro_obs.Event.Str (Format.asprintf "%a" Page_id.pp pid));
+      ("blocker", Repro_obs.Event.Int blocker);
+    ];
+  tracef owner "recovery: page %a parked, deferred on down node %d" Page_id.pp pid blocker
+
+let unpark_deferred ~owner ~pid =
+  Page_id.Tbl.remove owner.deferred_pages pid;
+  bump owner (fun m ->
+      m.Metrics.recovery_deferred_completed <- m.Metrics.recovery_deferred_completed + 1);
+  Env.emit owner.env ~node:owner.id Repro_obs.Event.Recovery_deferred
+    [
+      ("action", Repro_obs.Event.Str "completed");
+      ("page", Repro_obs.Event.Str (Format.asprintf "%a" Page_id.pp pid));
+    ];
+  tracef owner "recovery: deferred page %a completed" Page_id.pp pid
 
 (* ------------------------------------------------------------------ *)
 (* Phase 1: analysis                                                   *)
@@ -93,6 +193,7 @@ let reconstruct_locks crashed operational =
     (fun n ->
       List.iter
         (fun m ->
+          recovery_exchange m ~dst:n.id @@ fun () ->
           (* Operational owners release the crashed node's shared locks
              and retain its exclusive ones. *)
           let released = Global_locks.release_all_shared_of_node m.glocks ~node:n.id in
@@ -130,6 +231,7 @@ let gather_for_owner n ~others ~operational =
   List.iter (fun e -> add_claim { claimant = n; entry = e }) (Dpt.entries_owned_by n.dpt n.id);
   List.iter
     (fun m ->
+      recovery_exchange m ~dst:n.id @@ fun () ->
       let entries = Dpt.entries_owned_by m.dpt n.id in
       send m ~dst:n.id ~recovery:true ~bytes:(Wire.listing ~entries:(List.length entries)) ();
       List.iter
@@ -142,6 +244,7 @@ let gather_for_owner n ~others ~operational =
     others;
   List.iter
     (fun m ->
+      recovery_exchange m ~dst:n.id @@ fun () ->
       let cached =
         List.filter (fun pid -> Page_id.owner pid = n.id) (Buffer_pool.cached_ids m.pool)
       in
@@ -218,7 +321,7 @@ let build_psn_lists jobs =
    PSNs in [run.psn, bound), reading exactly the locations remembered by
    the NodePSNList scan (§2.3.4: "the location of this log record is
    remembered and it will be used during the recovery"). *)
-let redo_round m job page (run : Node_psn_list.run) ~bound ~records =
+let redo_round m job page (run : Node_psn_list.run) ~bound ~records ~probe =
   List.iter
     (fun (lsn, psn_before) ->
       let in_round =
@@ -233,18 +336,54 @@ let redo_round m job page (run : Node_psn_list.run) ~bound ~records =
         | Update { pid; psn_before = p; op } | Clr { pid; psn_before = p; op; _ } ->
           assert (Page_id.equal pid job.pid && p = psn_before);
           (match Redo.apply page ~psn_before ~op with
-          | Redo.Applied | Redo.Already_applied -> ()
+          | Redo.Applied | Redo.Already_applied -> probe m
           | Redo.Not_yet ->
-            invalid_arg
-              (Format.asprintf "recovery: node %d met record psn=%d ahead of page %a psn=%d"
-                 m.id psn_before Page_id.pp job.pid (Page.psn page)))
+            raise (Redo_gap { node = m.id; psn = psn_before; page_psn = Page.psn page }))
         | Commit | Abort | Savepoint _ | Checkpoint_begin _ | Checkpoint_end ->
           invalid_arg "recovery: remembered location does not hold an update record"
       end)
     records
 
-let recover_page job ~psn_lists =
+(* Settle the claims of a successfully recovered page: hand the copy to
+   the coordinator's cache; every other involved node's updates now live
+   in that copy, so they are treated as having replaced the page (their
+   flush ack will retire the entry). *)
+let settle_claims job page =
   let owner_id = Page_id.owner job.pid in
+  let coordinator = job.coordinator in
+  let waiters =
+    List.filter_map
+      (fun c -> if c.claimant.id = coordinator.id then None else Some c.claimant.id)
+      job.involved
+  in
+  Node.install_recovered_page coordinator page
+    ~waiters:(if coordinator.id = owner_id then waiters else []);
+  List.iter
+    (fun c ->
+      let m = c.claimant in
+      if m.id <> coordinator.id then begin
+        Dpt.on_replaced m.dpt job.pid ~end_of_log:(Log_manager.end_lsn m.log);
+        if coordinator.id <> owner_id then
+          (* owner survives; register the waiter there *)
+          Node.register_flush_waiter (peer coordinator owner_id) job.pid ~waiter:m.id
+      end)
+    job.involved;
+  if coordinator.id <> owner_id then
+    Node.register_flush_waiter (peer coordinator owner_id) job.pid ~waiter:coordinator.id
+
+(* A redo gap at [gap] while recovering [job]: park the page on a down
+   peer when one exists to attribute the missing PSNs to, otherwise the
+   participant set was wrong and recovery must not limp on. *)
+let gap_or_defer job ~deferred ~gap_node ~psn ~page_psn =
+  let owner = peer job.coordinator (Page_id.owner job.pid) in
+  match pick_blocker ~deferred ~owner ~pid:job.pid with
+  | Some blocker -> park_deferred ~owner ~pid:job.pid ~blocker
+  | None ->
+    invalid_arg
+      (Format.asprintf "recovery: node %d met record psn=%d ahead of page %a psn=%d" gap_node
+         psn Page_id.pp job.pid page_psn)
+
+let recover_page job ~psn_lists ~probe ~deferred =
   let coordinator = job.coordinator in
   let page = Page.copy job.base in
   let runs =
@@ -263,12 +402,13 @@ let recover_page job ~psn_lists =
   (* The lists travel to the coordinator. *)
   List.iter
     (fun c ->
-      send c.claimant ~dst:coordinator.id ~recovery:true
-        ~bytes:
-          (Wire.listing
-             ~entries:
-               (List.length (psn_lists c.claimant.id job.pid).Node_psn_list.runs))
-        ())
+      recovery_exchange c.claimant ~dst:coordinator.id (fun () ->
+          send c.claimant ~dst:coordinator.id ~recovery:true
+            ~bytes:
+              (Wire.listing
+                 ~entries:
+                   (List.length (psn_lists c.claimant.id job.pid).Node_psn_list.runs))
+            ()))
     job.involved;
   let rec rounds = function
     | [] -> ()
@@ -276,38 +416,24 @@ let recover_page job ~psn_lists =
       let bound = match rest with [] -> None | next :: _ -> Some next.Node_psn_list.psn in
       let m = peer coordinator run.node in
       let page_bytes = Wire.page (Env.config coordinator.env) in
-      send coordinator ~dst:m.id ~recovery:true ~bytes:page_bytes ();
-      if m.id <> coordinator.id then bump_transfers coordinator;
-      redo_round m job page run ~bound
-        ~records:(psn_lists m.id job.pid).Node_psn_list.records;
-      send m ~dst:coordinator.id ~recovery:true ~bytes:page_bytes ();
+      recovery_exchange coordinator ~dst:m.id (fun () ->
+          send coordinator ~dst:m.id ~recovery:true ~bytes:page_bytes ();
+          if m.id <> coordinator.id then bump_transfers coordinator;
+          redo_round m job page run ~bound
+            ~records:(psn_lists m.id job.pid).Node_psn_list.records ~probe;
+          send m ~dst:coordinator.id ~recovery:true ~bytes:page_bytes ());
       rounds rest
   in
-  rounds runs;
-  bump_redone coordinator;
-  tracef coordinator "recovery: page %a recovered at psn=%d by node %d (%d rounds)" Page_id.pp
-    job.pid (Page.psn page) coordinator.id (List.length runs);
-  (* Hand the recovered page to the coordinator's cache; every other
-     involved node's updates now live in that copy, so they are treated
-     as having replaced the page (their flush ack will retire the
-     entry). *)
-  let waiters = List.filter_map (fun c ->
-      if c.claimant.id = coordinator.id then None else Some c.claimant.id)
-      job.involved
-  in
-  Node.install_recovered_page coordinator page ~waiters:(if coordinator.id = owner_id then waiters else []);
-  List.iter
-    (fun c ->
-      let m = c.claimant in
-      if m.id <> coordinator.id then begin
-        Dpt.on_replaced m.dpt job.pid ~end_of_log:(Log_manager.end_lsn m.log);
-        if coordinator.id <> owner_id then
-          (* owner survives; register the waiter there *)
-          Node.register_flush_waiter (peer coordinator owner_id) job.pid ~waiter:m.id
-      end)
-    job.involved;
-  if coordinator.id <> owner_id then
-    Node.register_flush_waiter (peer coordinator owner_id) job.pid ~waiter:coordinator.id
+  match rounds runs with
+  | () ->
+    bump_redone coordinator;
+    tracef coordinator "recovery: page %a recovered at psn=%d by node %d (%d rounds)" Page_id.pp
+      job.pid (Page.psn page) coordinator.id (List.length runs);
+    settle_claims job page
+  | exception Redo_gap { node = gap_node; psn; page_psn } ->
+    (* the partially rebuilt copy is discarded; no claim settles, so a
+       later completion run re-derives the full participant set *)
+    gap_or_defer job ~deferred ~gap_node ~psn ~page_psn
 
 (* ------------------------------------------------------------------ *)
 (* Merged-log redo (baseline, §3.2)                                    *)
@@ -340,63 +466,99 @@ let pull_merged_records coordinator sources =
     sources;
   per_page
 
-let recover_page_merged job ~records =
+let recover_page_merged job ~records ~probe ~deferred =
   let page = Page.copy job.base in
   let applicable =
     List.sort (fun (a, _) (b, _) -> Int.compare a b)
       (Option.value (Page_id.Tbl.find_opt records job.pid) ~default:[])
   in
-  List.iter
-    (fun (psn_before, op) ->
-      match Redo.apply page ~psn_before ~op with
-      | Redo.Applied | Redo.Already_applied -> ()
-      | Redo.Not_yet ->
-        invalid_arg
-          (Format.asprintf "merged recovery: gap at %a psn=%d (page at %d)" Page_id.pp job.pid
-             psn_before (Page.psn page)))
-    applicable;
-  bump_redone job.coordinator;
-  let owner_id = Page_id.owner job.pid in
-  let waiters =
-    List.filter_map
-      (fun c -> if c.claimant.id = job.coordinator.id then None else Some c.claimant.id)
-      job.involved
-  in
-  Node.install_recovered_page job.coordinator page
-    ~waiters:(if job.coordinator.id = owner_id then waiters else []);
-  List.iter
-    (fun c ->
-      let m = c.claimant in
-      if m.id <> job.coordinator.id then begin
-        Dpt.on_replaced m.dpt job.pid ~end_of_log:(Log_manager.end_lsn m.log);
-        if job.coordinator.id <> owner_id then
-          Node.register_flush_waiter (peer job.coordinator owner_id) job.pid ~waiter:m.id
-      end)
-    job.involved;
-  if job.coordinator.id <> owner_id then
-    Node.register_flush_waiter (peer job.coordinator owner_id) job.pid
-      ~waiter:job.coordinator.id
+  match
+    List.iter
+      (fun (psn_before, op) ->
+        match Redo.apply page ~psn_before ~op with
+        | Redo.Applied | Redo.Already_applied -> probe job.coordinator
+        | Redo.Not_yet ->
+          raise
+            (Redo_gap { node = job.coordinator.id; psn = psn_before; page_psn = Page.psn page }))
+      applicable
+  with
+  | () ->
+    bump_redone job.coordinator;
+    settle_claims job page
+  | exception Redo_gap { node = gap_node; psn; page_psn } ->
+    gap_or_defer job ~deferred ~gap_node ~psn ~page_psn
 
 (* ------------------------------------------------------------------ *)
 (* Phase 6: undo of loser transactions                                 *)
 (* ------------------------------------------------------------------ *)
 
+(* Roll one (registered) loser back to completion, starting from its
+   current [last_lsn] so a parked rollback resumes at its last CLR.  A
+   rollback that blocks on a DOWN peer — the page it must compensate is
+   deferred, or its owner is dead — is parked: the Txn stays registered
+   (its undo chain keeps pinning the log, and a further crash's analysis
+   re-finds it) and resumes when the blocker recovers.  Any other block
+   propagates: it is either this node's own injected crash (the whole
+   run restarts) or a transient fault a later attempt retries through. *)
+let rollback_loser n txn =
+  match
+    let _last =
+      Undo.rollback (Node.undo_ops n txn) ~txn:txn.Txn.id ~from:txn.Txn.last_lsn ~upto:Lsn.nil
+    in
+    let lsn =
+      Node.append_record n { Record.txn = txn.Txn.id; prev = txn.Txn.last_lsn; body = Abort }
+    in
+    Txn.record_logged txn lsn;
+    txn.Txn.state <- Txn.Aborted;
+    Txn_table.remove n.txns txn.Txn.id;
+    bump n (fun m -> m.Metrics.txn_aborted <- m.Metrics.txn_aborted + 1);
+    tracef n "recovery(%d): loser T%d rolled back" n.id txn.Txn.id
+  with
+  | () -> ()
+  | exception (Block.Would_block reason as e) ->
+    let blocker =
+      match reason with
+      | Block.Page_unavailable { blocker; _ } when blocker <> n.id -> Some blocker
+      | Block.Node_down { node } when node <> n.id -> Some node
+      | _ -> None
+    in
+    (match blocker with
+    | Some b ->
+      n.deferred_losers <- (txn.Txn.id, b) :: n.deferred_losers;
+      Env.emit n.env ~node:n.id Repro_obs.Event.Recovery_deferred
+        [
+          ("action", Repro_obs.Event.Str "loser-parked");
+          ("txn", Repro_obs.Event.Int txn.Txn.id);
+          ("blocker", Repro_obs.Event.Int b);
+        ];
+      tracef n "recovery(%d): loser T%d parked on down node %d" n.id txn.Txn.id b
+    | None -> raise e)
+
 let undo_losers n losers =
   List.iter
     (fun (l : Record.active_txn) ->
+      Node.maybe_crashpoint n Injector.Recovery_undo;
       let txn = Txn.make ~id:l.txn ~node:n.id in
       txn.Txn.last_lsn <- l.last_lsn;
       Txn_table.register n.txns txn;
-      let _last = Undo.rollback (Node.undo_ops n txn) ~txn:txn.Txn.id ~from:l.last_lsn ~upto:Lsn.nil in
-      let lsn =
-        Node.append_record n { Record.txn = txn.Txn.id; prev = txn.Txn.last_lsn; body = Abort }
-      in
-      Txn.record_logged txn lsn;
-      txn.Txn.state <- Txn.Aborted;
-      Txn_table.remove n.txns txn.Txn.id;
-      bump n (fun m -> m.Metrics.txn_aborted <- m.Metrics.txn_aborted + 1);
-      tracef n "recovery(%d): loser T%d rolled back" n.id txn.Txn.id)
+      rollback_loser n txn)
     losers
+
+(* Parked loser rollbacks whose blocker is in this recovery batch can
+   finally finish. *)
+let resume_deferred_losers n ~recovered_ids =
+  let resumable, still_parked =
+    List.partition (fun (_, b) -> List.mem b recovered_ids) n.deferred_losers
+  in
+  n.deferred_losers <- still_parked;
+  List.iter
+    (fun (txn_id, _) ->
+      match Txn_table.find n.txns txn_id with
+      | None -> () (* this node crashed since; its own analysis re-found the loser *)
+      | Some txn ->
+        tracef n "recovery(%d): resuming parked loser T%d" n.id txn_id;
+        rollback_loser n txn)
+    resumable
 
 (* ------------------------------------------------------------------ *)
 (* Driver                                                              *)
@@ -412,7 +574,7 @@ let summary_to_json s =
       ("total_seconds", Json.Float s.total_seconds);
     ]
 
-let run ?(strategy = Psn_coordinated) ~crashed ~operational () =
+let run ?(strategy = Psn_coordinated) ?(deferred = []) ~crashed ~operational () =
   List.iter
     (fun n ->
       match n.scheme with
@@ -421,29 +583,46 @@ let run ?(strategy = Psn_coordinated) ~crashed ~operational () =
         invalid_arg
           "Recovery.run: crash recovery is implemented for the paper's local-logging scheme; \
            the baselines are normal-processing comparators")
-    (crashed @ operational);
+    (crashed @ operational @ deferred);
   List.iter
     (fun n -> if n.up then invalid_arg "Recovery.run: node in crashed list is up")
     crashed;
   List.iter
     (fun n -> if not n.up then invalid_arg "Recovery.run: node in operational list is down")
     operational;
-  (* Fault injection pauses for the whole of recovery: the model is
-     that the recovery protocol runs over a reliable transport (its
-     exchanges have no retry story), and a partition that outlived the
-     crash would deadlock the page-fetch phase.  Torn tails were already
-     decided at crash time, so nothing is lost. *)
+  List.iter
+    (fun n -> if n.up then invalid_arg "Recovery.run: node in deferred list is up")
+    deferred;
+  (* Restartability: a previous attempt may have died partway through —
+     discard whatever partial volatile state it left in the still-down
+     nodes (recovered pages, reconstructed locks, re-registered losers)
+     and any stale in-progress marks on the survivors, then start over
+     from durable state.  Everything the protocol relies on is
+     re-derived: analysis re-reads the logs, claims were never settled
+     for unfinished pages, and owner-side grants are idempotent. *)
+  List.iter Node.reset_volatile crashed;
+  List.iter (fun n -> n.recovering_pages <- Page_id.Set.empty) operational;
   let inj =
     match crashed @ operational with n :: _ -> Env.faults n.env | [] -> None
   in
+  (* Without recovery-class faults in the plan, fault injection pauses
+     for the whole of recovery — the legacy model: the protocol runs
+     over a reliable transport, and historical seeds stay bit-identical.
+     With them, the injector stays live and recovery itself is under
+     fire: its named crash points abort the attempt (the driver
+     re-enters), and [recovery_exchange] retries through drops and
+     partitions.  Pre-existing partitions are healed either way — they
+     were aimed at normal processing, and a partition that outlived the
+     crash would starve the first attempt for no extra coverage. *)
+  let live = match inj with Some i -> recovery_faults_on (Injector.plan i) | None -> false in
   (match inj with
   | Some i ->
-    Repro_fault.Injector.suspend i;
-    Repro_fault.Injector.heal_partitions i
+    if not live then Injector.suspend i;
+    Injector.heal_partitions i
   | None -> ());
   Fun.protect
     ~finally:(fun () ->
-      match inj with Some i -> Repro_fault.Injector.resume i | None -> ())
+      match inj with Some i when not live -> Injector.resume i | Some _ | None -> ())
   @@ fun () ->
   (* Phase timing: every phase runs inside [timed], which records a
      span, a Recovery_phase event and a per-phase histogram sample, and
@@ -470,18 +649,28 @@ let run ?(strategy = Psn_coordinated) ~crashed ~operational () =
       result
   in
   let recovery_from = match env with Some env -> Env.now env | None -> 0. in
+  let attempt () =
   (match env with
   | Some env when Env.tracing env ->
     Env.emit env ~node:(-1) Repro_obs.Event.Recovery_begin
       [ ("crashed", Repro_obs.Event.Int (List.length crashed)) ]
   | Some _ | None -> ());
-  let losers_by_node = timed "analysis" (fun () -> analysis_phase crashed) in
+  let losers_by_node =
+    timed "analysis" (fun () ->
+        let result = analysis_phase crashed in
+        List.iter (fun (n, _) -> Node.maybe_crashpoint n Injector.Recovery_analysis) result;
+        result)
+  in
   timed "lock_reconstruction" (fun () ->
       reconstruct_locks crashed operational;
       regrant_loser_locks losers_by_node);
   (* Collect the recovery jobs for pages owned by each crashed node. *)
   let crashed_ids = List.map (fun n -> n.id) crashed in
+  let deferred_ids = List.map (fun (n : Node_state.t) -> n.id) deferred in
   let jobs = ref [] in
+  (* (owner, pid) of parked pages whose completion job runs in this
+     batch; unparked after redo unless the job re-deferred. *)
+  let completions = ref [] in
   timed "gather" (fun () ->
   List.iter
     (fun n ->
@@ -498,24 +687,26 @@ let run ?(strategy = Psn_coordinated) ~crashed ~operational () =
                forced up to the copy's last update first, and the cacher
                records the replacement so the eventual flush ack settles
                its DPT entry. *)
-            send n ~dst:m.id ~recovery:true ~bytes:Wire.control ();
-            let frame =
-              match Buffer_pool.peek m.pool pid with
-              | Some f -> f
-              | None -> assert false
-            in
-            if frame.Buffer_pool.dirty && not (Lsn.is_nil frame.Buffer_pool.last_lsn) then begin
-              Log_manager.force m.log ~upto:frame.Buffer_pool.last_lsn;
-              (* the survivor's force may have made its own pending
-                 group-commit batch durable *)
-              Repro_wal.Group_commit.on_force m.gc
-            end;
-            send m ~dst:n.id ~recovery:true ~bytes:(Wire.page (Env.config n.env)) ();
-            bump_transfers n;
-            (* The cacher keeps its (possibly dirty) copy and therefore
-               also its DPT entry — §2.2 forbids dropping an entry for
-               an updated page still present in the local cache. *)
-            Node.install_recovered_page n (Page.copy frame.Buffer_pool.page) ~waiters:[]
+            recovery_exchange n ~dst:m.id (fun () ->
+                send n ~dst:m.id ~recovery:true ~bytes:Wire.control ();
+                let frame =
+                  match Buffer_pool.peek m.pool pid with
+                  | Some f -> f
+                  | None -> assert false
+                in
+                if frame.Buffer_pool.dirty && not (Lsn.is_nil frame.Buffer_pool.last_lsn)
+                then begin
+                  Log_manager.force m.log ~upto:frame.Buffer_pool.last_lsn;
+                  (* the survivor's force may have made its own pending
+                     group-commit batch durable *)
+                  Repro_wal.Group_commit.on_force m.gc
+                end;
+                send m ~dst:n.id ~recovery:true ~bytes:(Wire.page (Env.config n.env)) ();
+                bump_transfers n;
+                (* The cacher keeps its (possibly dirty) copy and therefore
+                   also its DPT entry — §2.2 forbids dropping an entry for
+                   an updated page still present in the local cache. *)
+                Node.install_recovered_page n (Page.copy frame.Buffer_pool.page) ~waiters:[])
           | Some [] | None ->
             let base = Node.owner_latest_copy n pid in
             let involved, uninvolved = split_involved claims_for_page ~base_psn:(Page.psn base) in
@@ -527,6 +718,62 @@ let run ?(strategy = Psn_coordinated) ~crashed ~operational () =
         claims;
       ())
     crashed;
+  (* Category (c): pages an earlier recovery parked on a peer that is in
+     THIS batch — the blocker's log is finally readable, so the full
+     redo can run.  Unlike category (b), the claims span every
+     participating node: operational claimants kept their DPT entries
+     precisely because the parked page never advanced past their
+     updates.  Pushed before category (b) so the per-page dedup keeps
+     the completion job (the (b) job would only replay the crashed
+     nodes' share). *)
+  List.iter
+    (fun owner ->
+      let parked =
+        Page_id.Tbl.fold (fun pid blocker acc -> (pid, blocker) :: acc) owner.deferred_pages []
+      in
+      List.iter
+        (fun (pid, blocker) ->
+          if List.mem blocker crashed_ids then begin
+            let base = Node.owner_latest_copy owner pid in
+            let claims =
+              List.filter_map
+                (fun m ->
+                  match Dpt.find m.dpt pid with
+                  | Some entry when entry.Dpt.curr_psn > Page.psn base ->
+                    Some { claimant = m; entry }
+                  | Some _ | None -> None)
+                (crashed @ operational)
+            in
+            (* An operational claimant's records become part of a page
+               copy that will outlive it at another node: WAL discipline
+               demands they are durable first, like any pre-ship
+               force. *)
+            List.iter
+              (fun c ->
+                let m = c.claimant in
+                if m.up then begin
+                  Log_manager.force_all m.log;
+                  Repro_wal.Group_commit.on_force m.gc
+                end)
+              claims;
+            match claims with
+            | [] ->
+              (* every claim died with the blocker's torn tail: the base
+                 already is the latest surviving state *)
+              unpark_deferred ~owner ~pid
+            | _ :: _ ->
+              (* The owner coordinates and hosts the rebuilt copy: it
+                 kept the X grant from the attempt that parked the page,
+                 and every record feeding the copy is durable (a crashed
+                 node's log is all-durable after its tear; operational
+                 claimants were just forced), so the confinement rule
+                 for unforced effects is not in play. *)
+              owner.recovering_pages <- Page_id.Set.add pid owner.recovering_pages;
+              completions := (owner, pid) :: !completions;
+              jobs := { pid; coordinator = owner; base; involved = claims } :: !jobs
+          end)
+        parked)
+    operational;
   (* Category (b): pages of an *operational* owner that a crashed node
      had exclusively locked at crash time (§2.3.1 case b). *)
   List.iter
@@ -535,31 +782,39 @@ let run ?(strategy = Psn_coordinated) ~crashed ~operational () =
         (fun (e : Dpt.entry) ->
           let pid = e.Dpt.pid in
           let owner_id = Page_id.owner pid in
-          if owner_id <> n.id && not (List.mem owner_id crashed_ids) then begin
+          if List.mem owner_id deferred_ids then
+            (* the owner itself is down and not in this batch: its pages
+               cannot be rebuilt without its base copy.  The claim (and
+               the retained lock) survive untouched; the owner's own
+               recovery will collect them as ordinary category-(a)
+               work.  Access meanwhile blocks on [Node_down]. *)
+            tracef n "recovery: page %a left to deferred owner %d" Page_id.pp pid owner_id
+          else if owner_id <> n.id && not (List.mem owner_id crashed_ids) then begin
             (* The base is the owner's most recent surviving copy; the
                crashed node repeats history from its own log on top of
                it whenever its CurrPSN is ahead (this includes the
                uncommitted updates of its losers, rolled back in the
                undo phase — ARIES repeating-history discipline). *)
             let owner = peer n owner_id in
-            send n ~dst:owner_id ~recovery:true ~bytes:Wire.control ();
-            let base = Node.owner_latest_copy owner pid in
-            send owner ~dst:n.id ~recovery:true ~bytes:(Wire.page (Env.config n.env)) ();
-            bump_transfers n;
-            if e.Dpt.curr_psn > Page.psn base then begin
-              (* Other crashed nodes may also have claims on this page. *)
-              let claims =
-                List.filter_map
-                  (fun m ->
-                    match Dpt.find m.dpt pid with
-                    | Some entry when entry.Dpt.curr_psn > Page.psn base ->
-                      Some { claimant = m; entry }
-                    | Some _ | None -> None)
-                  crashed
-              in
-              owner.recovering_pages <- Page_id.Set.add pid owner.recovering_pages;
-              jobs := { pid; coordinator = n; base; involved = claims } :: !jobs
-            end
+            recovery_exchange n ~dst:owner_id (fun () ->
+                send n ~dst:owner_id ~recovery:true ~bytes:Wire.control ();
+                let base = Node.owner_latest_copy owner pid in
+                send owner ~dst:n.id ~recovery:true ~bytes:(Wire.page (Env.config n.env)) ();
+                bump_transfers n;
+                if e.Dpt.curr_psn > Page.psn base then begin
+                  (* Other crashed nodes may also have claims on this page. *)
+                  let claims =
+                    List.filter_map
+                      (fun m ->
+                        match Dpt.find m.dpt pid with
+                        | Some entry when entry.Dpt.curr_psn > Page.psn base ->
+                          Some { claimant = m; entry }
+                        | Some _ | None -> None)
+                      crashed
+                  in
+                  owner.recovering_pages <- Page_id.Set.add pid owner.recovering_pages;
+                  jobs := { pid; coordinator = n; base; involved = claims } :: !jobs
+                end)
           end)
         (Dpt.entries n.dpt))
     crashed);
@@ -588,11 +843,20 @@ let run ?(strategy = Psn_coordinated) ~crashed ~operational () =
         Local_locks.set_cached_mode n.locks pid Mode.X
       end)
     jobs;
+  (* One Recovery_redo probe every [redo_crash_interval] applied
+     records, shared across all jobs so long recoveries accumulate
+     chances even when each page replays only a few records. *)
+  let probe =
+    let applied = ref 0 in
+    fun (m : Node_state.t) ->
+      incr applied;
+      if !applied mod redo_crash_interval = 0 then Node.maybe_crashpoint m Injector.Recovery_redo
+  in
   (match strategy with
   | Psn_coordinated ->
     (* Coordinated, PSN-ordered redo; no log merging anywhere. *)
     let psn_lists = timed "psn_lists" (fun () -> build_psn_lists jobs) in
-    timed "redo" (fun () -> List.iter (fun job -> recover_page job ~psn_lists) jobs)
+    timed "redo" (fun () -> List.iter (fun job -> recover_page job ~psn_lists ~probe ~deferred) jobs)
   | Merged_logs ->
     (* One merged pull per coordinator, then local per-page replay. *)
     let pulls =
@@ -608,16 +872,46 @@ let run ?(strategy = Psn_coordinated) ~crashed ~operational () =
     in
     timed "redo" (fun () ->
         List.iter
-          (fun job -> recover_page_merged job ~records:(List.assoc job.coordinator.id pulls))
+          (fun job ->
+            recover_page_merged job ~records:(List.assoc job.coordinator.id pulls) ~probe ~deferred)
           jobs));
   List.iter
     (fun job ->
       let owner = peer job.coordinator (Page_id.owner job.pid) in
       owner.recovering_pages <- Page_id.Set.remove job.pid owner.recovering_pages)
     jobs;
+  (* Completion jobs that made it through redo retire their parked
+     entries; a job that hit a fresh gap already re-parked the page with
+     a new (still-down, not-in-this-batch) blocker and must stay. *)
+  List.iter
+    (fun (owner, pid) ->
+      match Page_id.Tbl.find_opt owner.deferred_pages pid with
+      | Some b when List.mem b crashed_ids -> unpark_deferred ~owner ~pid
+      | Some _ | None -> ())
+    !completions;
+  List.iter (fun n -> Node.maybe_crashpoint n Injector.Recovery_pre_undo) crashed;
   (* Normal processing can resume; roll back the losers. *)
   List.iter (fun n -> n.up <- true) crashed;
-  timed "undo" (fun () -> List.iter (fun (n, losers) -> undo_losers n losers) losers_by_node);
+  timed "undo" (fun () ->
+      List.iter (fun (n, losers) -> undo_losers n losers) losers_by_node;
+      (* survivors whose loser rollback parked on one of the nodes we
+         just recovered can finish it now *)
+      List.iter (fun n -> resume_deferred_losers n ~recovered_ids:crashed_ids) operational);
+  (* End-of-restart fuzzy checkpoint (live-fault mode only): force the
+     undo phase's CLRs and abort records — closing the window where a
+     second crash tears a CLR but keeps the earlier record it
+     compensates — and bound the next analysis so re-recovery does not
+     rescan the pre-crash log.  Gated on [live] because it perturbs the
+     recovery-time measurements of the historical experiments. *)
+  if live then
+    timed "checkpoint" (fun () ->
+        List.iter
+          (fun n ->
+            Node.maybe_crashpoint n Injector.Recovery_checkpoint;
+            Log_manager.force_all n.log;
+            Repro_wal.Group_commit.on_force n.gc;
+            Node.checkpoint n)
+          crashed);
   List.iter (fun n -> tracef n "recovery(%d): complete" n.id) crashed;
   let total_seconds =
     match env with Some env -> Env.now env -. recovery_from | None -> 0.
@@ -635,3 +929,36 @@ let run ?(strategy = Psn_coordinated) ~crashed ~operational () =
         [ ("total", Repro_obs.Event.Float total_seconds) ]
   | None -> ());
   { phases = List.rev !phase_times; total_seconds }
+  in
+  (* A crash point firing mid-recovery surfaces as [Node_down]: the
+     attempt is abandoned wholesale (no partial claim ever settled — see
+     the per-job commit points above) and the driver re-enters with the
+     newly-crashed node added to the batch.  Re-entry resets volatile
+     state and re-derives everything from durable state, so the nested
+     attempt converges to the same durable outcome. *)
+  try attempt ()
+  with Block.Would_block reason as e ->
+    (* The batch's nodes go up before the undo phase (undo fetches pages
+       across nodes), so an abort landing between that publication and
+       the end of the attempt leaves them up but only PARTIALLY
+       recovered — losers not yet rolled back would linger as live
+       updates at an "operational" node, and the re-entered recovery
+       (which covers only the currently-down set) would never touch
+       them.  Withdraw the premature publication: their logs are intact
+       (this is not a crash — no tear, no lost durable state), and the
+       re-entered attempt takes them through the full batch again,
+       repeating history idempotently. *)
+    List.iter (fun n -> if n.up then n.up <- false) crashed;
+    (match reason with
+    | Block.Node_down { node } -> (
+      match env with
+      | Some env ->
+        (match List.find_opt (fun n -> n.id = node) (crashed @ operational) with
+        | Some n ->
+          bump n (fun m -> m.Metrics.recovery_restarts <- m.Metrics.recovery_restarts + 1)
+        | None -> ());
+        Env.emit env ~node Repro_obs.Event.Recovery_restart
+          [ ("aborted", Repro_obs.Event.Bool true) ]
+      | None -> ())
+    | _ -> ());
+    raise e

@@ -29,7 +29,29 @@
     The paper's requirements hold by construction: logs are only read by
     their owning node, checkpoints and clocks of other nodes are never
     consulted, and the whole protocol exchanges pages and small lists,
-    never log records. *)
+    never log records.
+
+    {b Restartability.}  Recovery itself may be interrupted: when the
+    fault plan gives the [recovery] fault class probability, the
+    injector stays armed through {!run} and named crash points fire
+    after analysis, mid-redo, before undo, mid-undo and at the
+    end-of-restart checkpoint, surfacing as [Would_block (Node_down _)].
+    The attempt is abandoned wholesale — no page's claims settle until
+    that page's redo completed, so nothing partial is durable — and
+    re-entering {!run} with the newly-crashed node added to [crashed]
+    resets all volatile recovery state and converges to the same
+    durable outcome.  Peer exchanges retry through injected drops and
+    partitions with bounded exponential backoff.
+
+    {b Deferred recovery.}  When a page's redo needs log records of a
+    node that is down and {e not} in this batch (a PSN gap during
+    redo), the page is parked in its owner's deferred set: the
+    regranted locks are retained, access raises a retryable
+    [Page_unavailable], and the parked redo completes automatically in
+    the first {!run} whose [crashed] list contains the blocking node.
+    Loser rollbacks blocked the same way park in [deferred_losers] and
+    resume then too.  Pages owned by a [deferred] node are left to that
+    node's own later recovery. *)
 
 type strategy =
   | Psn_coordinated
@@ -54,15 +76,25 @@ val summary_to_json : summary -> Repro_obs.Json.t
 
 val run :
   ?strategy:strategy ->
+  ?deferred:Node_state.t list ->
   crashed:Node_state.t list ->
   operational:Node_state.t list ->
   unit ->
   summary
 (** Recovers all [crashed] nodes (they must be down); [operational] are
-    the surviving peers (must be up).  On return every crashed node is
-    up, its committed updates are restored, its losers rolled back, and
-    lock tables cluster-wide are consistent.  [strategy] defaults to
-    the paper's {!Psn_coordinated}.  The returned summary reports
-    where simulated recovery time went; the same numbers also land in
-    the environment's [recovery.*] histograms and, when tracing, as
-    [Recovery_phase] events and spans. *)
+    the surviving peers (must be up); [deferred] (default empty) names
+    down nodes {e intentionally excluded} from this batch — their own
+    pages are skipped and any redo that needs their log records parks
+    on them instead of erroring.  On return every crashed node is up,
+    its committed updates are restored, its losers rolled back (or
+    parked on a [deferred] node), and lock tables cluster-wide are
+    consistent.  [strategy] defaults to the paper's {!Psn_coordinated}.
+    The returned summary reports where simulated recovery time went;
+    the same numbers also land in the environment's [recovery.*]
+    histograms and, when tracing, as [Recovery_phase] events and
+    spans.
+
+    May raise [Would_block (Node_down _)] when a recovery-class crash
+    point fires mid-protocol: the attempt is aborted (see
+    {e Restartability} above) and the caller re-enters with the grown
+    crashed set. *)

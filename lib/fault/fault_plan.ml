@@ -1,10 +1,10 @@
 module Rng = Repro_util.Rng
 module Json = Repro_obs.Json
 
-type classes = { net : bool; disk : bool; crashpoints : bool }
+type classes = { net : bool; disk : bool; crashpoints : bool; recovery : bool }
 
-let no_classes = { net = false; disk = false; crashpoints = false }
-let all_classes = { net = true; disk = true; crashpoints = true }
+let no_classes = { net = false; disk = false; crashpoints = false; recovery = false }
+let all_classes = { net = true; disk = true; crashpoints = true; recovery = true }
 
 let classes_of_string s =
   let s = String.trim (String.lowercase_ascii s) in
@@ -20,9 +20,11 @@ let classes_of_string s =
           | "net" -> Ok { c with net = true }
           | "disk" -> Ok { c with disk = true }
           | "crashpoints" | "crash" -> Ok { c with crashpoints = true }
+          | "recovery" -> Ok { c with recovery = true }
           | other ->
             Error
-              (Printf.sprintf "unknown fault class %S (have: net, disk, crashpoints, all)" other)))
+              (Printf.sprintf
+                 "unknown fault class %S (have: net, disk, crashpoints, recovery, all)" other)))
       (Ok no_classes)
       (List.filter
          (fun p -> p <> "")
@@ -49,6 +51,11 @@ type crashpoints = {
   checkpoint : float;  (* checkpoint forced, master record not yet updated *)
   page_ship : float;  (* dirty page copy about to leave the node *)
   rollback : float;  (* between two undo steps of an abort *)
+  recovery_analysis : float;  (* restart: analysis done, redo not started *)
+  recovery_redo : float;  (* restart: probed every K applied redo records *)
+  recovery_pre_undo : float;  (* restart: redo complete, undo not started *)
+  recovery_undo : float;  (* restart: between two loser rollbacks *)
+  recovery_checkpoint : float;  (* restart: before the end-of-restart checkpoint *)
   budget : int;  (* total injected crashes allowed per run *)
 }
 
@@ -69,7 +76,18 @@ let quiet_net =
 let quiet_disk = { torn = 0.; corrupt = 0. }
 
 let quiet_crashpoints =
-  { commit_force = 0.; checkpoint = 0.; page_ship = 0.; rollback = 0.; budget = 0 }
+  {
+    commit_force = 0.;
+    checkpoint = 0.;
+    page_ship = 0.;
+    rollback = 0.;
+    recovery_analysis = 0.;
+    recovery_redo = 0.;
+    recovery_pre_undo = 0.;
+    recovery_undo = 0.;
+    recovery_checkpoint = 0.;
+    budget = 0;
+  }
 
 let none = { seed = 0; net = quiet_net; disk = quiet_disk; crashpoints = quiet_crashpoints }
 
@@ -77,7 +95,8 @@ let none = { seed = 0; net = quiet_net; disk = quiet_disk; crashpoints = quiet_c
    the injector replays bit-identically from the plan alone, whether the
    plan was generated here or loaded from JSON. *)
 let generate rng ~classes =
-  let ({ net = want_net; disk = want_disk; crashpoints = want_crashpoints } : classes) =
+  let ({ net = want_net; disk = want_disk; crashpoints = want_crashpoints; recovery = want_recovery }
+        : classes) =
     classes
   in
   let seed = Rng.int rng 0x3FFFFFFF in
@@ -103,12 +122,31 @@ let generate rng ~classes =
     if not want_crashpoints then quiet_crashpoints
     else
       {
+        quiet_crashpoints with
         commit_force = 0.002 +. Rng.float rng 0.008;
         checkpoint = 0.05 +. Rng.float rng 0.20;
         page_ship = 0.001 +. Rng.float rng 0.004;
         rollback = 0.002 +. Rng.float rng 0.010;
         budget = 1 + Rng.int rng 3;
       }
+  in
+  (* The recovery-class draws come after every legacy draw, so a plan
+     generated without the class consumes the exact stream older
+     versions consumed — replays of historical seeds stay bit-identical. *)
+  let crashpoints =
+    if not want_recovery then crashpoints
+    else
+      let c =
+        {
+          crashpoints with
+          recovery_analysis = 0.10 +. Rng.float rng 0.25;
+          recovery_redo = 0.01 +. Rng.float rng 0.04;
+          recovery_pre_undo = 0.05 +. Rng.float rng 0.15;
+          recovery_undo = 0.05 +. Rng.float rng 0.15;
+          recovery_checkpoint = 0.05 +. Rng.float rng 0.15;
+        }
+      in
+      if want_crashpoints then c else { c with budget = 1 + Rng.int rng 3 }
   in
   { seed; net; disk; crashpoints }
 
@@ -139,6 +177,11 @@ let to_json t =
             ("checkpoint", Json.Float t.crashpoints.checkpoint);
             ("page_ship", Json.Float t.crashpoints.page_ship);
             ("rollback", Json.Float t.crashpoints.rollback);
+            ("recovery_analysis", Json.Float t.crashpoints.recovery_analysis);
+            ("recovery_redo", Json.Float t.crashpoints.recovery_redo);
+            ("recovery_pre_undo", Json.Float t.crashpoints.recovery_pre_undo);
+            ("recovery_undo", Json.Float t.crashpoints.recovery_undo);
+            ("recovery_checkpoint", Json.Float t.crashpoints.recovery_checkpoint);
             ("budget", Json.Int t.crashpoints.budget);
           ] );
     ]
@@ -185,6 +228,11 @@ let of_json j =
         checkpoint = fnum c "checkpoint" ~default:0.;
         page_ship = fnum c "page_ship" ~default:0.;
         rollback = fnum c "rollback" ~default:0.;
+        recovery_analysis = fnum c "recovery_analysis" ~default:0.;
+        recovery_redo = fnum c "recovery_redo" ~default:0.;
+        recovery_pre_undo = fnum c "recovery_pre_undo" ~default:0.;
+        recovery_undo = fnum c "recovery_undo" ~default:0.;
+        recovery_checkpoint = fnum c "recovery_checkpoint" ~default:0.;
         budget = inum c "budget" ~default:0;
       }
   in

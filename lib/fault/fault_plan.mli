@@ -6,13 +6,13 @@
     yields the identical fault schedule, which is what makes a dumped
     plan ([to_json] / [of_json]) a complete repro artefact. *)
 
-type classes = { net : bool; disk : bool; crashpoints : bool }
+type classes = { net : bool; disk : bool; crashpoints : bool; recovery : bool }
 
 val no_classes : classes
 val all_classes : classes
 
 val classes_of_string : string -> (classes, string) result
-(** Parses ["net,disk,crashpoints"], ["all"], ["none"] or [""]. *)
+(** Parses ["net,disk,crashpoints,recovery"], ["all"], ["none"] or [""]. *)
 
 type net = {
   drop : float;
@@ -32,6 +32,11 @@ type crashpoints = {
   checkpoint : float;
   page_ship : float;
   rollback : float;
+  recovery_analysis : float;
+  recovery_redo : float;
+  recovery_pre_undo : float;
+  recovery_undo : float;
+  recovery_checkpoint : float;
   budget : int;
 }
 

@@ -2,13 +2,27 @@ module Rng = Repro_util.Rng
 
 type verdict = { drops : int; delay : float }
 type torn = { keep : int; flip : int option }
-type point = Commit_force | Checkpoint | Page_ship | Rollback
+type point =
+  | Commit_force
+  | Checkpoint
+  | Page_ship
+  | Rollback
+  | Recovery_analysis
+  | Recovery_redo
+  | Recovery_pre_undo
+  | Recovery_undo
+  | Recovery_checkpoint
 
 let point_name = function
   | Commit_force -> "commit-force"
   | Checkpoint -> "checkpoint"
   | Page_ship -> "page-ship"
   | Rollback -> "rollback"
+  | Recovery_analysis -> "recovery-analysis"
+  | Recovery_redo -> "recovery-redo"
+  | Recovery_pre_undo -> "recovery-pre-undo"
+  | Recovery_undo -> "recovery-undo"
+  | Recovery_checkpoint -> "recovery-checkpoint"
 
 type stats = {
   mutable msgs_dropped : int;
@@ -153,8 +167,17 @@ let crashpoint t point =
       | Checkpoint -> c.Fault_plan.checkpoint
       | Page_ship -> c.Fault_plan.page_ship
       | Rollback -> c.Fault_plan.rollback
+      | Recovery_analysis -> c.Fault_plan.recovery_analysis
+      | Recovery_redo -> c.Fault_plan.recovery_redo
+      | Recovery_pre_undo -> c.Fault_plan.recovery_pre_undo
+      | Recovery_undo -> c.Fault_plan.recovery_undo
+      | Recovery_checkpoint -> c.Fault_plan.recovery_checkpoint
     in
-    if Rng.chance t.rng p then begin
+    (* Zero-probability points must not consume randomness: recovery
+       probes run on plans generated before the recovery class existed,
+       and a wasted draw there would shift every later fault decision. *)
+    if p <= 0. then false
+    else if Rng.chance t.rng p then begin
       t.crash_budget <- t.crash_budget - 1;
       t.stats.crashes <- t.stats.crashes + 1;
       true

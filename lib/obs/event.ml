@@ -25,6 +25,9 @@ type kind =
   | Recovery_begin
   | Recovery_end
   | Recovery_phase
+  | Recovery_restart
+  | Recovery_deferred
+  | Recovery_retry
   | Span_begin
   | Span_end
   | Fault_drop
@@ -68,6 +71,9 @@ let kind_name = function
   | Recovery_begin -> "recovery.begin"
   | Recovery_end -> "recovery.end"
   | Recovery_phase -> "recovery.phase"
+  | Recovery_restart -> "recovery.restart"
+  | Recovery_deferred -> "recovery.deferred"
+  | Recovery_retry -> "recovery.retry"
   | Span_begin -> "span.begin"
   | Span_end -> "span.end"
   | Fault_drop -> "fault.drop"
@@ -83,7 +89,8 @@ let all_kinds =
     Msg_send; Msg_recv; Log_append; Log_force; Page_read; Page_write; Page_ship;
     Cache_install; Cache_evict; Lock_request; Lock_grant; Lock_callback; Lock_demote;
     Lock_release; Ckpt_begin; Ckpt_end; Txn_begin; Txn_commit; Txn_abort; Commit_batch; Crash;
-    Recovery_begin; Recovery_end; Recovery_phase; Span_begin; Span_end; Fault_drop;
+    Recovery_begin; Recovery_end; Recovery_phase; Recovery_restart; Recovery_deferred;
+    Recovery_retry; Span_begin; Span_end; Fault_drop;
     Fault_dup; Fault_delay; Fault_partition; Fault_torn; Fault_crash; Note;
   ]
 

@@ -34,6 +34,9 @@ type kind =
   | Recovery_begin
   | Recovery_end
   | Recovery_phase
+  | Recovery_restart
+  | Recovery_deferred
+  | Recovery_retry
   | Span_begin
   | Span_end
   | Fault_drop

@@ -284,8 +284,20 @@ let run (engine : Engine.t) ?(events = []) ?(max_rounds = 100_000) ?(policy = Wo
     events := later;
     (* A fired event can itself hit an injected crash point (a
        checkpoint crashing mid-way): the crash is the point, the event
-       just stops. *)
-    List.iter (fun (_, e) -> try fire e with Block.Would_block _ -> ()) due;
+       just stops.  A Recover event is special: recovery itself can die
+       at a recovery-class crash point (or exhaust its retries against a
+       partitioned peer), aborting the whole attempt — re-schedule it,
+       so the re-entry picks up the grown down set and restarts from
+       durable state.  The crash budget is bounded, so the retry chain
+       terminates. *)
+    List.iter
+      (fun (_, e) ->
+        try fire e
+        with Block.Would_block _ -> (
+          match e with
+          | Recover _ -> events := (!round + 2, e) :: !events
+          | Crash _ | Checkpoint _ -> ()))
+      due;
     let progressed = ref false in
     (* multiprogramming limit: at most [mpl] in-flight transactions per
        node; surplus scripts wait to begin *)
@@ -384,11 +396,15 @@ let run (engine : Engine.t) ?(events = []) ?(max_rounds = 100_000) ?(policy = Wo
                   resolve_deadlocks ()
               end
               | ( ( Block.Lock_conflict _ | Block.Node_down _ | Block.Log_space _
-                  | Block.Page_recovering _ | Block.Net_unreachable _ ),
+                  | Block.Page_recovering _ | Block.Net_unreachable _
+                  | Block.Page_unavailable _ ),
                   _ ) ->
                 (* Net_unreachable heals by retrying: every probe drains
                    the partition's budget, so sitting out the cooldown
-                   and retrying is the bounded-retry loop. *)
+                   and retrying is the bounded-retry loop.
+                   Page_unavailable (deferred recovery parked the page on
+                   a down peer) heals the same way: the blocker's own
+                   recovery completes the parked redo. *)
                 ())
         end)
       progs;

@@ -49,6 +49,42 @@ let test_plan_json_roundtrip () =
       (Json.to_string (Fault_plan.to_json reloaded))
   done
 
+let test_plan_json_recovery_fields () =
+  (* The five recovery crash-point probabilities must survive the dump
+     (what [--dump-plan] writes) with their exact values — a plan that
+     silently loses them would replay without recovery faults. *)
+  let plan =
+    {
+      Fault_plan.none with
+      Fault_plan.seed = 77;
+      crashpoints =
+        {
+          Fault_plan.commit_force = 0.;
+          checkpoint = 0.;
+          page_ship = 0.;
+          rollback = 0.;
+          recovery_analysis = 0.11;
+          recovery_redo = 0.22;
+          recovery_pre_undo = 0.33;
+          recovery_undo = 0.44;
+          recovery_checkpoint = 0.55;
+          budget = 3;
+        };
+    }
+  in
+  let c = (Fault_plan.of_json (Json.of_string (Json.to_string (Fault_plan.to_json plan)))).Fault_plan.crashpoints in
+  Alcotest.(check (float 0.)) "analysis" 0.11 c.Fault_plan.recovery_analysis;
+  Alcotest.(check (float 0.)) "redo" 0.22 c.Fault_plan.recovery_redo;
+  Alcotest.(check (float 0.)) "pre-undo" 0.33 c.Fault_plan.recovery_pre_undo;
+  Alcotest.(check (float 0.)) "undo" 0.44 c.Fault_plan.recovery_undo;
+  Alcotest.(check (float 0.)) "checkpoint" 0.55 c.Fault_plan.recovery_checkpoint;
+  Alcotest.(check int) "budget" 3 c.Fault_plan.budget;
+  (* generating with the recovery class actually arms them *)
+  let gen = Fault_plan.generate (Rng.create 7) ~classes:{ Fault_plan.no_classes with Fault_plan.recovery = true } in
+  Alcotest.(check bool) "generated recovery probabilities are live" true
+    (gen.Fault_plan.crashpoints.Fault_plan.recovery_analysis > 0.
+    && gen.Fault_plan.crashpoints.Fault_plan.recovery_redo > 0.)
+
 (* ---- Replay determinism ---- *)
 
 (* A small faulted workload with a fixed shape: the only degrees of
@@ -254,6 +290,11 @@ let test_crashpoint_schedule () =
             checkpoint = 0.2;
             page_ship = 0.05;
             rollback = 0.05;
+            recovery_analysis = 0.;
+            recovery_redo = 0.;
+            recovery_pre_undo = 0.;
+            recovery_undo = 0.;
+            recovery_checkpoint = 0.;
             budget = 2;
           };
       }
@@ -277,7 +318,15 @@ let test_crashpoint_schedule () =
    - seed 175: Page_ship crash point firing inside the eviction chain —
                the self-crash must unwind [make_room], not be parked as
                an unreachable-owner block.  Left a phantom cached lock
-               the owner never knew about. *)
+               the owner never knew about.
+   - seed 70:  two nodes crash together; a recovery-undo crash point
+               aborts the batch's recovery after both were already
+               marked up but before the second node's losers rolled
+               back.  The re-entered recovery covers only the
+               currently-down node, so the abort handler must withdraw
+               the premature up-publication — otherwise the redone
+               loser survives as a live update (seen as a doubled
+               cell). *)
 let stress_iteration seed =
   let rng = Rng.create seed in
   let plan = Fault_plan.generate (Rng.split rng) ~classes:Fault_plan.all_classes in
@@ -341,17 +390,27 @@ let stress_iteration seed =
       ~events:(List.sort compare !events)
       ~max_rounds:30_000 ~auto_recover:6 scripts
   in
-  let down =
-    List.filter (fun n -> not (Node.is_up (Cluster.node cluster n))) (List.init nodes Fun.id)
+  (* like cblsim: the cleanup recovery can itself die at a recovery
+     crash point; re-enter over the grown down set until converged *)
+  let rec recover_all attempts =
+    if attempts > 100 then Alcotest.fail (Printf.sprintf "seed %d: recovery did not converge" seed);
+    match
+      List.filter (fun n -> not (Node.is_up (Cluster.node cluster n))) (List.init nodes Fun.id)
+    with
+    | [] -> ()
+    | down ->
+      (try Cluster.recover cluster ~nodes:down
+       with Repro_cbl.Block.Would_block _ -> ());
+      recover_all (attempts + 1)
   in
-  if down <> [] then Cluster.recover cluster ~nodes:down;
+  recover_all 0;
   Cluster.check_invariants cluster;
   Alcotest.(check int) (Printf.sprintf "seed %d: no stuck scripts" seed) 0 outcome.Driver.stuck;
   match Driver.verify outcome with
   | Ok () -> ()
   | Error es -> Alcotest.fail (Printf.sprintf "seed %d: %s" seed (String.concat "; " es))
 
-let test_regression_seeds () = List.iter stress_iteration [ 2; 147; 175 ]
+let test_regression_seeds () = List.iter stress_iteration [ 2; 70; 147; 175 ]
 
 (* ---- Group commit under faults ---- *)
 
@@ -373,6 +432,7 @@ let suite =
   [
     ("fault classes parse", `Quick, test_classes_of_string);
     ("plan JSON round-trip", `Quick, test_plan_json_roundtrip);
+    ("plan JSON keeps recovery crash points", `Quick, test_plan_json_recovery_fields);
     ("replay: same plan, identical trace", `Quick, test_replay_identical);
     ("replay: from dumped plan JSON", `Quick, test_replay_from_dumped_plan);
     ("disarmed injector consumes no randomness", `Quick, test_unfaulted_rng_untouched);

@@ -234,6 +234,77 @@ let test_crashpoint_orphan_field () =
   in
   check_count "plan field without a constructor flagged" "crashpoint-registry" 1 r
 
+(* The recovery crash points are registry entries like any other: a
+   point missing from any ONE of the three sites — the [Injector.point]
+   constructor, the plan's probability field, the [maybe_crashpoint]
+   call site — must be flagged.  One fixture per missing site, plus the
+   consistent baseline. *)
+
+let recovery_injector_decl = "type point = Commit_force | Recovery_redo | Recovery_pre_undo\n"
+
+let recovery_plan_decl =
+  "type crashpoints =\n\
+  \  { commit_force : float; recovery_redo : float; recovery_pre_undo : float; budget : int }\n"
+
+let recovery_uses_all =
+  "let maybe_crashpoint _ _ = ()\n\
+   let exercise t =\n\
+  \  maybe_crashpoint t Injector.Commit_force;\n\
+  \  maybe_crashpoint t Injector.Recovery_redo;\n\
+  \  maybe_crashpoint t Injector.Recovery_pre_undo\n"
+
+let test_crashpoint_recovery_consistent () =
+  let r =
+    lint
+      [
+        ("lib/fault/injector.ml", recovery_injector_decl);
+        ("lib/fault/fault_plan.ml", recovery_plan_decl);
+        ("lib/core/recovery.ml", recovery_uses_all);
+      ]
+  in
+  check_count "consistent recovery registry passes" "crashpoint-registry" 0 r
+
+let test_crashpoint_recovery_missing_ctor () =
+  let r =
+    lint
+      [
+        ("lib/fault/injector.ml", "type point = Commit_force | Recovery_pre_undo\n");
+        ("lib/fault/fault_plan.ml", recovery_plan_decl);
+        ("lib/core/recovery.ml", recovery_uses_all);
+      ]
+  in
+  (* both the orphan plan field and the undeclared call site point at
+     the dropped constructor *)
+  check_count "recovery point without a constructor flagged" "crashpoint-registry" 2 r
+
+let test_crashpoint_recovery_missing_field () =
+  let r =
+    lint
+      [
+        ("lib/fault/injector.ml", recovery_injector_decl);
+        ( "lib/fault/fault_plan.ml",
+          "type crashpoints =\n\
+          \  { commit_force : float; recovery_pre_undo : float; budget : int }\n" );
+        ("lib/core/recovery.ml", recovery_uses_all);
+      ]
+  in
+  check_count "recovery point without a plan probability flagged" "crashpoint-registry" 1 r
+
+let test_crashpoint_recovery_missing_probe () =
+  let r =
+    lint
+      [
+        ("lib/fault/injector.ml", recovery_injector_decl);
+        ("lib/fault/fault_plan.ml", recovery_plan_decl);
+        ( "lib/core/recovery.ml",
+          "let maybe_crashpoint _ _ = ()\n\
+           let exercise t =\n\
+          \  maybe_crashpoint t Injector.Commit_force;\n\
+          \  maybe_crashpoint t Injector.Recovery_pre_undo\n" );
+      ]
+  in
+  check_count "recovery point never probed flagged" "crashpoint-registry" 1 r
+
 let test_crashpoint_skipped_without_registry () =
   (* Registry modules outside the linted set: the rule stays silent
      rather than flagging every use as undeclared. *)
@@ -418,6 +489,14 @@ let suite =
     Alcotest.test_case "crashpoint: declared unused" `Quick test_crashpoint_declared_unused;
     Alcotest.test_case "crashpoint: missing plan field" `Quick test_crashpoint_missing_field;
     Alcotest.test_case "crashpoint: orphan plan field" `Quick test_crashpoint_orphan_field;
+    Alcotest.test_case "crashpoint: recovery registry consistent" `Quick
+      test_crashpoint_recovery_consistent;
+    Alcotest.test_case "crashpoint: recovery point missing ctor" `Quick
+      test_crashpoint_recovery_missing_ctor;
+    Alcotest.test_case "crashpoint: recovery point missing plan field" `Quick
+      test_crashpoint_recovery_missing_field;
+    Alcotest.test_case "crashpoint: recovery point never probed" `Quick
+      test_crashpoint_recovery_missing_probe;
     Alcotest.test_case "crashpoint: silent without registry" `Quick
       test_crashpoint_skipped_without_registry;
     Alcotest.test_case "event-codec: wildcard flagged" `Quick test_event_codec_positive;

@@ -15,6 +15,7 @@ let () =
       ("recovery-edge", Test_recovery_edge.suite);
       ("workload", Test_workload.suite);
       ("fault", Test_fault.suite);
+      ("recovery-faults", Test_recovery_faults.suite);
       ("properties", Test_props.suite);
       ("experiments", Test_experiments.suite);
       ("lint", Test_lint.suite);
