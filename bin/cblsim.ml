@@ -4,7 +4,8 @@
      cblsim experiment [IDS...] [--quick] [--json]   regenerate experiment tables
      cblsim demo [options] [--json]                  run a workload, print metrics
      cblsim trace [options]                          run traced, dump events as JSONL
-     cblsim stress [--runs N] [--start S]            randomized crash/verify runs *)
+     cblsim stress [--runs N] [--start S]            randomized crash/verify runs
+     cblsim audit [FILE | --stress ...]              check protocol invariants on traces *)
 
 module Cluster = Repro_cbl.Cluster
 module Node = Repro_cbl.Node
@@ -183,8 +184,15 @@ let demo_cmd =
 
 (* ---- trace ---- *)
 
+(* The transaction an event belongs to: the stamped causal context,
+   falling back to a [txn] attr for marker events emitted outside the
+   context window (txn.begin). *)
+let event_txn (e : Event.t) =
+  if e.Event.txn >= 0 then e.Event.txn
+  else match Event.attr_int e "txn" with Some id -> id | None -> -1
+
 let trace_run nodes owners pages txns remote theta seed crash_at recover_at kinds node_filter
-    limit render =
+    txn_filter since until limit render flame =
   (match List.filter (fun k -> Event.kind_of_name k = None) kinds with
   | [] -> ()
   | bad ->
@@ -206,26 +214,37 @@ let trace_run nodes owners pages txns remote theta seed crash_at recover_at kind
   let events = workload_events ~crash_at ~recover_at in
   let _outcome = Driver.run engine ~events scripts in
   let obs = Repro_sim.Env.obs (Cluster.env cluster) in
-  let wanted = List.filter_map Event.kind_of_name kinds in
-  let selected =
-    List.filter
-      (fun (e : Event.t) ->
-        (wanted = [] || List.mem e.Event.kind wanted)
-        && match node_filter with None -> true | Some n -> e.Event.node = n)
-      (Recorder.events obs)
-  in
-  let selected =
-    if limit <= 0 then selected
-    else
-      let n = List.length selected in
-      if n <= limit then selected else List.filteri (fun i _ -> i >= n - limit) selected
-  in
-  List.iter
-    (fun e ->
-      print_endline (if render then Event.render e else Json.to_string (Event.to_json e)))
-    selected;
-  if Recorder.dropped obs > 0 then
-    Format.eprintf "note: ring buffer dropped %d older events@." (Recorder.dropped obs)
+  if flame then
+    (* Fold the whole trace into per-txn critical-path components and
+       emit folded-stack lines (pipe into any flamegraph renderer). *)
+    List.iter print_endline
+      (Repro_obs.Critical_path.folded_stacks
+         (Repro_obs.Critical_path.analyze (Recorder.events obs)))
+  else begin
+    let wanted = List.filter_map Event.kind_of_name kinds in
+    let selected =
+      List.filter
+        (fun (e : Event.t) ->
+          (wanted = [] || List.mem e.Event.kind wanted)
+          && (match node_filter with None -> true | Some n -> e.Event.node = n)
+          && (match txn_filter with None -> true | Some id -> event_txn e = id)
+          && (match since with None -> true | Some t -> e.Event.time >= t)
+          && match until with None -> true | Some t -> e.Event.time <= t)
+        (Recorder.events obs)
+    in
+    let selected =
+      if limit <= 0 then selected
+      else
+        let n = List.length selected in
+        if n <= limit then selected else List.filteri (fun i _ -> i >= n - limit) selected
+    in
+    List.iter
+      (fun e ->
+        print_endline (if render then Event.render e else Json.to_string (Event.to_json e)))
+      selected;
+    if Recorder.dropped obs > 0 then
+      Format.eprintf "note: ring buffer dropped %d older events@." (Recorder.dropped obs)
+  end
 
 let trace_cmd =
   let nodes = Arg.(value & opt int 4 & info [ "nodes" ] ~doc:"Cluster size.") in
@@ -259,6 +278,27 @@ let trace_cmd =
   let node_filter =
     Arg.(value & opt (some int) None & info [ "node" ] ~doc:"Only events at this node.")
   in
+  let txn_filter =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "txn" ] ~docv:"ID"
+          ~doc:
+            "Only events causally attributed to transaction $(docv) (the stamped trace \
+             context, including work other nodes performed on its behalf).")
+  in
+  let since =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "since" ] ~docv:"T" ~doc:"Only events at simulated time >= $(docv) seconds.")
+  in
+  let until =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "until" ] ~docv:"T" ~doc:"Only events at simulated time <= $(docv) seconds.")
+  in
   let limit =
     Arg.(value & opt int 0 & info [ "limit" ] ~doc:"Keep only the last N events (0 = all).")
   in
@@ -267,12 +307,21 @@ let trace_cmd =
       value & flag
       & info [ "render" ] ~doc:"Human-readable one-per-line rendering instead of JSONL.")
   in
+  let flame =
+    Arg.(
+      value & flag
+      & info [ "flame" ]
+          ~doc:
+            "Instead of dumping events, fold the trace into per-transaction critical-path \
+             components and print flamegraph folded-stack lines \
+             ($(b,node;txn;component weight)), weights in microseconds of simulated time.")
+  in
   Cmd.v
     (Cmd.info "trace"
        ~doc:"Run a traced workload and dump the typed event stream as JSON lines")
     Term.(
       const trace_run $ nodes $ owners $ pages $ txns $ remote $ theta $ seed $ crash
-      $ recover $ kinds $ node_filter $ limit $ render)
+      $ recover $ kinds $ node_filter $ txn_filter $ since $ until $ limit $ render $ flame)
 
 (* ---- stress ---- *)
 
@@ -292,6 +341,124 @@ let write_plan file plan =
   output_char oc '\n';
   close_out oc
 
+(* One randomized stress run, shared between [cblsim stress] (verify
+   outcomes) and [cblsim audit --stress] (replay the trace through the
+   protocol auditor).  All randomness is drawn from [seed], so the same
+   seed reproduces the identical schedule in both; tracing changes no
+   metric or clock reading (the test suite asserts it). *)
+let stress_one ?(trace = false) ?trace_capacity ~classes ~faults_on ~loaded_plan ~group_commit
+    seed =
+  let rng = Rng.create seed in
+  (* The plan draws from a split substream so that the legacy draws
+     below are untouched; without fault flags nothing here runs and
+     historical seeds reproduce bit-identically. *)
+  let plan =
+    match loaded_plan with
+    | Some _ as p -> p
+    | None -> if faults_on then Some (Fault_plan.generate (Rng.split rng) ~classes) else None
+  in
+  let faults = Option.map Injector.create plan in
+  let config =
+    (* like the plan, group-commit parameters come from their own
+       substream; with the flag off no draw happens and historical
+       seeds reproduce bit-identically *)
+    if group_commit then begin
+      let gr = Rng.split rng in
+      if Rng.chance gr 0.75 then
+        Config.with_group_commit Config.instant
+          ~window_ms:(0.5 +. Rng.float gr 20.)
+          ~max_batch:(2 + Rng.int gr 7)
+      else Config.instant
+    end
+    else Config.instant
+  in
+  let nodes = 2 + Rng.int rng 4 in
+  let cluster =
+    Cluster.create ~trace ?trace_capacity ~seed ?faults ~nodes
+      ~pool_capacity:(8 + Rng.int rng 24) config
+  in
+  let owners = List.init (1 + Rng.int rng (min 3 nodes)) (fun i -> i) in
+  let pages_by_owner =
+    List.map
+      (fun o -> (o, Cluster.allocate_pages cluster ~owner:o ~count:(8 + Rng.int rng 16)))
+      owners
+  in
+  let engine0 = Engine.of_cluster cluster in
+  let engine =
+    if seed mod 2 = 1 then
+      {
+        engine0 with
+        Engine.recover =
+          (fun ~nodes -> Cluster.recover ~strategy:Recovery.Merged_logs cluster ~nodes);
+      }
+    else engine0
+  in
+  let scripts =
+    Generators.partitioned rng ~pages_by_owner
+      ~clients:(List.init nodes (fun i -> i))
+      ~txns_per_client:(4 + Rng.int rng 10)
+      ~mix:
+        {
+          Generators.ops_per_txn = 2 + Rng.int rng 8;
+          update_fraction = 0.3 +. Rng.float rng 0.6;
+          remote_fraction = Rng.float rng 0.8;
+          theta = Rng.float rng 1.0;
+          savepoint_fraction = Rng.float rng 0.3;
+          abort_fraction = Rng.float rng 0.2;
+        }
+  in
+  let events = ref [] in
+  let t = ref 10 in
+  let crashed = ref [] in
+  for _ = 1 to Rng.int rng 4 do
+    let victim = Rng.int rng nodes in
+    if not (List.mem victim !crashed) then begin
+      events := (!t, Driver.Crash victim) :: !events;
+      crashed := victim :: !crashed;
+      t := !t + 5 + Rng.int rng 20;
+      if Rng.chance rng 0.6 || List.length !crashed >= 2 then begin
+        events := (!t, Driver.Recover !crashed) :: !events;
+        crashed := [];
+        t := !t + 5 + Rng.int rng 15
+      end
+    end
+  done;
+  if !crashed <> [] then events := (!t + 5, Driver.Recover !crashed) :: !events;
+  (* Fault-injected runs also take checkpoints mid-workload: the
+     mid-checkpoint crash point can only fire inside one. *)
+  if faults_on then
+    for _ = 1 to 2 + Rng.int rng 3 do
+      events := (5 + Rng.int rng 60, Driver.Checkpoint (Rng.int rng nodes)) :: !events
+    done;
+  let outcome =
+    Driver.run engine
+      ~events:(List.sort compare !events)
+      ~max_rounds:30_000
+      ?auto_recover:(if faults_on then Some 6 else None)
+      scripts
+  in
+  (* The end-of-run cleanup recovery can itself die at a recovery
+     crash point (that is the point of the recovery fault class);
+     re-enter with the grown down set.  Both the crash and the
+     partition budgets are bounded, so the loop terminates — the cap
+     is a backstop turning a livelock bug into a visible failure. *)
+  let rec recover_all attempts =
+    let down =
+      List.filter
+        (fun n -> not (Cluster.node cluster n |> Node.is_up))
+        (List.init nodes (fun i -> i))
+    in
+    if down <> [] then
+      if attempts > 100 then Fmt.failwith "seed %d: recovery did not converge" seed
+      else begin
+        (try Cluster.recover cluster ~nodes:down with Repro_cbl.Block.Would_block _ -> ());
+        recover_all (attempts + 1)
+      end
+  in
+  recover_all 0;
+  Cluster.check_invariants cluster;
+  (cluster, outcome, plan)
+
 let stress runs start faults_spec plan_file dump_plan group_commit =
   let classes =
     match Fault_plan.classes_of_string faults_spec with
@@ -308,117 +475,10 @@ let stress runs start faults_spec plan_file dump_plan group_commit =
   (* the same randomized schedule the property test uses, sequentially *)
   let failures = ref 0 in
   for seed = start to start + runs - 1 do
-    let rng = Rng.create seed in
-    (* The plan draws from a split substream so that the legacy draws
-       below are untouched; without fault flags nothing here runs and
-       historical seeds reproduce bit-identically. *)
-    let plan =
-      match loaded_plan with
-      | Some _ as p -> p
-      | None ->
-        if faults_on then Some (Fault_plan.generate (Rng.split rng) ~classes) else None
+    let cluster, outcome, plan =
+      stress_one ~classes ~faults_on ~loaded_plan ~group_commit seed
     in
     if plan <> None then last_plan := plan;
-    let faults = Option.map Injector.create plan in
-    let config =
-      (* like the plan, group-commit parameters come from their own
-         substream; with the flag off no draw happens and historical
-         seeds reproduce bit-identically *)
-      if group_commit then begin
-        let gr = Rng.split rng in
-        if Rng.chance gr 0.75 then
-          Config.with_group_commit Config.instant
-            ~window_ms:(0.5 +. Rng.float gr 20.)
-            ~max_batch:(2 + Rng.int gr 7)
-        else Config.instant
-      end
-      else Config.instant
-    in
-    let nodes = 2 + Rng.int rng 4 in
-    let cluster =
-      Cluster.create ~seed ?faults ~nodes ~pool_capacity:(8 + Rng.int rng 24) config
-    in
-    let owners = List.init (1 + Rng.int rng (min 3 nodes)) (fun i -> i) in
-    let pages_by_owner =
-      List.map
-        (fun o -> (o, Cluster.allocate_pages cluster ~owner:o ~count:(8 + Rng.int rng 16)))
-        owners
-    in
-    let engine0 = Engine.of_cluster cluster in
-    let engine =
-      if seed mod 2 = 1 then
-        {
-          engine0 with
-          Engine.recover =
-            (fun ~nodes -> Cluster.recover ~strategy:Recovery.Merged_logs cluster ~nodes);
-        }
-      else engine0
-    in
-    let scripts =
-      Generators.partitioned rng ~pages_by_owner
-        ~clients:(List.init nodes (fun i -> i))
-        ~txns_per_client:(4 + Rng.int rng 10)
-        ~mix:
-          {
-            Generators.ops_per_txn = 2 + Rng.int rng 8;
-            update_fraction = 0.3 +. Rng.float rng 0.6;
-            remote_fraction = Rng.float rng 0.8;
-            theta = Rng.float rng 1.0;
-            savepoint_fraction = Rng.float rng 0.3;
-            abort_fraction = Rng.float rng 0.2;
-          }
-    in
-    let events = ref [] in
-    let t = ref 10 in
-    let crashed = ref [] in
-    for _ = 1 to Rng.int rng 4 do
-      let victim = Rng.int rng nodes in
-      if not (List.mem victim !crashed) then begin
-        events := (!t, Driver.Crash victim) :: !events;
-        crashed := victim :: !crashed;
-        t := !t + 5 + Rng.int rng 20;
-        if Rng.chance rng 0.6 || List.length !crashed >= 2 then begin
-          events := (!t, Driver.Recover !crashed) :: !events;
-          crashed := [];
-          t := !t + 5 + Rng.int rng 15
-        end
-      end
-    done;
-    if !crashed <> [] then events := (!t + 5, Driver.Recover !crashed) :: !events;
-    (* Fault-injected runs also take checkpoints mid-workload: the
-       mid-checkpoint crash point can only fire inside one. *)
-    if faults_on then
-      for _ = 1 to 2 + Rng.int rng 3 do
-        events := (5 + Rng.int rng 60, Driver.Checkpoint (Rng.int rng nodes)) :: !events
-      done;
-    let outcome =
-      Driver.run engine
-        ~events:(List.sort compare !events)
-        ~max_rounds:30_000
-        ?auto_recover:(if faults_on then Some 6 else None)
-        scripts
-    in
-    (* The end-of-run cleanup recovery can itself die at a recovery
-       crash point (that is the point of the recovery fault class);
-       re-enter with the grown down set.  Both the crash and the
-       partition budgets are bounded, so the loop terminates — the cap
-       is a backstop turning a livelock bug into a visible failure. *)
-    let rec recover_all attempts =
-      let down =
-        List.filter
-          (fun n -> not (Cluster.node cluster n |> Node.is_up))
-          (List.init nodes (fun i -> i))
-      in
-      if down <> [] then
-        if attempts > 100 then Fmt.failwith "seed %d: recovery did not converge" seed
-        else begin
-          (try Cluster.recover cluster ~nodes:down
-           with Repro_cbl.Block.Would_block _ -> ());
-          recover_all (attempts + 1)
-        end
-    in
-    recover_all 0;
-    Cluster.check_invariants cluster;
     (match (outcome.Driver.stuck, Driver.verify outcome) with
     | 0, Ok () -> ()
     | stuck, result ->
@@ -511,8 +571,146 @@ let stress_cmd =
           deterministic fault injection")
     Term.(const stress $ runs $ start $ faults $ plan_json $ dump_plan $ group_commit)
 
+(* ---- audit ---- *)
+
+module Audit = Repro_obs.Audit
+
+let read_jsonl_events file =
+  let ic = open_in file in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  let bad = ref 0 in
+  let events =
+    List.filter_map
+      (fun line ->
+        let line = String.trim line in
+        if line = "" then None
+        else
+          match Event.of_json (Json.of_string line) with
+          | Some e -> Some e
+          | None | (exception Json.Parse_error _) ->
+            incr bad;
+            None)
+      (String.split_on_char '\n' s)
+  in
+  if !bad > 0 then Format.eprintf "note: %s: %d unparsable line(s) skipped@." file !bad;
+  events
+
+let audit_run file stress_mode runs start faults_spec group_commit out =
+  let reports =
+    match (file, stress_mode) with
+    | Some f, _ ->
+      (* offline: audit a recorded JSONL trace (cblsim trace > t.jsonl) *)
+      [ (Json.Str f, Audit.run (read_jsonl_events f)) ]
+    | None, true ->
+      (* replay: re-run stress schedules traced (a large ring keeps the
+         prefix-dependent checks armed) and audit each run's stream *)
+      let classes =
+        match Repro_fault.Fault_plan.classes_of_string faults_spec with
+        | Ok c -> c
+        | Error msg -> Fmt.failwith "--faults: %s" msg
+      in
+      let faults_on =
+        classes.Fault_plan.net || classes.Fault_plan.disk || classes.Fault_plan.crashpoints
+        || classes.Fault_plan.recovery
+      in
+      List.init runs (fun i ->
+          let seed = start + i in
+          let cluster, _outcome, _plan =
+            stress_one ~trace:true ~trace_capacity:(1 lsl 20) ~classes ~faults_on
+              ~loaded_plan:None ~group_commit seed
+          in
+          let obs = Repro_sim.Env.obs (Cluster.env cluster) in
+          if (i + 1) mod 50 = 0 then Format.eprintf "...%d runs audited@." (i + 1);
+          (Json.Int seed, Audit.run (Recorder.drain obs)))
+    | None, false -> Fmt.failwith "audit: need a trace FILE or --stress"
+  in
+  let total_violations =
+    List.fold_left (fun acc (_, r) -> acc + List.length r.Audit.violations) 0 reports
+  in
+  let report_json =
+    Json.Obj
+      [
+        ("runs", Json.Int (List.length reports));
+        ("total_violations", Json.Int total_violations);
+        ("ok", Json.Bool (total_violations = 0));
+        ( "reports",
+          Json.List
+            (List.map
+               (fun (key, r) -> Json.Obj [ ("run", key); ("report", Audit.to_json r) ])
+               reports) );
+      ]
+  in
+  (match out with
+  | Some f ->
+    let oc = open_out f in
+    output_string oc (Json.to_string_pretty report_json);
+    output_char oc '\n';
+    close_out oc
+  | None -> ());
+  List.iter
+    (fun (key, r) ->
+      if not (Audit.ok r) then begin
+        Format.printf "run %s:@." (Json.to_string key);
+        Format.printf "%a" Audit.pp r
+      end)
+    reports;
+  if total_violations = 0 then
+    Format.printf "audit: OK — %d run(s), 0 violations@." (List.length reports)
+  else begin
+    Format.printf "audit: %d violation(s) across %d run(s)@." total_violations
+      (List.length reports);
+    exit 1
+  end
+
+let audit_cmd =
+  let file =
+    Arg.(
+      value
+      & pos 0 (some string) None
+      & info [] ~docv:"FILE" ~doc:"JSONL trace to audit (as dumped by $(b,cblsim trace)).")
+  in
+  let stress_mode =
+    Arg.(
+      value & flag
+      & info [ "stress" ]
+          ~doc:
+            "Instead of a trace file, re-run the randomized stress schedules with tracing on \
+             and audit each run's event stream.")
+  in
+  let runs = Arg.(value & opt int 100 & info [ "runs" ] ~doc:"Stress runs to audit.") in
+  let start = Arg.(value & opt int 0 & info [ "start" ] ~doc:"First stress seed.") in
+  let faults =
+    Arg.(
+      value & opt string ""
+      & info [ "faults" ] ~docv:"CLASSES"
+          ~doc:"Fault classes for $(b,--stress) runs; same syntax as $(b,cblsim stress).")
+  in
+  let group_commit =
+    Arg.(
+      value & flag
+      & info [ "group-commit" ]
+          ~doc:"Randomize group-commit batching per seed, as in $(b,cblsim stress).")
+  in
+  let out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out" ] ~docv:"FILE" ~doc:"Write the full JSON violation report to $(docv).")
+  in
+  Cmd.v
+    (Cmd.info "audit"
+       ~doc:
+         "Replay recorded event streams through the protocol auditor (WAL ordering, \
+          group-commit batch-loss closure, PSN monotonicity, deferred-page fencing, strict \
+          2PL release discipline); non-zero exit on any violation")
+    Term.(
+      const audit_run $ file $ stress_mode $ runs $ start $ faults $ group_commit $ out)
+
 let () =
   let doc = "client-based logging for high performance distributed architectures (ICDE'96)" in
   exit
     (Cmd.eval
-       (Cmd.group (Cmd.info "cblsim" ~doc) [ experiment_cmd; demo_cmd; trace_cmd; stress_cmd ]))
+       (Cmd.group (Cmd.info "cblsim" ~doc)
+          [ experiment_cmd; demo_cmd; trace_cmd; stress_cmd; audit_cmd ]))

@@ -45,6 +45,16 @@ if [ "$STRESS_RUNS" -gt 0 ]; then
   [ "$RECOVERY_RUNS" -lt 200 ] && RECOVERY_RUNS=200
   echo "== stress: $RECOVERY_RUNS recovery-fault runs (--faults recovery) =="
   dune exec bin/cblsim.exe -- stress --runs "$RECOVERY_RUNS" --faults recovery
+  # protocol auditor over the same schedules, traced: every stress seed
+  # is replayed with causal tracing on and its event stream checked
+  # against the PR 1-5 invariants (WAL ordering, batch-loss closure,
+  # PSN lineage, deferred fence, 2PL release discipline).
+  echo "== audit: $STRESS_RUNS traced fault-injected runs (--faults all) =="
+  dune exec bin/cblsim.exe -- audit --stress --runs "$STRESS_RUNS" --faults all \
+    --out AUDIT_REPORT.json
+  echo "== audit: $RECOVERY_RUNS traced recovery-fault runs (--faults recovery) =="
+  dune exec bin/cblsim.exe -- audit --stress --runs "$RECOVERY_RUNS" --faults recovery \
+    --out AUDIT_REPORT_RECOVERY.json
 fi
 
 echo "== bench smoke: quick JSON reports + throughput regression gate =="

@@ -22,10 +22,10 @@ type t = {
          [commit_outcome]. *)
 }
 
-let create ?(trace = false) ?(seed = 42) ?faults ?(pool_capacity = 64) ?pool_policy
-    ?log_capacity ?scheme ?retain_cached_locks ~nodes config =
+let create ?(trace = false) ?trace_capacity ?(seed = 42) ?faults ?(pool_capacity = 64)
+    ?pool_policy ?log_capacity ?scheme ?retain_cached_locks ~nodes config =
   if nodes <= 0 then invalid_arg "Cluster.create: need at least one node";
-  let env = Env.create ~trace ~seed ?faults config in
+  let env = Env.create ~trace ?trace_capacity ~seed ?faults config in
   let members =
     Array.init nodes (fun id ->
         Node.create env ~id ~pool_capacity ?pool_policy ?log_capacity ?scheme

@@ -20,6 +20,7 @@ type t
 
 val create :
   ?trace:bool ->
+  ?trace_capacity:int ->
   ?seed:int ->
   ?faults:Repro_fault.Injector.t ->
   ?pool_capacity:int ->

@@ -226,7 +226,7 @@ let rec evict_frame t (frame : Buffer_pool.frame) =
     end
     else begin
       let owner = peer t (Page_id.owner pid) in
-      ship_to_owner t ~owner frame.page;
+      ship_to_owner t ~owner ~lsn:frame.last_lsn frame.page;
       Dpt.on_replaced t.dpt pid ~end_of_log:(Log_manager.end_lsn t.log)
     end
   end
@@ -234,16 +234,20 @@ let rec evict_frame t (frame : Buffer_pool.frame) =
 (* Ship a dirty page copy to its owner: one page-sized message plus the
    owner-side install.  The single place the [pages_shipped] counter and
    the [Page_ship] event are produced. *)
-and ship_to_owner t ~owner ?(commit_path = false) page =
+and ship_to_owner t ~owner ?(commit_path = false) ~lsn page =
   maybe_crashpoint t Repro_fault.Injector.Page_ship;
   let dup = send_dup t ~dst:owner.id ~commit_path ~bytes:(Wire.page (Env.config t.env)) () in
   bump t (fun m -> m.Metrics.pages_shipped <- m.Metrics.pages_shipped + 1);
   if Env.tracing t.env then
+    (* [lsn] is the page's last update record: the WAL obligation this
+       ship is subject to.  The trace auditor checks it against the
+       sender's durable boundary. *)
     Env.emit t.env ~node:t.id Event.Page_ship
       [
         ("dst", Event.Int owner.id);
         ("page", Event.Str (Format.asprintf "%a" Page_id.pp (Page.id page)));
         ("psn", Event.Int (Page.psn page));
+        ("lsn", Event.Int lsn);
       ];
   owner_receive_replaced owner (Page.copy page) ~from:t.id;
   (* A duplicated ship delivers the same copy twice; the owner-side
@@ -431,7 +435,7 @@ let handle_callback t ~pid ~requested ~for_txn ~for_node =
     | Some frame when frame.dirty ->
       wal_force t frame.last_lsn;
       let owner = peer t (Page_id.owner pid) in
-      ship_to_owner t ~owner frame.page;
+      ship_to_owner t ~owner ~lsn:frame.last_lsn frame.page;
       Dpt.on_replaced t.dpt pid ~end_of_log:(Log_manager.end_lsn t.log);
       frame.dirty <- false;
       frame.rec_lsn <- Lsn.nil
@@ -580,7 +584,18 @@ let acquire t ~txn ~pid ~mode =
     Local_locks.set_cached_mode t.locks pid mode;
     (* Time spent obtaining the lock from the owner — messages, callbacks
        and any page transfer piggybacked on the grant. *)
-    Env.observe t.env ~name:"lock_wait" ~node:t.id (Env.now t.env -. wait_from)
+    let wait = Env.now t.env -. wait_from in
+    Env.observe t.env ~name:"lock_wait" ~node:t.id wait;
+    if Env.tracing t.env then
+      (* Closes the [Lock_request] opened above; the pair bounds the
+         acquisition window for commit-latency attribution. *)
+      Env.emit t.env ~node:t.id Event.Lock_acquired
+        [
+          ("txn", Event.Int txn);
+          ("page", Event.Str (Format.asprintf "%a" Page_id.pp pid));
+          ("mode", Event.Str (Format.asprintf "%a" Mode.pp mode));
+          ("wait", Event.Float wait);
+        ]
   end;
   match Local_locks.acquire t.locks ~txn ~pid ~mode with
   | Ok () -> ()
@@ -635,7 +650,7 @@ let free_log_space t =
         let owner = peer t (Page_id.owner pid) in
         if (not owner.up) || not (link_up t ~dst:owner.id) then
           Block.block (Block.Log_space { node = t.id });
-        ship_to_owner t ~owner frame.page;
+        ship_to_owner t ~owner ~lsn:frame.last_lsn frame.page;
         Dpt.on_replaced t.dpt pid ~end_of_log:(Log_manager.end_lsn t.log);
         frame.dirty <- false;
         frame.rec_lsn <- Lsn.nil
@@ -774,14 +789,20 @@ let active_txn t id =
     invalid_arg (Printf.sprintf "Node: transaction %d is not active" id);
   txn
 
+(* Every transaction operation below runs under [Env.with_txn]: all
+   events its work emits — including owner-side work on other nodes —
+   are stamped as caused by this transaction. *)
+
 let read t ~txn ~pid ~off ~len =
-  let _ = active_txn t txn in
+  let descr = active_txn t txn in
+  Env.with_txn t.env ~txn ~span:descr.Txn.span @@ fun () ->
   acquire t ~txn ~pid ~mode:Mode.S;
   let frame = ensure_cached_page t pid in
   Page.read frame.page ~off ~len
 
 let read_cell t ~txn ~pid ~off =
-  let _ = active_txn t txn in
+  let descr = active_txn t txn in
+  Env.with_txn t.env ~txn ~span:descr.Txn.span @@ fun () ->
   acquire t ~txn ~pid ~mode:Mode.S;
   let frame = ensure_cached_page t pid in
   Page.get_cell frame.page ~off
@@ -815,6 +836,7 @@ let log_update t (txn : Txn.t) pid (frame : Buffer_pool.frame) op =
 
 let update_bytes t ~txn ~pid ~off s =
   let txn = active_txn t txn in
+  Env.with_txn t.env ~txn:txn.Txn.id ~span:txn.Txn.span @@ fun () ->
   acquire t ~txn:txn.Txn.id ~pid ~mode:Mode.X;
   let frame = ensure_cached_page t pid in
   let before = Page.read frame.page ~off ~len:(String.length s) in
@@ -822,6 +844,7 @@ let update_bytes t ~txn ~pid ~off s =
 
 let update_delta t ~txn ~pid ~off delta =
   let txn = active_txn t txn in
+  Env.with_txn t.env ~txn:txn.Txn.id ~span:txn.Txn.span @@ fun () ->
   acquire t ~txn:txn.Txn.id ~pid ~mode:Mode.X;
   let frame = ensure_cached_page t pid in
   log_update t txn pid frame (Record.Delta { off; delta })
@@ -855,7 +878,7 @@ let commit_scheme_work t (txn : Txn.t) lsn =
         *. (Env.config t.env).Repro_sim.Config.cpu_per_log_record);
       bump srv (fun m -> m.Metrics.log_appends <- m.Metrics.log_appends + txn.Txn.logged_records);
       bump srv (fun m -> m.Metrics.log_bytes <- m.Metrics.log_bytes + txn.Txn.logged_bytes);
-      Env.charge_log_force t.env srv.metrics ~bytes:txn.Txn.logged_bytes;
+      Env.charge_log_force t.env srv.metrics ~bytes:txn.Txn.logged_bytes ();
       Group_commit.on_force srv.gc;
       send srv ~dst:t.id ~commit_path:true ~bytes:Wire.control ()
     end
@@ -878,13 +901,13 @@ let commit_scheme_work t (txn : Txn.t) lsn =
         if not owner.up then Block.block (Block.Node_down { node = owner.id });
         ensure_link t ~dst:owner.id;
         (match Buffer_pool.peek t.pool pid with
-        | Some frame -> ship_to_owner t ~owner ~commit_path:true frame.page
+        | Some frame -> ship_to_owner t ~owner ~commit_path:true ~lsn:frame.last_lsn frame.page
         | None -> () (* already replaced to the owner earlier *));
         send t ~dst:owner.id ~commit_path:true ~bytes:(Wire.log_record bytes_per_page) ();
         bump t (fun m -> m.Metrics.log_records_shipped <- m.Metrics.log_records_shipped + 1);
         bump owner (fun m -> m.Metrics.log_appends <- m.Metrics.log_appends + 1);
         bump owner (fun m -> m.Metrics.log_bytes <- m.Metrics.log_bytes + bytes_per_page);
-        Env.charge_log_force t.env owner.metrics ~bytes:bytes_per_page;
+        Env.charge_log_force t.env owner.metrics ~bytes:bytes_per_page ();
         Group_commit.on_force owner.gc)
       remote
   | Global_log { log_node } ->
@@ -934,7 +957,7 @@ let release_unused_cached_locks t =
             (* covered by the round's coalesced force above *)
             let owner = peer t (Page_id.owner pid) in
             if owner.up then begin
-              ship_to_owner t ~owner frame.page;
+              ship_to_owner t ~owner ~lsn:frame.last_lsn frame.page;
               Dpt.on_replaced t.dpt pid ~end_of_log:(Log_manager.end_lsn t.log)
             end
           end;
@@ -958,6 +981,11 @@ let end_of_txn_lock_release t txn_id =
    requested (= when the transaction joined the batch, under group
    commit), so commit_latency includes the batching wait. *)
 let complete_commit t (txn : Txn.t) ~commit_from =
+  (* Re-assert the causal context: a batched completion runs inside
+     whichever operation forced the batch — another transaction's
+     commit, an eviction's WAL force — and this transaction's release
+     and commit events must not be attributed to that trigger. *)
+  Env.with_txn t.env ~txn:txn.Txn.id ~span:txn.Txn.span @@ fun () ->
   txn.Txn.state <- Txn.Committed;
   let durable_at = Env.now t.env in
   (* commit request -> durable: the paper's E1 subject *)
@@ -1011,6 +1039,7 @@ let create env ~id ~pool_capacity ?(pool_policy = Buffer_pool.Lru) ?log_capacity
 let commit t ~txn =
   check_up t;
   let txn = active_txn t txn in
+  Env.with_txn t.env ~txn:txn.Txn.id ~span:txn.Txn.span @@ fun () ->
   let commit_from = Env.now t.env in
   let lsn =
     append_txn_record t { Record.txn = txn.Txn.id; prev = txn.Txn.last_lsn; body = Commit }
@@ -1020,6 +1049,11 @@ let commit t ~txn =
      but not yet forced — a crash here must abort the transaction at
      recovery (its commit was never acknowledged). *)
   maybe_crashpoint t Repro_fault.Injector.Commit_force;
+  (* After the crash point: a transaction felled there never submitted,
+     so the auditor's batch-loss check correctly expects no commit. *)
+  if Env.tracing t.env then
+    Env.emit t.env ~node:t.id Event.Commit_submit
+      [ ("txn", Event.Int txn.Txn.id); ("lsn", Event.Int lsn) ];
   match t.scheme with
   | Local_logging when Group_commit.batching t.gc ->
     (* Group commit: join the node's pending batch instead of forcing
@@ -1067,6 +1101,7 @@ let undo_ops t (txn : Txn.t) =
 let abort t ~txn =
   check_up t;
   let txn = active_txn t txn in
+  Env.with_txn t.env ~txn:txn.Txn.id ~span:txn.Txn.span @@ fun () ->
   let _last = Undo.rollback (undo_ops t txn) ~txn:txn.Txn.id ~from:txn.Txn.last_lsn ~upto:Lsn.nil in
   let lsn =
     append_txn_record t { Record.txn = txn.Txn.id; prev = txn.Txn.last_lsn; body = Abort }
@@ -1085,6 +1120,7 @@ let abort t ~txn =
 let savepoint t ~txn name =
   check_up t;
   let txn = active_txn t txn in
+  Env.with_txn t.env ~txn:txn.Txn.id ~span:txn.Txn.span @@ fun () ->
   let lsn =
     append_txn_record t { Record.txn = txn.Txn.id; prev = txn.Txn.last_lsn; body = Savepoint name }
   in
@@ -1097,6 +1133,7 @@ let rollback_to t ~txn name =
   match Txn.savepoint_lsn txn name with
   | None -> invalid_arg (Printf.sprintf "Node.rollback_to: unknown savepoint %S" name)
   | Some sp ->
+    Env.with_txn t.env ~txn:txn.Txn.id ~span:txn.Txn.span @@ fun () ->
     let _last = Undo.rollback (undo_ops t txn) ~txn:txn.Txn.id ~from:txn.Txn.last_lsn ~upto:sp in
     Txn.release_savepoints_after txn sp;
     tracef t "T%d rolled back to %S" txn.Txn.id name

@@ -189,7 +189,11 @@ let send t ~dst ?(commit_path = false) ?(recovery = false) ~bytes () =
     Env.charge_message t.env t.metrics ~commit_path ~recovery ~bytes ();
     if Env.tracing t.env then begin
       let attrs =
-        [ ("dst", Event.Int dst); ("bytes", Event.Int bytes) ]
+        [
+          ("dst", Event.Int dst);
+          ("bytes", Event.Int bytes);
+          ("dur", Event.Float (Env.message_cost t.env ~bytes));
+        ]
         @ (if commit_path then [ ("commit", Event.Bool true) ] else [])
         @ if recovery then [ ("recovery", Event.Bool true) ] else []
       in

@@ -8,6 +8,9 @@ module Driver = Repro_workload.Driver
 module Generators = Repro_workload.Generators
 module Schemes = Repro_baselines.Schemes
 module Rng = Repro_util.Rng
+module Recorder = Repro_obs.Recorder
+module Critical_path = Repro_obs.Critical_path
+module Log_hist = Repro_obs.Log_hist
 
 (* Every experiment ends by checking the durability oracle: the suite
    doubles as an end-to-end integration test. *)
@@ -684,10 +687,42 @@ let interleave lists =
   in
   go [] lists
 
-let e11 ?(quick = false) () =
+(* One group-commit run: the 8-client conflict-free E11 workload at a
+   given (max_batch, window_ms) setting.  Shared with E13, which
+   re-runs the same workload traced and decomposes the latency. *)
+let group_commit_run ?(trace = false) ~quick (max_batch, window_ms) =
   let clients = 8 in
   let pages_per_client = 4 in
   let txns_per_client = if quick then 5 else 30 in
+  let config = Config.with_group_commit Config.default ~window_ms ~max_batch in
+  (* the ring is sized so a full traced run never overflows: a truncated
+     trace would silently weaken E13's attribution *)
+  let cluster = Cluster.create ~trace ~trace_capacity:(1 lsl 20) ~seed:41 ~nodes:1 config in
+  (* fewer pages than the pool holds: after warm-up there are no
+     evictions, so the commit force is the only recurring disk
+     operation and the batching win is visible in busy time *)
+  let pages = Cluster.allocate_pages cluster ~owner:0 ~count:(clients * pages_per_client) in
+  let engine = Engine.of_cluster cluster in
+  let rng = Rng.create 41 in
+  let scripts =
+    interleave
+      (List.init clients (fun c ->
+           (* disjoint slice per client: no lock conflicts, so all
+              eight stay runnable and commit close together *)
+           let slice = List.filteri (fun i _ -> i / pages_per_client = c) pages in
+           Generators.hotspot rng ~pages:slice ~clients:[ 0 ] ~txns_per_client
+             ~mix:
+               {
+                 Generators.default_mix with
+                 update_fraction = 1.0;
+                 ops_per_txn = 4;
+                 remote_fraction = 0.;
+               }))
+  in
+  let outcome = run_checked engine ~mpl:clients scripts in
+  (cluster, outcome)
+
+let e11 ?(quick = false) () =
   let settings =
     if quick then [ (1, 0.); (8, 20.) ]
     else [ (1, 0.); (2, 5.); (4, 10.); (8, 20.); (8, 50.) ]
@@ -695,35 +730,7 @@ let e11 ?(quick = false) () =
   let runs =
     List.map
       (fun (max_batch, window_ms) ->
-        let config = Config.with_group_commit Config.default ~window_ms ~max_batch in
-        let cluster = Cluster.create ~seed:41 ~nodes:1 config in
-        (* fewer pages than the pool holds: after warm-up there are no
-           evictions, so the commit force is the only recurring disk
-           operation and the batching win is visible in busy time *)
-        let pages =
-          Cluster.allocate_pages cluster ~owner:0 ~count:(clients * pages_per_client)
-        in
-        let engine = Engine.of_cluster cluster in
-        let rng = Rng.create 41 in
-        let scripts =
-          interleave
-            (List.init clients (fun c ->
-                 (* disjoint slice per client: no lock conflicts, so all
-                    eight stay runnable and commit close together *)
-                 let slice =
-                   List.filteri (fun i _ -> i / pages_per_client = c) pages
-                 in
-                 Generators.hotspot rng ~pages:slice ~clients:[ 0 ]
-                   ~txns_per_client
-                   ~mix:
-                     {
-                       Generators.default_mix with
-                       update_fraction = 1.0;
-                       ops_per_txn = 4;
-                       remote_fraction = 0.;
-                     }))
-        in
-        let outcome = run_checked engine ~mpl:clients scripts in
+        let cluster, outcome = group_commit_run ~quick (max_batch, window_ms) in
         let m = Cluster.node_metrics cluster 0 in
         (* throughput is bottleneck-bounded like E2: committed work over
            the node's busy time.  Window waits advance the clock without
@@ -918,11 +925,100 @@ let e12 ?(quick = false) () =
   }
 
 (* ------------------------------------------------------------------ *)
+(* E13: commit-latency attribution — the critical path of E11's runs   *)
+(* ------------------------------------------------------------------ *)
+
+(* Re-runs the E11 group-commit workload with causal tracing on, folds
+   the event stream through Critical_path, and reports where each
+   commit's latency went: lock wait, batch-window wait, log forces,
+   network, owner service, other.  The decomposition is validated
+   against an independent measurement — the driver's own end-to-end
+   commit latencies — and must agree within 5%. *)
+let e13 ?(quick = false) () =
+  let settings =
+    if quick then [ (1, 0.); (8, 20.) ] else [ (1, 0.); (4, 10.); (8, 20.) ]
+  in
+  let runs =
+    List.map
+      (fun setting ->
+        let cluster, outcome = group_commit_run ~trace:true ~quick setting in
+        let events = Recorder.events (Env.obs (Cluster.env cluster)) in
+        let cp = Critical_path.analyze events in
+        if cp.Critical_path.truncated then invalid_arg "E13: trace ring overflowed";
+        (setting, outcome, cp))
+      settings
+  in
+  let label (max_batch, window_ms) = Printf.sprintf "%d/%g" max_batch window_ms in
+  let rows =
+    List.concat_map
+      (fun (setting, _outcome, cp) ->
+        let hists = Critical_path.component_hists cp in
+        let total_time = Log_hist.total (List.assoc "total" hists) in
+        List.map
+          (fun (name, h) ->
+            [
+              label setting;
+              name;
+              Report.ms (Log_hist.quantile h 0.5);
+              Report.ms (Log_hist.p95 h);
+              Report.ms (Log_hist.p99 h);
+              Report.ms (Log_hist.mean h);
+              (if total_time <= 0. then "-"
+               else Printf.sprintf "%.1f%%" (Log_hist.total h /. total_time *. 100.));
+            ])
+          hists)
+      runs
+  in
+  let checks =
+    List.map
+      (fun (setting, outcome, cp) ->
+        let hists = Critical_path.component_hists cp in
+        let cp_mean = Log_hist.mean (List.assoc "total" hists) in
+        let drv_mean = outcome.Driver.latencies.Repro_util.Stats.mean in
+        let err = Float.abs (cp_mean -. drv_mean) /. drv_mean in
+        let committed = List.length cp.Critical_path.txns in
+        Printf.sprintf
+          "%s batch %s: %d txns, attributed mean %s vs driver-measured %s (err %.1f%%, budget 5%%)"
+          (if err <= 0.05 then "PASS" else "FAIL")
+          (label setting) committed
+          (Report.ms cp_mean) (Report.ms drv_mean) (err *. 100.))
+      runs
+  in
+  {
+    Report.id = "E13";
+    title = "Commit-latency attribution: critical-path breakdown of the group-commit runs";
+    claim =
+      "§1.1/§3: the local log force dominates CBL's commit cost; the traced critical path \
+       shows latency moving from per-txn forces into the shared batch force (and its window \
+       wait) as batching grows, with no hidden component — parts sum to the independently \
+       measured end-to-end latency";
+    header = [ "batch/window"; "component"; "p50"; "p95"; "p99"; "mean"; "share" ];
+    rows;
+    data =
+      List.map
+        (fun (setting, _outcome, cp) ->
+          ( "breakdown " ^ label setting,
+            Repro_obs.Json.Obj
+              (List.map
+                 (fun (name, h) -> (name, Log_hist.to_json h))
+                 (Critical_path.component_hists cp)) ))
+        runs;
+    notes =
+      checks
+      @ [
+          "share is each component's fraction of total attributed time across all commits; \
+           'other' holds the explicit un-attributed remainder (CPU charges, lock ops), so \
+           the decomposition can't silently drop time";
+        ];
+  }
+
+(* ------------------------------------------------------------------ *)
 
 let registry =
   [
     ("F1", f1); ("E1", e1); ("E2", e2); ("E3", e3); ("E4", e4); ("E5", e5); ("E6", e6);
     ("E7", e7); ("E8", e8); ("E9", e9); ("E10", e10); ("E11", e11); ("E12", e12);
+    ("E13", e13);
   ]
 
 let ids = List.map fst registry

@@ -52,6 +52,27 @@ val e11 : ?quick:bool -> unit -> Report.t
     window and batch cap grow; the unbatched row is today's commit
     path. *)
 
+val e12 : ?quick:bool -> unit -> Report.t
+(** Restartable recovery: mid-recovery crashes, re-entry, deferral and
+    completion of parked pages. *)
+
+val e13 : ?quick:bool -> unit -> Report.t
+(** Commit-latency attribution: the E11 workload re-run with causal
+    tracing, decomposed by {!Repro_obs.Critical_path} into lock wait /
+    batch wait / log force / network / owner service; components must
+    agree with the driver's independently measured latency within
+    5%. *)
+
+val group_commit_run :
+  ?trace:bool ->
+  quick:bool ->
+  int * float ->
+  Repro_cbl.Cluster.t * Repro_workload.Driver.outcome
+(** The E11/E13 workload: 8 conflict-free clients on one node at a
+    given [(max_batch, window_ms)] group-commit setting, durability
+    oracle checked.  Exposed for the tracing-overhead bench, which runs
+    it with [trace] off and on and compares. *)
+
 val all : ?quick:bool -> unit -> Report.t list
 (** Every experiment, in order. *)
 

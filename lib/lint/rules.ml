@@ -379,27 +379,46 @@ let crashpoint_registry =
 (* Rule 5: event-codec-exhaustive                                      *)
 (* ------------------------------------------------------------------ *)
 
-let event_file = "lib/obs/event.ml"
-let codec_fns = [ "kind_name"; "kind_of_name"; "json_value"; "to_json"; "of_json" ]
+(* Functions that must stay total over Event.kind, per file: the codec
+   itself, plus the offline analyses that consume every event — a new
+   event kind must fail to compile (or lint) until each of them has
+   made a conscious decision about it, including "explicitly ignored". *)
+let codec_fn_table =
+  [
+    ( "lib/obs/event.ml",
+      [ "kind_name"; "kind_of_name"; "json_value"; "to_json"; "of_json" ],
+      "a new event kind would serialize wrong silently" );
+    ( "lib/obs/critical_path.ml",
+      [ "classify_kind"; "analyze" ],
+      "a new event kind would fall out of commit-latency attribution silently" );
+    ( "lib/obs/audit.ml",
+      [ "dispatch" ],
+      "a new event kind would bypass the protocol auditor silently" );
+  ]
 
 let event_codec_exhaustive =
   {
     Lint.id = "event-codec-exhaustive";
     doc =
-      "the Event codec functions must not use a wildcard case: a new event kind must fail to \
-       compile until its encoding is written";
+      "the Event codec and its analysis consumers (Critical_path, Audit) must not use a \
+       wildcard case over events: a new event kind must fail to compile until its encoding, \
+       attribution and audit handling are written";
     check =
       (fun ctx ->
         List.iter
           (fun { Lint.rel; ast } ->
             match ast with
             | Lint.Intf _ -> ()
-            | Lint.Impl structure ->
-              if rel = event_file then
+            | Lint.Impl structure -> (
+              match
+                List.find_opt (fun (file, _, _) -> file = rel) codec_fn_table
+              with
+              | None -> ()
+              | Some (_, fns, why) ->
                 List.iter
                   (fun vb ->
                     match binding_name vb with
-                    | Some name when List.mem name codec_fns ->
+                    | Some name when List.mem name fns ->
                       iter_exprs_in_expr
                         (fun e ->
                           match e.pexp_desc with
@@ -410,16 +429,13 @@ let event_codec_exhaustive =
                                 | Some _ ->
                                   Lint.report_loc ctx ~rule:"event-codec-exhaustive"
                                     c.pc_lhs.ppat_loc
-                                    (Printf.sprintf
-                                       "wildcard case in Event.%s: a new event kind would \
-                                        serialize wrong silently"
-                                       name)
+                                    (Printf.sprintf "wildcard case in %s: %s" name why)
                                 | None -> ())
                               cases
                           | _ -> ())
                         vb.pvb_expr
                     | Some _ | None -> ())
-                  (top_level_bindings structure))
+                  (top_level_bindings structure)))
           ctx.Lint.sources);
   }
 

@@ -15,11 +15,13 @@ type kind =
   | Lock_callback
   | Lock_demote
   | Lock_release
+  | Lock_acquired
   | Ckpt_begin
   | Ckpt_end
   | Txn_begin
   | Txn_commit
   | Txn_abort
+  | Commit_submit
   | Commit_batch
   | Crash
   | Recovery_begin
@@ -36,12 +38,14 @@ type kind =
   | Fault_partition
   | Fault_torn
   | Fault_crash
+  | Trace_dropped
   | Note
 
 type t = {
   time : float;  (** simulated seconds *)
   node : int;  (** -1 = cluster-wide / coordinator *)
   span : int;  (** enclosing span id, -1 if none *)
+  txn : int;  (** causing transaction (trace context), -1 if none *)
   kind : kind;
   attrs : (string * value) list;
 }
@@ -61,11 +65,13 @@ let kind_name = function
   | Lock_callback -> "lock.callback"
   | Lock_demote -> "lock.demote"
   | Lock_release -> "lock.release"
+  | Lock_acquired -> "lock.acquired"
   | Ckpt_begin -> "ckpt.begin"
   | Ckpt_end -> "ckpt.end"
   | Txn_begin -> "txn.begin"
   | Txn_commit -> "txn.commit"
   | Txn_abort -> "txn.abort"
+  | Commit_submit -> "commit.submit"
   | Commit_batch -> "commit.batch"
   | Crash -> "crash"
   | Recovery_begin -> "recovery.begin"
@@ -82,21 +88,23 @@ let kind_name = function
   | Fault_partition -> "fault.partition"
   | Fault_torn -> "fault.torn"
   | Fault_crash -> "fault.crash"
+  | Trace_dropped -> "trace.dropped"
   | Note -> "note"
 
 let all_kinds =
   [
     Msg_send; Msg_recv; Log_append; Log_force; Page_read; Page_write; Page_ship;
     Cache_install; Cache_evict; Lock_request; Lock_grant; Lock_callback; Lock_demote;
-    Lock_release; Ckpt_begin; Ckpt_end; Txn_begin; Txn_commit; Txn_abort; Commit_batch; Crash;
+    Lock_release; Lock_acquired; Ckpt_begin; Ckpt_end; Txn_begin; Txn_commit; Txn_abort;
+    Commit_submit; Commit_batch; Crash;
     Recovery_begin; Recovery_end; Recovery_phase; Recovery_restart; Recovery_deferred;
     Recovery_retry; Span_begin; Span_end; Fault_drop;
-    Fault_dup; Fault_delay; Fault_partition; Fault_torn; Fault_crash; Note;
+    Fault_dup; Fault_delay; Fault_partition; Fault_torn; Fault_crash; Trace_dropped; Note;
   ]
 
 let kind_of_name s = List.find_opt (fun k -> kind_name k = s) all_kinds
 
-let make ~time ~node ?(span = -1) kind attrs = { time; node; span; kind; attrs }
+let make ~time ~node ?(span = -1) ?(txn = -1) kind attrs = { time; node; span; txn; kind; attrs }
 
 let pp_value ppf = function
   | Int i -> Format.pp_print_int ppf i
@@ -108,7 +116,9 @@ let render e =
   match (e.kind, e.attrs) with
   | Note, [ ("msg", Str m) ] -> m
   | _ ->
-    Format.asprintf "t=%.6f n=%d %s%a" e.time e.node (kind_name e.kind)
+    Format.asprintf "t=%.6f n=%d%s %s%a" e.time e.node
+      (if e.txn >= 0 then Printf.sprintf " T%d" e.txn else "")
+      (kind_name e.kind)
       (fun ppf attrs ->
         List.iter (fun (k, v) -> Format.fprintf ppf " %s=%a" k pp_value v) attrs)
       e.attrs
@@ -124,8 +134,59 @@ let to_json e =
     [ ("t", Json.Float e.time); ("node", Json.Int e.node); ("kind", Json.Str (kind_name e.kind)) ]
   in
   let span = if e.span >= 0 then [ ("span", Json.Int e.span) ] else [] in
+  (* the trace context is exported as "ctx", never "txn": several kinds
+     already carry a domain attr named "txn" and JSON keys must not
+     collide *)
+  let ctx = if e.txn >= 0 then [ ("ctx", Json.Int e.txn) ] else [] in
   let attrs = List.map (fun (k, v) -> (k, json_value v)) e.attrs in
-  Json.Obj (base @ span @ attrs)
+  Json.Obj (base @ span @ ctx @ attrs)
+
+let value_of_json = function
+  | Json.Int i -> Some (Int i)
+  | Json.Float f -> Some (Float f)
+  | Json.Str s -> Some (Str s)
+  | Json.Bool b -> Some (Bool b)
+  | Json.Null | Json.List _ | Json.Obj _ -> None
+
+let header_keys = [ "t"; "node"; "kind"; "span"; "ctx" ]
+
+let of_json j =
+  match j with
+  | Json.Obj fields ->
+    let time = Option.bind (List.assoc_opt "t" fields) Json.to_float_opt in
+    let node = Option.bind (List.assoc_opt "node" fields) Json.to_int_opt in
+    let kind =
+      Option.bind (Option.bind (List.assoc_opt "kind" fields) Json.to_string_opt) kind_of_name
+    in
+    let span =
+      Option.value ~default:(-1) (Option.bind (List.assoc_opt "span" fields) Json.to_int_opt)
+    in
+    let txn =
+      Option.value ~default:(-1) (Option.bind (List.assoc_opt "ctx" fields) Json.to_int_opt)
+    in
+    (match (time, node, kind) with
+    | Some time, Some node, Some kind ->
+      let attrs =
+        List.filter_map
+          (fun (k, v) ->
+            if List.mem k header_keys then None
+            else Option.map (fun v -> (k, v)) (value_of_json v))
+          fields
+      in
+      Some (make ~time ~node ~span ~txn kind attrs)
+    | (None, _, _) | (_, None, _) | (_, _, None) -> None)
+  | Json.Null | Json.Bool _ | Json.Int _ | Json.Float _ | Json.Str _ | Json.List _ -> None
+
+(* ---- attr accessors (used by the trace analyses) ---- *)
+
+let attr e key = List.assoc_opt key e.attrs
+let attr_int e key = match attr e key with Some (Int i) -> Some i | _ -> None
+
+let attr_float e key =
+  match attr e key with Some (Float f) -> Some f | Some (Int i) -> Some (float_of_int i) | _ -> None
+
+let attr_str e key = match attr e key with Some (Str s) -> Some s | _ -> None
+let attr_bool e key = match attr e key with Some (Bool b) -> Some b | _ -> None
 
 (* Allocation-free substring scan (replaces the String.sub-per-position
    search that Trace.contains used to do). *)

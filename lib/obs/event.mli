@@ -24,11 +24,13 @@ type kind =
   | Lock_callback
   | Lock_demote
   | Lock_release
+  | Lock_acquired
   | Ckpt_begin
   | Ckpt_end
   | Txn_begin
   | Txn_commit
   | Txn_abort
+  | Commit_submit
   | Commit_batch
   | Crash
   | Recovery_begin
@@ -45,17 +47,19 @@ type kind =
   | Fault_partition
   | Fault_torn
   | Fault_crash
+  | Trace_dropped
   | Note
 
 type t = {
   time : float;
   node : int;
   span : int;
+  txn : int;  (** trace context: id of the causing transaction, -1 if none *)
   kind : kind;
   attrs : (string * value) list;
 }
 
-val make : time:float -> node:int -> ?span:int -> kind -> (string * value) list -> t
+val make : time:float -> node:int -> ?span:int -> ?txn:int -> kind -> (string * value) list -> t
 
 val kind_name : kind -> string
 (** Stable dotted name, e.g. [Msg_send] -> ["msg.send"]. *)
@@ -68,6 +72,23 @@ val render : t -> string
     attribute renders as the bare message (legacy [Trace] contract). *)
 
 val to_json : t -> Json.t
+(** The trace context is exported under the key ["ctx"] (several kinds
+    carry a domain attr named ["txn"], which must not collide). *)
+
+val of_json : Json.t -> t option
+(** Inverse of [to_json]; [None] when the object is missing a header
+    field or names an unknown kind. *)
+
+(** {2 Attr accessors} *)
+
+val attr : t -> string -> value option
+val attr_int : t -> string -> int option
+
+val attr_float : t -> string -> float option
+(** Also accepts an [Int] attr (JSON round-trips may widen). *)
+
+val attr_str : t -> string -> string option
+val attr_bool : t -> string -> bool option
 
 val substring : needle:string -> string -> bool
 (** Allocation-free substring test: does [needle] occur in the hay? *)

@@ -18,6 +18,8 @@ type t = {
   mutable next_span : int;
   mutable spans_rev : span list;
   mutable open_spans : span list;  (** innermost first; per-recorder stack *)
+  mutable ctx_txn : int;  (** causal context: acting transaction, -1 = none *)
+  mutable ctx_span : int;  (** causal context: that transaction's span *)
   hists : (string * int, Log_hist.t) Hashtbl.t;
 }
 
@@ -36,6 +38,8 @@ let create ?(enabled = false) ?(capacity = default_capacity) () =
     next_span = 0;
     spans_rev = [];
     open_spans = [];
+    ctx_txn = -1;
+    ctx_span = -1;
     hists = Hashtbl.create 16;
   }
 
@@ -53,8 +57,28 @@ let push t e =
 
 let current_span t = match t.open_spans with [] -> -1 | s :: _ -> s.id
 
+(* ---- causal context ----
+
+   A (txn, span) pair dynamically scoped around every operation a
+   transaction performs.  The single [open_spans] stack cannot attribute
+   events of interleaved transactions (innermost-open is whichever txn
+   began last); the explicit context can.  Callers save [context],
+   [set_context], and restore — nesting (a commit completing inside
+   another transaction's batch flush) keeps attribution exact. *)
+
+let context t = (t.ctx_txn, t.ctx_span)
+
+let set_context t ~txn ~span =
+  t.ctx_txn <- txn;
+  t.ctx_span <- span
+
+let clear_context t = set_context t ~txn:(-1) ~span:(-1)
+
 let emit t ~time ~node kind attrs =
-  if t.enabled then push t (Event.make ~time ~node ~span:(current_span t) kind attrs)
+  if t.enabled then begin
+    let span = if t.ctx_span >= 0 then t.ctx_span else current_span t in
+    push t (Event.make ~time ~node ~span ~txn:t.ctx_txn kind attrs)
+  end
 
 let note ?(time = 0.) ?(node = -1) t msg =
   if t.enabled then
@@ -76,7 +100,9 @@ let clear t =
   t.dropped <- 0;
   t.next_span <- 0;
   t.spans_rev <- [];
-  t.open_spans <- []
+  t.open_spans <- [];
+  t.ctx_txn <- -1;
+  t.ctx_span <- -1
 
 (* ---- spans ---- *)
 
@@ -137,13 +163,28 @@ let clear_histograms t = Hashtbl.reset t.hists
 
 (* ---- export ---- *)
 
+(* Draining appends a [trace.dropped] summary line when the ring
+   overflowed, so consumers of an exported trace can tell it is a
+   suffix, not the whole run. *)
+let drain t =
+  let evs = events t in
+  if t.dropped = 0 then evs
+  else begin
+    let last_time = List.fold_left (fun acc (e : Event.t) -> Float.max acc e.Event.time) 0. evs in
+    evs
+    @ [
+        Event.make ~time:last_time ~node:(-1) Event.Trace_dropped
+          [ ("count", Event.Int t.dropped); ("capacity", Event.Int t.capacity) ];
+      ]
+  end
+
 let to_jsonl t =
   let buf = Buffer.create 4096 in
   List.iter
     (fun e ->
       Buffer.add_string buf (Json.to_string (Event.to_json e));
       Buffer.add_char buf '\n')
-    (events t);
+    (drain t);
   Buffer.contents buf
 
 let histograms_json t =

@@ -31,13 +31,35 @@ val set_label : t -> string -> unit
 (** Free-form run label (e.g. the logging scheme) carried into exports. *)
 
 val emit : t -> time:float -> node:int -> Event.kind -> (string * Event.value) list -> unit
-(** No-op when disabled.  The event inherits the innermost open span. *)
+(** No-op when disabled.  The event is stamped with the causal context
+    (txn and span) when one is set; otherwise it inherits the innermost
+    open span and no transaction. *)
+
+(** {2 Causal context}
+
+    A (txn, span) pair dynamically scoped around every operation a
+    transaction performs, stamped onto each emitted event.  Callers
+    save [context], [set_context], run, and restore the saved pair —
+    never [clear_context] blindly — so nested attribution (one
+    transaction's completion running inside another's batch flush)
+    stays exact. *)
+
+val context : t -> int * int
+(** Current (txn, span); [(-1, -1)] when unset. *)
+
+val set_context : t -> txn:int -> span:int -> unit
+val clear_context : t -> unit
 
 val note : ?time:float -> ?node:int -> t -> string -> unit
 (** Legacy free-text event ([Trace.event] compatibility). *)
 
 val events : t -> Event.t list
 (** Oldest first.  At most [capacity] events; see [dropped]. *)
+
+val drain : t -> Event.t list
+(** [events], plus a synthetic [Trace_dropped] summary event appended
+    when the ring overflowed — consumers can tell a suffix from a whole
+    run. *)
 
 val dropped : t -> int
 val clear : t -> unit
@@ -78,7 +100,9 @@ val clear_histograms : t -> unit
 (** {2 Export} *)
 
 val to_jsonl : t -> string
-(** One JSON object per line, oldest event first. *)
+(** One JSON object per line, oldest event first ([drain]: a
+    [trace.dropped] summary line is appended when the ring
+    overflowed). *)
 
 val histograms_json : t -> Json.t
 (** [{ "<name>": { "cluster": {...}, "node0": {...}, ... }, ... }] with

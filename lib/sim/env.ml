@@ -10,11 +10,11 @@ type t = {
   faults : Repro_fault.Injector.t option;
 }
 
-let create ?(trace = false) ?(seed = 42) ?faults config =
+let create ?(trace = false) ?trace_capacity ?(seed = 42) ?faults config =
   {
     config;
     clock = Clock.create ();
-    obs = Recorder.create ~enabled:trace ();
+    obs = Recorder.create ~enabled:trace ?capacity:trace_capacity ();
     rng = Repro_util.Rng.create seed;
     global = Metrics.create ();
     faults;
@@ -32,10 +32,35 @@ let tracing t = Recorder.enabled t.obs
 let tracef t fmt = Trace.event t.obs fmt
 
 let emit t ~node kind attrs =
-  if Recorder.enabled t.obs then Recorder.emit t.obs ~time:(now t) ~node kind attrs
+  if Recorder.enabled t.obs then begin
+    Recorder.emit t.obs ~time:(now t) ~node kind attrs;
+    (* mirror the ring's overwrite counter so metrics exports carry it;
+       stays 0 when tracing is off — untraced metrics are untouched *)
+    t.global.Metrics.trace_events_dropped <- Recorder.dropped t.obs
+  end
+
+(* Scope the causal trace context (txn, span) around [f]: every event
+   emitted while [f] runs — on any node — is stamped as caused by
+   [txn].  Contexts nest (save/restore), and the whole mechanism is a
+   single branch when tracing is off. *)
+let with_txn t ~txn ~span f =
+  if not (Recorder.enabled t.obs) then f ()
+  else begin
+    let saved_txn, saved_span = Recorder.context t.obs in
+    Recorder.set_context t.obs ~txn ~span;
+    Fun.protect
+      ~finally:(fun () -> Recorder.set_context t.obs ~txn:saved_txn ~span:saved_span)
+      f
+  end
 
 let observe t ~name ~node v = Recorder.observe t.obs ~name ~node v
 let hist t ~name ~node = Recorder.hist t.obs ~name ~node
+
+(* Cost formulas, exposed so emit sites outside this module (the
+   network choke point) can attach the charged duration to their events
+   without re-deriving the model. *)
+let message_cost t ~bytes = t.config.net_latency +. (t.config.net_per_byte *. float_of_int bytes)
+let log_force_cost t ~bytes = t.config.log_force_seek +. (t.config.disk_per_byte *. float_of_int bytes)
 
 let both t m f =
   f m;
@@ -46,7 +71,7 @@ let busy t m dt =
   t.global.Metrics.busy_seconds <- t.global.Metrics.busy_seconds +. dt
 
 let charge_message t m ?(commit_path = false) ?(recovery = false) ~bytes () =
-  let dt = t.config.net_latency +. (t.config.net_per_byte *. float_of_int bytes) in
+  let dt = message_cost t ~bytes in
   Clock.advance t.clock dt;
   busy t m dt;
   both t m (fun c ->
@@ -61,7 +86,8 @@ let charge_page_read t m =
   busy t m dt;
   both t m (fun c -> c.Metrics.page_disk_reads <- c.Metrics.page_disk_reads + 1);
   if Recorder.enabled t.obs then
-    Recorder.emit t.obs ~time:(now t) ~node:m.Metrics.node Event.Page_read []
+    Recorder.emit t.obs ~time:(now t) ~node:m.Metrics.node Event.Page_read
+      [ ("dur", Event.Float dt) ]
 
 let charge_page_write t m ?(commit_path = false) () =
   let dt = t.config.disk_seek +. (t.config.disk_per_byte *. float_of_int t.config.page_size) in
@@ -72,7 +98,7 @@ let charge_page_write t m ?(commit_path = false) () =
       if commit_path then c.Metrics.commit_page_writes <- c.Metrics.commit_page_writes + 1);
   if Recorder.enabled t.obs then
     Recorder.emit t.obs ~time:(now t) ~node:m.Metrics.node Event.Page_write
-      (if commit_path then [ ("commit", Event.Bool true) ] else [])
+      (("dur", Event.Float dt) :: (if commit_path then [ ("commit", Event.Bool true) ] else []))
 
 let charge_log_append t m ~bytes =
   Clock.advance t.clock t.config.cpu_per_log_record;
@@ -82,19 +108,22 @@ let charge_log_append t m ~bytes =
       c.Metrics.log_bytes <- c.Metrics.log_bytes + bytes);
   if Recorder.enabled t.obs then
     Recorder.emit t.obs ~time:(now t) ~node:m.Metrics.node Event.Log_append
-      [ ("bytes", Event.Int bytes) ]
+      [ ("bytes", Event.Int bytes); ("dur", Event.Float t.config.cpu_per_log_record) ]
 
-let charge_log_force t m ~bytes =
-  let dt = t.config.log_force_seek +. (t.config.disk_per_byte *. float_of_int bytes) in
+(* [durable] is the log's durable boundary after this force; the trace
+   auditor replays it to check WAL force-before-ship ordering. *)
+let charge_log_force t m ?durable ~bytes () =
+  let dt = log_force_cost t ~bytes in
   Clock.advance t.clock dt;
   busy t m dt;
   both t m (fun c -> c.Metrics.log_forces <- c.Metrics.log_forces + 1);
   if Recorder.enabled t.obs then
     Recorder.emit t.obs ~time:(now t) ~node:m.Metrics.node Event.Log_force
-      [ ("bytes", Event.Int bytes) ]
+      ([ ("bytes", Event.Int bytes); ("dur", Event.Float dt) ]
+      @ match durable with Some d -> [ ("durable", Event.Int d) ] | None -> [])
 
-let charge_log_force_shared t m ~bytes ~sharers =
-  let dt = t.config.log_force_seek +. (t.config.disk_per_byte *. float_of_int bytes) in
+let charge_log_force_shared t m ?durable ~bytes ~sharers () =
+  let dt = log_force_cost t ~bytes in
   Clock.advance t.clock dt;
   busy t m dt;
   both t m (fun c ->
@@ -103,7 +132,8 @@ let charge_log_force_shared t m ~bytes ~sharers =
       c.Metrics.batched_commits <- c.Metrics.batched_commits + sharers);
   if Recorder.enabled t.obs then
     Recorder.emit t.obs ~time:(now t) ~node:m.Metrics.node Event.Log_force
-      [ ("bytes", Event.Int bytes); ("sharers", Event.Int sharers) ]
+      ([ ("bytes", Event.Int bytes); ("dur", Event.Float dt); ("sharers", Event.Int sharers) ]
+      @ match durable with Some d -> [ ("durable", Event.Int d) ] | None -> [])
 
 let charge_log_scan_record t m ~bytes =
   let dt = t.config.cpu_per_log_record +. (t.config.disk_per_byte *. float_of_int bytes) in

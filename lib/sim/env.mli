@@ -8,10 +8,18 @@
 
 type t
 
-val create : ?trace:bool -> ?seed:int -> ?faults:Repro_fault.Injector.t -> Config.t -> t
+val create :
+  ?trace:bool ->
+  ?trace_capacity:int ->
+  ?seed:int ->
+  ?faults:Repro_fault.Injector.t ->
+  Config.t ->
+  t
 (** [faults] installs a deterministic fault injector; every message,
     crash and protocol crash point consults it.  Absent, no fault code
-    runs at all. *)
+    runs at all.  [trace_capacity] sizes the event ring (default
+    65536); audit runs raise it so long faulted traces are not
+    truncated. *)
 
 val config : t -> Config.t
 val clock : t -> Clock.t
@@ -38,6 +46,18 @@ val emit : t -> node:int -> Repro_obs.Event.kind -> (string * Repro_obs.Event.va
 (** Emit a typed event at the current simulated time (no-op when
     tracing is off — but guard attr construction with [tracing]). *)
 
+val with_txn : t -> txn:int -> span:int -> (unit -> 'a) -> 'a
+(** Run [f] with the causal trace context set to [(txn, span)]: every
+    event emitted while it runs — on any node — is stamped as caused by
+    [txn].  Contexts nest (saved and restored around [f], exceptions
+    included); one branch and no allocation when tracing is off. *)
+
+val message_cost : t -> bytes:int -> float
+(** The clock advance [charge_message] would make for [bytes]. *)
+
+val log_force_cost : t -> bytes:int -> float
+(** The clock advance [charge_log_force] would make for [bytes]. *)
+
 val observe : t -> name:string -> node:int -> float -> unit
 (** Record a latency sample (seconds) into the named histogram, per
     node and cluster-wide.  Always on; never touches clock/metrics. *)
@@ -54,10 +74,13 @@ val charge_message : t -> Metrics.t -> ?commit_path:bool -> ?recovery:bool -> by
 val charge_page_read : t -> Metrics.t -> unit
 val charge_page_write : t -> Metrics.t -> ?commit_path:bool -> unit -> unit
 val charge_log_append : t -> Metrics.t -> bytes:int -> unit
-val charge_log_force : t -> Metrics.t -> bytes:int -> unit
-(** A synchronous force of [bytes] of buffered log. *)
 
-val charge_log_force_shared : t -> Metrics.t -> bytes:int -> sharers:int -> unit
+val charge_log_force : t -> Metrics.t -> ?durable:int -> bytes:int -> unit -> unit
+(** A synchronous force of [bytes] of buffered log.  [durable] is the
+    log's durable boundary after the force; when tracing, it rides on
+    the [Log_force] event for the trace auditor's WAL check. *)
+
+val charge_log_force_shared : t -> Metrics.t -> ?durable:int -> bytes:int -> sharers:int -> unit -> unit
 (** One physical log force whose cost is shared by [sharers]
     concurrently committing transactions (group commit).  Charges the
     same seek+transfer time as {!charge_log_force} — once, not per

@@ -38,6 +38,9 @@ type t = {
   mutable torn_crashes : int;
   mutable torn_bytes_discarded : int;
   mutable injected_crashes : int;
+  mutable trace_events_dropped : int;
+      (* ring-buffer overwrites in the event recorder; always 0 when
+         tracing is off, so untraced metrics stay bit-identical *)
   mutable busy_seconds : float;
 }
 
@@ -82,6 +85,7 @@ let create ?(node = -1) () =
     torn_crashes = 0;
     torn_bytes_discarded = 0;
     injected_crashes = 0;
+    trace_events_dropped = 0;
     busy_seconds = 0.;
   }
 
@@ -145,6 +149,9 @@ let fields =
       (fun t -> t.torn_bytes_discarded),
       fun t v -> t.torn_bytes_discarded <- v );
     ("injected_crashes", (fun t -> t.injected_crashes), fun t v -> t.injected_crashes <- v);
+    ( "trace_events_dropped",
+      (fun t -> t.trace_events_dropped),
+      fun t v -> t.trace_events_dropped <- v );
   ]
 
 let reset t =

@@ -49,6 +49,8 @@ type t = {
   mutable torn_crashes : int;  (** injected: crashes that tore the unforced log tail *)
   mutable torn_bytes_discarded : int;  (** torn-tail bytes trimmed by the recovery seal *)
   mutable injected_crashes : int;  (** crashes fired at protocol crash points *)
+  mutable trace_events_dropped : int;
+      (** recorder ring overwrites (always 0 when tracing is off) *)
   mutable busy_seconds : float;
       (** simulated seconds of work performed {e by this node} — the
           makespan of a run is bounded below by the busiest node's

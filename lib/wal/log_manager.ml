@@ -39,7 +39,7 @@ let force t ~upto =
      block-grained force. *)
   if upto >= durable_lsn t then begin
     let moved = Log_device.force t.device ~upto:(end_lsn t) in
-    if moved > 0 then Env.charge_log_force t.env t.metrics ~bytes:moved
+    if moved > 0 then Env.charge_log_force t.env t.metrics ~durable:(durable_lsn t) ~bytes:moved ()
   end
 
 let force_all t = force t ~upto:(end_lsn t - 1)
@@ -47,7 +47,8 @@ let force_all t = force t ~upto:(end_lsn t - 1)
 let force_shared t ~upto ~sharers =
   if upto >= durable_lsn t then begin
     let moved = Log_device.force t.device ~upto:(end_lsn t) in
-    if moved > 0 then Env.charge_log_force_shared t.env t.metrics ~bytes:moved ~sharers
+    if moved > 0 then
+      Env.charge_log_force_shared t.env t.metrics ~durable:(durable_lsn t) ~bytes:moved ~sharers ()
   end
 
 let read_frame t lsn =

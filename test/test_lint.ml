@@ -332,6 +332,32 @@ let test_event_codec_negative () =
   in
   check_count "exhaustive codec, non-codec fns and other files pass" "event-codec-exhaustive" 0 r
 
+(* The analysis consumers are held to the same rule: every Event.kind
+   must be handled (or explicitly ignored, case by case) by
+   Critical_path's classifier and Audit's dispatcher. *)
+let test_event_codec_consumers_positive () =
+  let r =
+    lint
+      [
+        ( "lib/obs/critical_path.ml",
+          "let classify_kind = function Event.Msg_send -> `Net | _ -> `Other\n" );
+        ("lib/obs/audit.ml", "let dispatch st e = match e.kind with Crash -> on_crash st | _ -> ()\n");
+      ]
+  in
+  check_count "wildcard in analysis consumers flagged" "event-codec-exhaustive" 2 r
+
+let test_event_codec_consumers_negative () =
+  let r =
+    lint
+      [
+        ( "lib/obs/critical_path.ml",
+          "let classify_kind = function Event.Msg_send -> `Net | Event.Crash -> `Other\n\
+           let helper = function Some x -> x | None -> 0\n" );
+        ("lib/obs/audit.ml", "let pp = function _ -> ()\n");
+      ]
+  in
+  check_count "exhaustive consumers and unlisted fns pass" "event-codec-exhaustive" 0 r
+
 (* ---- rule 6: no-poly-compare ---- *)
 
 let test_poly_compare_positive () =
@@ -501,6 +527,10 @@ let suite =
       test_crashpoint_skipped_without_registry;
     Alcotest.test_case "event-codec: wildcard flagged" `Quick test_event_codec_positive;
     Alcotest.test_case "event-codec: exhaustive passes" `Quick test_event_codec_negative;
+    Alcotest.test_case "event-codec: consumer wildcard flagged" `Quick
+      test_event_codec_consumers_positive;
+    Alcotest.test_case "event-codec: exhaustive consumers pass" `Quick
+      test_event_codec_consumers_negative;
     Alcotest.test_case "no-poly-compare: state operands flagged" `Quick test_poly_compare_positive;
     Alcotest.test_case "no-poly-compare: clean idioms pass" `Quick test_poly_compare_negative;
     Alcotest.test_case "mli-coverage: missing .mli flagged" `Quick test_mli_positive;

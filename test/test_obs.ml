@@ -222,6 +222,247 @@ let test_commit_latency_histograms_always_on () =
   | Some h -> Alcotest.(check int) "one recovery at node 1" 1 (Log_hist.count h)
   | None -> Alcotest.fail "recovery_duration histogram missing"
 
+(* ---- the invariant under faults, and the trace auditor ---- *)
+
+module Fault_plan = Repro_fault.Fault_plan
+module Injector = Repro_fault.Injector
+module Audit = Repro_obs.Audit
+module Node = Repro_cbl.Node
+
+(* A compact mirror of `cblsim stress`'s randomized run: fault plan,
+   group-commit substream, crash/recover/checkpoint schedule, end-of-run
+   recovery convergence.  All randomness derives from [seed], so the
+   traced and untraced executions see the identical schedule. *)
+let faulted_stress_run ~classes ~trace seed =
+  let rng = Rng.create seed in
+  let plan = Fault_plan.generate (Rng.split rng) ~classes in
+  let faults = Injector.create plan in
+  let config =
+    let gr = Rng.split rng in
+    if Rng.chance gr 0.5 then
+      Config.with_group_commit Config.instant
+        ~window_ms:(0.5 +. Rng.float gr 20.)
+        ~max_batch:(2 + Rng.int gr 7)
+    else Config.instant
+  in
+  let nodes = 2 + Rng.int rng 4 in
+  let cluster =
+    Cluster.create ~trace ~trace_capacity:(1 lsl 18) ~seed ~faults ~nodes
+      ~pool_capacity:(8 + Rng.int rng 24) config
+  in
+  let owners = List.init (1 + Rng.int rng (min 3 nodes)) (fun i -> i) in
+  let pages_by_owner =
+    List.map
+      (fun o -> (o, Cluster.allocate_pages cluster ~owner:o ~count:(8 + Rng.int rng 16)))
+      owners
+  in
+  let engine = Engine.of_cluster cluster in
+  let scripts =
+    Generators.partitioned rng ~pages_by_owner
+      ~clients:(List.init nodes (fun i -> i))
+      ~txns_per_client:(3 + Rng.int rng 6)
+      ~mix:
+        {
+          Generators.ops_per_txn = 2 + Rng.int rng 6;
+          update_fraction = 0.3 +. Rng.float rng 0.6;
+          remote_fraction = Rng.float rng 0.8;
+          theta = Rng.float rng 1.0;
+          savepoint_fraction = Rng.float rng 0.3;
+          abort_fraction = Rng.float rng 0.2;
+        }
+  in
+  let events = ref [] in
+  let t = ref 10 in
+  let crashed = ref [] in
+  for _ = 1 to Rng.int rng 3 do
+    let victim = Rng.int rng nodes in
+    if not (List.mem victim !crashed) then begin
+      events := (!t, Driver.Crash victim) :: !events;
+      crashed := victim :: !crashed;
+      t := !t + 5 + Rng.int rng 20;
+      if Rng.chance rng 0.6 || List.length !crashed >= 2 then begin
+        events := (!t, Driver.Recover !crashed) :: !events;
+        crashed := [];
+        t := !t + 5 + Rng.int rng 15
+      end
+    end
+  done;
+  if !crashed <> [] then events := (!t + 5, Driver.Recover !crashed) :: !events;
+  for _ = 1 to 1 + Rng.int rng 3 do
+    events := (5 + Rng.int rng 60, Driver.Checkpoint (Rng.int rng nodes)) :: !events
+  done;
+  let outcome =
+    Driver.run engine ~events:(List.sort compare !events) ~max_rounds:30_000 ~auto_recover:6
+      scripts
+  in
+  let rec recover_all attempts =
+    let down =
+      List.filter
+        (fun n -> not (Cluster.node cluster n |> Node.is_up))
+        (List.init nodes (fun i -> i))
+    in
+    if down <> [] then
+      if attempts > 100 then Alcotest.failf "seed %d: recovery did not converge" seed
+      else begin
+        (try Cluster.recover cluster ~nodes:down with Repro_cbl.Block.Would_block _ -> ());
+        recover_all (attempts + 1)
+      end
+  in
+  recover_all 0;
+  Cluster.check_invariants cluster;
+  (cluster, outcome)
+
+(* the dropped-events counter only counts when tracing is on; every
+   other metric must be bit-identical between the two runs *)
+let counters_sans_dropped cluster =
+  List.filter
+    (fun (name, _) -> name <> "trace_events_dropped")
+    (Metrics.to_alist (Cluster.global_metrics cluster))
+
+let seeds = 50
+
+(* One pass per fault class mix: 50 seeds, traced vs untraced must be
+   bit-identical, and the traced event stream must replay through the
+   protocol auditor with zero violations. *)
+let check_faulted_invariance spec =
+  let classes =
+    match Fault_plan.classes_of_string spec with
+    | Ok c -> c
+    | Error msg -> Alcotest.failf "--faults %s: %s" spec msg
+  in
+  for seed = 0 to seeds - 1 do
+    let traced, ot = faulted_stress_run ~classes ~trace:true seed in
+    let untraced, ou = faulted_stress_run ~classes ~trace:false seed in
+    Alcotest.(check (list (pair string int)))
+      (Printf.sprintf "seed %d (%s): identical counters" seed spec)
+      (counters_sans_dropped untraced) (counters_sans_dropped traced);
+    feq
+      (Printf.sprintf "seed %d (%s): identical simulated time" seed spec)
+      (Cluster.now untraced) (Cluster.now traced);
+    Alcotest.(check int)
+      (Printf.sprintf "seed %d (%s): identical commits" seed spec)
+      ou.Driver.committed ot.Driver.committed;
+    let report = Audit.run (Recorder.drain (Repro_sim.Env.obs (Cluster.env traced))) in
+    if not (Audit.ok report) then
+      Alcotest.failf "seed %d (%s): audit found violations:@.%a" seed spec Audit.pp report
+  done
+
+let test_faulted_traced_equals_untraced_all () = check_faulted_invariance "all"
+let test_faulted_traced_equals_untraced_recovery () = check_faulted_invariance "recovery"
+
+(* ---- the auditor flags hand-corrupted traces, one per invariant ---- *)
+
+let ev ?(node = 0) ?txn ~t kind attrs = Event.make ~time:t ~node ?txn kind attrs
+
+let audit_flags name events =
+  let r = Audit.run events in
+  Alcotest.(check bool)
+    (name ^ " flagged") true
+    (List.exists (fun v -> v.Audit.invariant = name) r.Audit.violations)
+
+let audit_clean events =
+  let r = Audit.run events in
+  if not (Audit.ok r) then Alcotest.failf "expected clean audit:@.%a" Audit.pp r
+
+let test_audit_force_before_ship () =
+  (* durable boundary 10, then a copy leaves carrying lsn 12: WAL hole *)
+  let corrupt =
+    [
+      ev ~t:1. Event.Log_force [ ("durable", Event.Int 10) ];
+      ev ~t:2. Event.Page_ship
+        [ ("page", Event.Str "P0.1"); ("psn", Event.Int 3); ("lsn", Event.Int 12) ];
+    ]
+  in
+  audit_flags "force-before-ship" corrupt;
+  audit_clean
+    [
+      ev ~t:1. Event.Log_force [ ("durable", Event.Int 10) ];
+      ev ~t:2. Event.Page_ship
+        [ ("page", Event.Str "P0.1"); ("psn", Event.Int 3); ("lsn", Event.Int 7) ];
+    ];
+  (* a truncated trace must skip the check instead of fabricating it *)
+  let truncated = corrupt @ [ ev ~t:3. Event.Trace_dropped [ ("count", Event.Int 5) ] ] in
+  let r = Audit.run truncated in
+  Alcotest.(check bool) "truncated trace skips prefix checks" true (Audit.ok r);
+  Alcotest.(check bool) "skip recorded" true (List.mem "force-before-ship" r.Audit.skipped)
+
+let test_audit_batch_loss_closure () =
+  (* the batch dies with the node, yet T7 still reports committed *)
+  audit_flags "batch-loss-closure"
+    [
+      ev ~t:1. ~txn:7 Event.Commit_submit [ ("txn", Event.Int 7); ("lsn", Event.Int 5) ];
+      ev ~t:2. Event.Crash [];
+      ev ~t:3. ~txn:7 Event.Txn_commit [ ("txn", Event.Int 7) ];
+    ];
+  (* commit reported while the record is still pending: no covering force *)
+  audit_flags "batch-loss-closure"
+    [
+      ev ~t:1. ~txn:7 Event.Commit_submit [ ("txn", Event.Int 7); ("lsn", Event.Int 5) ];
+      ev ~t:2. ~txn:7 Event.Txn_commit [ ("txn", Event.Int 7) ];
+    ];
+  audit_clean
+    [
+      ev ~t:1. ~txn:7 Event.Commit_submit [ ("txn", Event.Int 7); ("lsn", Event.Int 5) ];
+      ev ~t:2. ~txn:7 Event.Log_force [ ("durable", Event.Int 6) ];
+      ev ~t:3. ~txn:7 Event.Txn_commit [ ("txn", Event.Int 7) ];
+    ]
+
+let test_audit_psn_monotonic () =
+  (* two divergent histories under the same page: psn goes backwards *)
+  audit_flags "psn-monotonic"
+    [
+      ev ~t:1. Event.Page_ship [ ("page", Event.Str "P0.1"); ("psn", Event.Int 5) ];
+      ev ~t:2. ~node:1 Event.Page_ship [ ("page", Event.Str "P0.1"); ("psn", Event.Int 3) ];
+    ];
+  audit_clean
+    [
+      ev ~t:1. Event.Page_ship [ ("page", Event.Str "P0.1"); ("psn", Event.Int 5) ];
+      ev ~t:2. ~node:1 Event.Page_ship [ ("page", Event.Str "P0.1"); ("psn", Event.Int 5) ];
+    ]
+
+let test_audit_deferred_fence () =
+  (* a parked page is granted (and shipped) by its owner before the
+     deferred redo completed *)
+  let parked = ev ~t:1. Event.Recovery_deferred
+      [ ("action", Event.Str "parked"); ("page", Event.Str "P0.2"); ("blocker", Event.Int 2) ]
+  in
+  audit_flags "deferred-fence" [ parked; ev ~t:2. Event.Lock_grant [ ("page", Event.Str "P0.2") ] ];
+  audit_flags "deferred-fence"
+    [ parked; ev ~t:2. Event.Page_ship [ ("page", Event.Str "P0.2"); ("psn", Event.Int 1) ] ];
+  (* completion lifts the fence *)
+  audit_clean
+    [
+      parked;
+      ev ~t:2. Event.Recovery_deferred
+        [ ("action", Event.Str "completed"); ("page", Event.Str "P0.2") ];
+      ev ~t:3. Event.Lock_grant [ ("page", Event.Str "P0.2") ];
+    ];
+  (* so does the owner's own crash: parked state is volatile *)
+  audit_clean [ parked; ev ~t:2. Event.Crash []; ev ~t:3. Event.Lock_grant [ ("page", Event.Str "P0.2") ] ]
+
+let test_audit_release_after_terminal () =
+  (* T3's terminal release at its home node, then more lock activity
+     under its context: strict 2PL broken *)
+  let prefix =
+    [
+      ev ~t:1. ~node:1 ~txn:3 Event.Txn_begin [ ("txn", Event.Int 3) ];
+      ev ~t:2. ~node:1 ~txn:3 Event.Lock_release [ ("page", Event.Str "P0.1") ];
+    ]
+  in
+  audit_flags "release-after-terminal"
+    (prefix @ [ ev ~t:3. ~node:1 ~txn:3 Event.Lock_request [ ("page", Event.Str "P0.2") ] ]);
+  audit_flags "release-after-terminal"
+    (prefix @ [ ev ~t:3. ~node:1 ~txn:3 Event.Log_append [ ("bytes", Event.Int 25) ] ]);
+  (* an owner-table release (holder attr) under T3's context at another
+     node is the callback path, not T3's terminal release *)
+  audit_clean
+    [
+      ev ~t:1. ~node:1 ~txn:3 Event.Txn_begin [ ("txn", Event.Int 3) ];
+      ev ~t:2. ~node:0 ~txn:3 Event.Lock_release
+        [ ("page", Event.Str "P0.1"); ("holder", Event.Int 2) ];
+      ev ~t:3. ~node:1 ~txn:3 Event.Lock_request [ ("page", Event.Str "P0.2") ];
+    ]
+
 let test_recovery_summary_phases () =
   let cluster, _ = run_workload ~trace:false () in
   Cluster.crash cluster ~node:2;
@@ -252,4 +493,14 @@ let suite =
     Alcotest.test_case "latency histograms always on" `Quick
       test_commit_latency_histograms_always_on;
     Alcotest.test_case "recovery summary phases" `Quick test_recovery_summary_phases;
+    Alcotest.test_case "faulted traced == untraced + clean audit (--faults all, 50 seeds)"
+      `Slow test_faulted_traced_equals_untraced_all;
+    Alcotest.test_case "faulted traced == untraced + clean audit (--faults recovery, 50 seeds)"
+      `Slow test_faulted_traced_equals_untraced_recovery;
+    Alcotest.test_case "audit flags force-before-ship" `Quick test_audit_force_before_ship;
+    Alcotest.test_case "audit flags batch-loss-closure" `Quick test_audit_batch_loss_closure;
+    Alcotest.test_case "audit flags psn-monotonic" `Quick test_audit_psn_monotonic;
+    Alcotest.test_case "audit flags deferred-fence" `Quick test_audit_deferred_fence;
+    Alcotest.test_case "audit flags release-after-terminal" `Quick
+      test_audit_release_after_terminal;
   ]

@@ -91,7 +91,7 @@ let test_env_disk_and_log_charges () =
   Env.charge_page_read env m;
   Env.charge_page_write env m ~commit_path:true ();
   Env.charge_log_append env m ~bytes:100;
-  Env.charge_log_force env m ~bytes:100;
+  Env.charge_log_force env m ~bytes:100 ();
   Env.charge_log_scan_record env m ~bytes:100;
   Alcotest.(check int) "read" 1 m.Metrics.page_disk_reads;
   Alcotest.(check int) "write" 1 m.Metrics.page_disk_writes;
