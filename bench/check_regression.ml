@@ -12,8 +12,9 @@
 
      dune exec bench/check_regression.exe -- bench/bench_baseline.json
 
-   The comparison table is also written to BENCH_DIFF.txt so CI can
-   upload it alongside the reports. *)
+   The comparison table is also written to BENCH_DIFF.txt (or the
+   second argument, so a second gate run does not clobber the first)
+   and CI uploads it alongside the reports. *)
 
 module Json = Repro_obs.Json
 
@@ -39,6 +40,7 @@ let () =
   let baseline_path =
     if Array.length Sys.argv > 1 then Sys.argv.(1) else "bench/bench_baseline.json"
   in
+  let diff_path = if Array.length Sys.argv > 2 then Sys.argv.(2) else "BENCH_DIFF.txt" in
   let baseline =
     match Json.of_string (read_file baseline_path) with
     | Json.Obj kvs -> kvs
@@ -75,7 +77,15 @@ let () =
             vs
         | _ -> die "baseline %s: missing \"values\"" id
       in
-      let file = Printf.sprintf "BENCH_%s.json" id in
+      (* several baseline entries may gate different columns of one
+         report: an entry can name its file explicitly ("file"),
+         otherwise the entry id picks BENCH_<id>.json *)
+      let file =
+        match Json.member "file" spec with
+        | Some (Json.Str f) -> f
+        | Some _ -> die "baseline %s: non-string \"file\"" id
+        | None -> Printf.sprintf "BENCH_%s.json" id
+      in
       let report =
         match Json.of_string (read_file file) with
         | r -> r
@@ -125,7 +135,7 @@ let () =
         rows)
     baseline;
   let table = Buffer.contents buf in
-  let oc = open_out "BENCH_DIFF.txt" in
+  let oc = open_out diff_path in
   output_string oc table;
   close_out oc;
   print_string table;

@@ -5,6 +5,7 @@
      cblsim demo [options] [--json]                  run a workload, print metrics
      cblsim trace [options]                          run traced, dump events as JSONL
      cblsim stress [--runs N] [--start S]            randomized crash/verify runs
+     cblsim scale [--nodes N,...] [--profile P]      big-cluster scale sweep -> BENCH_SCALE.json
      cblsim audit [FILE | --stress ...]              check protocol invariants on traces *)
 
 module Cluster = Repro_cbl.Cluster
@@ -571,6 +572,124 @@ let stress_cmd =
           deterministic fault injection")
     Term.(const stress $ runs $ start $ faults $ plan_json $ dump_plan $ group_commit)
 
+(* ---- scale ---- *)
+
+module Scale = Repro_workload.Scale
+
+(* Big-cluster scale runs (the CLI face of E14).  Deterministic columns
+   (committed, txn/s over simulated time, p95, abort rate, scheduler
+   events) come from the simulation; wall-clock columns (sim-events/sec,
+   wall seconds) measure the simulator itself on this machine.  The
+   report is written as BENCH_SCALE.json so the bench regression gate
+   can hold both kinds of column to a budget. *)
+let scale_run nodes_list clients_per_node profile txns seed mpl pages_per_node out json =
+  (match Scale.find profile with
+  | Some _ -> ()
+  | None ->
+    Fmt.failwith "unknown profile %S (have: %s)" profile (String.concat ", " (Scale.names ())));
+  let points = List.map (fun n -> (n, clients_per_node * n)) nodes_list in
+  let runs =
+    List.map
+      (fun (nodes, clients) ->
+        let t0 = Unix.gettimeofday () in
+        let o =
+          Experiments.scale_point ~seed ~mpl ~pages_per_node ~txns_per_client:txns ~nodes
+            ~clients ~profile ()
+        in
+        let wall = Unix.gettimeofday () -. t0 in
+        Format.eprintf "scale: %d nodes / %d clients done in %.1fs wall@." nodes clients wall;
+        ((nodes, clients), o, wall))
+      points
+  in
+  let rows =
+    List.map
+      (fun ((nodes, clients), o, wall) ->
+        Experiments.scale_row ~nodes ~clients ~profile o
+        @ [
+            Report.f2 (float_of_int o.Driver.sched_events /. wall);
+            Printf.sprintf "%.2f" wall;
+          ])
+      runs
+  in
+  let report =
+    {
+      Report.id = "SCALE";
+      title = Printf.sprintf "Big-cluster scale sweep: profile %s, %d clients/node" profile
+          clients_per_node;
+      claim =
+        "the message-free commit path keeps committed throughput growing with node count; \
+         the hot-path scheduler sustains the 100x world (events/s is the simulator's own \
+         wall-clock speed and varies per machine)";
+      header = Experiments.scale_header @ [ "events/s (wall)"; "wall s" ];
+      rows;
+      notes =
+        [
+          Printf.sprintf "seed %d, mpl %d, %d pages/node, %d txns/client; durability oracle \
+                          checked on every point" seed mpl pages_per_node txns;
+        ];
+      data = [];
+    }
+  in
+  (match out with
+  | Some file ->
+    let oc = open_out file in
+    output_string oc (Json.to_string_pretty (Report.to_json report));
+    output_char oc '\n';
+    close_out oc;
+    Format.eprintf "scale: wrote %s@." file
+  | None -> ());
+  if json then print_endline (Json.to_string_pretty (Report.to_json report))
+  else Format.printf "%a" Report.render report
+
+let scale_cmd =
+  let nodes =
+    Arg.(
+      value
+      & opt (list int) [ 64; 128; 256 ]
+      & info [ "nodes" ] ~docv:"N,N,..." ~doc:"Cluster sizes to sweep.")
+  in
+  let clients_per_node =
+    Arg.(
+      value & opt int 8
+      & info [ "clients-per-node" ] ~doc:"Scripted clients per node (total = N x this).")
+  in
+  let profile =
+    Arg.(
+      value & opt string "hot-owner"
+      & info [ "profile" ] ~docv:"NAME"
+          ~doc:
+            "Workload profile: $(b,uniform), $(b,zipf-hot), $(b,hot-owner), $(b,read-heavy), \
+             $(b,write-heavy) or $(b,mixed-geometric).")
+  in
+  let txns =
+    Arg.(value & opt int 4 & info [ "txns" ] ~doc:"Transactions per client.")
+  in
+  let seed = Arg.(value & opt int 2026 & info [ "seed" ] ~doc:"Deterministic seed.") in
+  let mpl =
+    Arg.(value & opt int 8 & info [ "mpl" ] ~doc:"Max in-flight transactions per node.")
+  in
+  let pages_per_node =
+    Arg.(value & opt int 16 & info [ "pages-per-node" ] ~doc:"Pages owned by each node.")
+  in
+  let out =
+    Arg.(
+      value
+      & opt (some string) (Some "BENCH_SCALE.json")
+      & info [ "out" ] ~docv:"FILE"
+          ~doc:"Write the report as JSON to $(docv) (the bench gate's input).")
+  in
+  let json =
+    Arg.(value & flag & info [ "json" ] ~doc:"Print the report as JSON instead of a table.")
+  in
+  Cmd.v
+    (Cmd.info "scale"
+       ~doc:
+         "Sweep big-cluster workloads (named profiles, hundreds of nodes, thousands of \
+          clients) and report throughput, latency, abort rate and simulator speed")
+    Term.(
+      const scale_run $ nodes $ clients_per_node $ profile $ txns $ seed $ mpl
+      $ pages_per_node $ out $ json)
+
 (* ---- audit ---- *)
 
 module Audit = Repro_obs.Audit
@@ -713,4 +832,4 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group (Cmd.info "cblsim" ~doc)
-          [ experiment_cmd; demo_cmd; trace_cmd; stress_cmd; audit_cmd ]))
+          [ experiment_cmd; demo_cmd; trace_cmd; stress_cmd; scale_cmd; audit_cmd ]))

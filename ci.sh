@@ -6,10 +6,16 @@
 #                            stress iterations, once clean and once with
 #                            every fault class injected (--faults all).
 #                            0 (the default) skips the sweep.
+#   SCALE_SMOKE=1 ./ci.sh    additionally runs the big-cluster scale
+#                            smoke (32 nodes x 256 clients ->
+#                            BENCH_SCALE.json) and gates its throughput
+#                            and simulator-speed columns against
+#                            bench/bench_scale_baseline.json.
 set -eu
 cd "$(dirname "$0")"
 
 STRESS_RUNS="${STRESS_RUNS:-0}"
+SCALE_SMOKE="${SCALE_SMOKE:-0}"
 
 echo "== dune build =="
 dune build
@@ -60,5 +66,14 @@ fi
 echo "== bench smoke: quick JSON reports + throughput regression gate =="
 dune exec bench/main.exe -- json
 dune exec bench/check_regression.exe -- bench/bench_baseline.json
+
+if [ "$SCALE_SMOKE" = "1" ]; then
+  # The deterministic txn/s column is held to 5%; the wall-clock
+  # events/s column only guards against an order-of-magnitude slowdown
+  # of the simulator itself (machines differ, so its budget is 85%).
+  echo "== scale smoke: 32 nodes x 256 clients -> BENCH_SCALE.json + gate =="
+  dune exec bin/cblsim.exe -- scale --nodes 32 --out BENCH_SCALE.json
+  dune exec bench/check_regression.exe -- bench/bench_scale_baseline.json BENCH_SCALE_DIFF.txt
+fi
 
 echo "CI OK"

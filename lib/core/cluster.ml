@@ -12,7 +12,11 @@ type t = {
   env : Env.t;
   members : Node_state.t array;
   mutable next_txn : int;
-  txn_home : (int, int) Hashtbl.t;
+  mutable txn_home : int array;
+      (* home node per transaction, indexed by txn id (ids are handed
+         out sequentially from 1); -1 = unknown.  A flat array: txn→node
+         resolution fronts every engine operation, and at scale the
+         hashing dominated the lookup. *)
   deadlock : Deadlock.t;
   durable_commits : (int, unit) Hashtbl.t;
       (* group-commit outcomes: transactions whose commit record became
@@ -42,7 +46,7 @@ let create ?(trace = false) ?trace_capacity ?(seed = 42) ?faults ?(pool_capacity
       Node.wire_group_commit n ~on_durable:(fun ~txn ~submitted_at:_ ->
           Hashtbl.replace durable_commits txn ()))
     members;
-  { env; members; next_txn = 0; txn_home = Hashtbl.create 64; deadlock = Deadlock.create ();
+  { env; members; next_txn = 0; txn_home = Array.make 64 (-1); deadlock = Deadlock.create ();
     durable_commits }
 
 let env t = t.env
@@ -64,13 +68,17 @@ let begin_txn t ~node:node_id =
   t.next_txn <- t.next_txn + 1;
   let id = t.next_txn in
   let _txn = Node.begin_txn n ~id in
-  Hashtbl.replace t.txn_home id node_id;
+  if id >= Array.length t.txn_home then begin
+    let grown = Array.make (2 * max id (Array.length t.txn_home)) (-1) in
+    Array.blit t.txn_home 0 grown 0 (Array.length t.txn_home);
+    t.txn_home <- grown
+  end;
+  t.txn_home.(id) <- node_id;
   id
 
 let txn_node t txn =
-  match Hashtbl.find_opt t.txn_home txn with
-  | Some node -> node
-  | None -> invalid_arg (Printf.sprintf "Cluster: unknown transaction %d" txn)
+  if txn >= 0 && txn < Array.length t.txn_home && t.txn_home.(txn) >= 0 then t.txn_home.(txn)
+  else invalid_arg (Printf.sprintf "Cluster: unknown transaction %d" txn)
 
 let home t txn = node t (txn_node t txn)
 

@@ -6,6 +6,7 @@ module Recovery = Repro_cbl.Recovery
 module Engine = Repro_workload.Engine
 module Driver = Repro_workload.Driver
 module Generators = Repro_workload.Generators
+module Scale = Repro_workload.Scale
 module Schemes = Repro_baselines.Schemes
 module Rng = Repro_util.Rng
 module Recorder = Repro_obs.Recorder
@@ -1013,12 +1014,130 @@ let e13 ?(quick = false) () =
   }
 
 (* ------------------------------------------------------------------ *)
+(* E14: big-cluster scale — named profiles over 100× the usual world    *)
+(* ------------------------------------------------------------------ *)
+
+(* One deterministic scale run: an N-node CBL cluster, every node an
+   owner, [clients] scripted clients generated from a named
+   {!Scale.profile}.  Small pages keep the page images of a 256-node
+   world affordable; [mpl] bounds in-flight transactions per node so
+   thousands of clients queue for admission instead of thrashing the
+   lock space.  The durability oracle runs on every point. *)
+let scale_point ?(seed = 2026) ?(mpl = 8) ?(pages_per_node = 16) ?(txns_per_client = 4) ~nodes
+    ~clients ~profile () =
+  let p =
+    match Scale.find profile with
+    | Some p -> p
+    | None ->
+      invalid_arg
+        (Printf.sprintf "unknown scale profile %S (have: %s)" profile
+           (String.concat ", " (Scale.names ())))
+  in
+  let config = Config.with_page_size Config.default 1024 in
+  let built =
+    Schemes.cbl ~seed ~nodes ~owners:(List.init nodes Fun.id) ~pages_per_owner:pages_per_node
+      config
+  in
+  let rng = Rng.create seed in
+  let scripts =
+    Scale.scripts (Rng.split rng) p ~pages_by_owner:built.Schemes.pages_by_owner ~clients
+      ~txns_per_client
+  in
+  run_checked built.Schemes.engine ~mpl scripts
+
+let scale_abort_rate (o : Driver.outcome) =
+  let aborts = o.Driver.deadlock_aborts + o.Driver.voluntary_aborts in
+  float_of_int aborts /. float_of_int (max 1 (o.Driver.committed + aborts))
+
+let scale_row ~nodes ~clients ~profile (o : Driver.outcome) =
+  [
+    string_of_int nodes;
+    string_of_int clients;
+    profile;
+    string_of_int o.Driver.committed;
+    Report.f2 (float_of_int o.Driver.committed /. o.Driver.sim_seconds);
+    Report.ms o.Driver.latencies.Repro_util.Stats.p95;
+    Printf.sprintf "%.3f" (scale_abort_rate o);
+    string_of_int o.Driver.sched_events;
+    Report.f2 (float_of_int o.Driver.sched_events /. o.Driver.sim_seconds);
+  ]
+
+let scale_header =
+  [
+    "nodes"; "clients"; "profile"; "committed"; "txn/s (sim)"; "p95 commit"; "abort rate";
+    "sched events"; "events/sim-s";
+  ]
+
+let e14 ?(quick = false) () =
+  let points =
+    (* uniform sizes check commit-path flatness; the hot-owner point is
+       the contrast: imbalance surfaces as aborts and p95, never as
+       commit messages *)
+    if quick then [ ("uniform", 8, 64) ]
+    else [ ("uniform", 16, 128); ("uniform", 32, 256); ("uniform", 64, 512);
+           ("hot-owner", 32, 256) ]
+  in
+  let runs =
+    List.map
+      (fun (profile, nodes, clients) ->
+        ((profile, nodes, clients), scale_point ~nodes ~clients ~profile ()))
+      points
+  in
+  let rows =
+    List.map (fun ((profile, nodes, clients), o) -> scale_row ~nodes ~clients ~profile o) runs
+  in
+  let commit_msgs =
+    List.fold_left
+      (fun acc (_, (o : Driver.outcome)) ->
+        acc + (Env.global_metrics o.Driver.engine.Engine.env).Metrics.commit_messages)
+      0 runs
+  in
+  let uniform_rates =
+    List.filter_map
+      (fun ((profile, _, _), (o : Driver.outcome)) ->
+        if profile = "uniform" then
+          Some (float_of_int o.Driver.committed /. o.Driver.sim_seconds)
+        else None)
+      runs
+  in
+  let flat =
+    match uniform_rates with
+    | [] | [ _ ] -> true
+    | r :: _ ->
+      let lo = List.fold_left min r uniform_rates in
+      let hi = List.fold_left max r uniform_rates in
+      lo >= 0.9 *. hi
+  in
+  {
+    Report.id = "E14";
+    title = "Big-cluster scale: 100x the usual world on named workload profiles";
+    claim =
+      "§1.1/§4: commit involves no other node, so growing the cluster adds zero commit-path \
+       coordination — cluster-wide txn/s on the serialized simulation clock stays flat as \
+       nodes quadruple, commit messages stay zero, and a hot-owner skew surfaces as aborts \
+       and p95 latency, never as commit traffic";
+    header = scale_header;
+    rows;
+    data = [];
+    notes =
+      [
+        (if commit_msgs = 0 then "PASS: zero commit-path messages across every scale point"
+         else Printf.sprintf "FAIL: %d commit messages at scale" commit_msgs);
+        (if flat then "PASS: uniform-profile txn/s flat (within 10%) as the cluster grows"
+         else "FAIL: uniform-profile txn/s varied by more than 10% across cluster sizes");
+        "every node is an owner, clients home round-robin, mpl 8 per node; txn/s and \
+         events/sim-s are simulated-time rates (deterministic); wall-clock sim-events/sec \
+         is reported by `cblsim scale`";
+      ];
+  }
+
+(* ------------------------------------------------------------------ *)
 
 let registry =
   [
     ("F1", f1); ("E1", e1); ("E2", e2); ("E3", e3); ("E4", e4); ("E5", e5); ("E6", e6);
     ("E7", e7); ("E8", e8); ("E9", e9); ("E10", e10); ("E11", e11); ("E12", e12);
-    ("E13", e13);
+    ("E13", e13); ("E14", e14);
   ]
 
 let ids = List.map fst registry

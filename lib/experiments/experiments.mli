@@ -63,6 +63,38 @@ val e13 : ?quick:bool -> unit -> Report.t
     agree with the driver's independently measured latency within
     5%. *)
 
+val e14 : ?quick:bool -> unit -> Report.t
+(** Big-cluster scale: committed txn/s, p95 commit latency and abort
+    rate as the simulated world grows to 64 nodes / 512 clients on a
+    named {!Repro_workload.Scale} profile.  [cblsim scale] drives the
+    same machinery to 256 nodes / thousands of clients and adds
+    wall-clock sim-events/sec. *)
+
+val scale_point :
+  ?seed:int ->
+  ?mpl:int ->
+  ?pages_per_node:int ->
+  ?txns_per_client:int ->
+  nodes:int ->
+  clients:int ->
+  profile:string ->
+  unit ->
+  Repro_workload.Driver.outcome
+(** One deterministic big-cluster run on a named {!Repro_workload.Scale}
+    profile: [nodes] owner nodes, [clients] scripted clients homing
+    round-robin, durability oracle checked.  Raises on an unknown
+    profile name. *)
+
+val scale_header : string list
+(** Column names shared by E14 and the [cblsim scale] report. *)
+
+val scale_row :
+  nodes:int -> clients:int -> profile:string -> Repro_workload.Driver.outcome -> string list
+(** Render one {!scale_point} outcome as a {!scale_header} row. *)
+
+val scale_abort_rate : Repro_workload.Driver.outcome -> float
+(** Aborts over (commits + aborts), both kinds of abort counted. *)
+
 val group_commit_run :
   ?trace:bool ->
   quick:bool ->

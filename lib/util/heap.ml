@@ -1,0 +1,73 @@
+(* A growable binary min-heap over plain [int] keys.
+
+   Built for the workload driver's runnable queue: keys pack
+   (wake_round, prog_index) into one immediate int, so pushes and pops
+   allocate nothing (the backing array doubles amortised).  Kept
+   generic-free on purpose — boxing the keys would put an allocation on
+   the hottest scheduling path in the simulator. *)
+
+type t = { mutable keys : int array; mutable size : int }
+
+let create ?(capacity = 16) () =
+  let capacity = max capacity 1 in
+  { keys = Array.make capacity 0; size = 0 }
+
+let length t = t.size
+let is_empty t = t.size = 0
+let clear t = t.size <- 0
+
+let grow t =
+  let keys = Array.make (2 * Array.length t.keys) 0 in
+  Array.blit t.keys 0 keys 0 t.size;
+  t.keys <- keys
+
+let push t key =
+  if t.size = Array.length t.keys then grow t;
+  let i = ref t.size in
+  t.size <- t.size + 1;
+  (* sift up *)
+  let continue = ref true in
+  while !continue && !i > 0 do
+    let parent = (!i - 1) / 2 in
+    if t.keys.(parent) > key then begin
+      t.keys.(!i) <- t.keys.(parent);
+      i := parent
+    end
+    else continue := false
+  done;
+  t.keys.(!i) <- key
+
+let min_key t =
+  if t.size = 0 then invalid_arg "Heap.min_key: empty heap";
+  t.keys.(0)
+
+let remove_min t =
+  if t.size = 0 then invalid_arg "Heap.remove_min: empty heap";
+  t.size <- t.size - 1;
+  if t.size > 0 then begin
+    let key = t.keys.(t.size) in
+    (* sift down from the root *)
+    let i = ref 0 in
+    let continue = ref true in
+    while !continue do
+      let l = (2 * !i) + 1 in
+      let r = l + 1 in
+      let smallest =
+        if l < t.size && t.keys.(l) < key then
+          if r < t.size && t.keys.(r) < t.keys.(l) then r else l
+        else if r < t.size && t.keys.(r) < key then r
+        else !i
+      in
+      if smallest = !i then continue := false
+      else begin
+        t.keys.(!i) <- t.keys.(smallest);
+        i := smallest
+      end
+    done;
+    t.keys.(!i) <- key
+  end
+
+let pop_min t =
+  let k = min_key t in
+  remove_min t;
+  k

@@ -1,0 +1,30 @@
+(** A growable binary min-heap over plain [int] keys.
+
+    The workload driver packs (wake round, program index) into a single
+    int key, so scheduling pushes and pops allocate nothing.  Duplicate
+    keys are allowed; ties pop in ascending key order, which is exactly
+    what the packed encoding needs (same round ⇒ ascending index). *)
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** Fresh empty heap.  [capacity] is the initial backing-array size;
+    the heap grows by doubling. *)
+
+val length : t -> int
+val is_empty : t -> bool
+
+val clear : t -> unit
+(** Drop every element (keeps the backing array). *)
+
+val push : t -> int -> unit
+(** Insert a key.  O(log n), allocation-free unless the array grows. *)
+
+val min_key : t -> int
+(** Smallest key.  @raise Invalid_argument on an empty heap. *)
+
+val remove_min : t -> unit
+(** Remove the smallest key.  @raise Invalid_argument on an empty heap. *)
+
+val pop_min : t -> int
+(** [min_key] + [remove_min]. *)

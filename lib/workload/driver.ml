@@ -3,6 +3,7 @@ module Deadlock = Repro_lock.Deadlock
 module Block = Repro_cbl.Block
 module Env = Repro_sim.Env
 module Stats = Repro_util.Stats
+module Heap = Repro_util.Heap
 
 type event = Crash of int | Recover of int list | Checkpoint of int
 
@@ -15,6 +16,7 @@ type outcome = {
   deadlock_aborts : int;
   stuck : int;
   rounds : int;
+  sched_events : int;
   sim_seconds : float;
   latencies : Stats.summary;
   shadow : ((Page_id.t * int) * int64) list;
@@ -27,6 +29,7 @@ type effect = Delta of (Page_id.t * int) * int64 | Mark of string
 type status = Running | Committed | Aborted
 
 type prog = {
+  idx : int;  (* position in the script list; the round-robin tiebreak *)
   script : Op.script;
   mutable txn : int option;
   mutable step : int;
@@ -34,7 +37,10 @@ type prog = {
   mutable status : status;
   mutable retries : int;
   mutable began_at : float;
-  mutable cooldown : int;  (* rounds to sit out after a deadlock abort *)
+  mutable wake : int;
+      (* next round this program acts.  The authoritative copy: the run
+         queue may hold stale entries for earlier reschedules, dropped
+         on pop when they disagree with this field. *)
   mutable last_block : string;
   mutable aborting : bool;
       (* a wound/victim abort blocked part-way (its undo needs a down
@@ -47,28 +53,24 @@ type prog = {
          loses it (Gone) *)
 }
 
-let reset_prog p =
-  p.txn <- None;
-  p.step <- 0;
-  p.effects <- [];
-  p.aborting <- false;
-  p.committing <- false;
-  p.retries <- p.retries + 1;
-  (* Backoff breaks the symmetry that would otherwise re-create the
-     same deadlock cycle on the very next round. *)
-  p.cooldown <- min 32 (3 * p.retries)
-
 let rec drop_to_mark name = function
   | [] -> []
   | Mark m :: rest when m = name -> Mark m :: rest
   | (Delta _ | Mark _) :: rest -> drop_to_mark name rest
 
+(* Run-queue keys pack (wake round, program index) into one int so heap
+   operations never allocate; same round pops in ascending index order,
+   which is exactly the legacy Array.iteri scan order. *)
+let idx_bits = 22
+let idx_mask = (1 lsl idx_bits) - 1
+
 let run (engine : Engine.t) ?(events = []) ?(max_rounds = 100_000) ?(policy = Wound_wait)
     ?(mpl = max_int) ?auto_recover scripts =
   let progs =
-    List.map
-      (fun script ->
+    List.mapi
+      (fun idx script ->
         {
+          idx;
           script;
           txn = None;
           step = 0;
@@ -76,7 +78,7 @@ let run (engine : Engine.t) ?(events = []) ?(max_rounds = 100_000) ?(policy = Wo
           status = Running;
           retries = 0;
           began_at = 0.;
-          cooldown = 0;
+          wake = 0;
           last_block = "";
           aborting = false;
           committing = false;
@@ -86,17 +88,60 @@ let run (engine : Engine.t) ?(events = []) ?(max_rounds = 100_000) ?(policy = Wo
   let actions = List.map (fun (s : Op.script) -> Array.of_list s.Op.actions) scripts in
   let progs = Array.of_list progs in
   let actions = Array.of_list actions in
+  if Array.length progs > idx_mask then
+    invalid_arg (Printf.sprintf "Driver.run: more than %d scripts" idx_mask);
   let shadow : (Page_id.t * int, int64) Hashtbl.t = Hashtbl.create 64 in
   let committed = ref 0 in
   let voluntary = ref 0 in
   let deadlock_aborts = ref 0 in
   let latencies = ref [] in
   let t0 = Env.now engine.Engine.env in
-  let find_prog_by_txn txn =
-    let found = ref None in
-    Array.iter (fun p -> if p.txn = Some txn then found := Some p) progs;
-    !found
+  let round = ref 0 in
+  let sched_events = ref 0 in
+  (* Scheduling state.  [running] counts Running programs (the loop
+     condition); [active] counts Running programs holding a transaction,
+     per node — the persistent form of the per-round snapshot the legacy
+     scan rebuilt; [admit] is this round's working copy (begins bump it
+     so later programs in the same round see the slot taken; finishes
+     only surface next round, exactly as the snapshot behaved). *)
+  let running = ref (Array.length progs) in
+  let max_node = List.fold_left max 0 engine.Engine.nodes in
+  let max_node =
+    Array.fold_left (fun acc p -> max acc p.script.Op.node) max_node progs
   in
+  let active = Array.make (max_node + 1) 0 in
+  let admit = Array.make (max_node + 1) 0 in
+  let by_txn : (int, prog) Hashtbl.t = Hashtbl.create 256 in
+  let runq = Heap.create ~capacity:(max 16 (Array.length progs)) () in
+  Array.iter (fun p -> Heap.push runq p.idx (* wake 0 ⇒ key = idx *)) progs;
+  (* [scan_idx] is the index currently being processed (-1 outside the
+     scan).  A cooldown set at or before the program's own turn this
+     round starts counting next round — the legacy per-visit decrement
+     translated into an absolute wake round. *)
+  let scan_idx = ref (-1) in
+  let set_cooldown p c =
+    let wake = !round + c + if p.idx <= !scan_idx then 1 else 0 in
+    p.wake <- wake;
+    Heap.push runq ((wake lsl idx_bits) lor p.idx)
+  in
+  let reset_prog p =
+    (match p.txn with
+    | Some txn ->
+      Hashtbl.remove by_txn txn;
+      if p.status = Running then
+        active.(p.script.Op.node) <- active.(p.script.Op.node) - 1
+    | None -> ());
+    p.txn <- None;
+    p.step <- 0;
+    p.effects <- [];
+    p.aborting <- false;
+    p.committing <- false;
+    p.retries <- p.retries + 1;
+    (* Backoff breaks the symmetry that would otherwise re-create the
+       same deadlock cycle on the very next round. *)
+    set_cooldown p (min 32 (3 * p.retries))
+  in
+  let find_prog_by_txn txn = Hashtbl.find_opt by_txn txn in
   let apply_effects p =
     List.iter
       (function
@@ -110,7 +155,9 @@ let run (engine : Engine.t) ?(events = []) ?(max_rounds = 100_000) ?(policy = Wo
   let finalize_commit p =
     p.committing <- false;
     apply_effects p;
+    if p.txn <> None then active.(p.script.Op.node) <- active.(p.script.Op.node) - 1;
     p.status <- Committed;
+    running := !running - 1;
     incr committed;
     latencies := (Env.now engine.Engine.env -. p.began_at) :: !latencies
   in
@@ -155,7 +202,7 @@ let run (engine : Engine.t) ?(events = []) ?(max_rounds = 100_000) ?(policy = Wo
       reset_prog p
     | exception Block.Would_block _ ->
       p.aborting <- true;
-      p.cooldown <- 4
+      set_cooldown p 4
   in
   let resolve_deadlocks () =
     let rec loop () =
@@ -174,6 +221,7 @@ let run (engine : Engine.t) ?(events = []) ?(max_rounds = 100_000) ?(policy = Wo
     in
     loop ()
   in
+  let progressed = ref false in
   (* One attempt to advance a script by one action.  Returns true if
      the step made progress. *)
   let advance p idx =
@@ -182,6 +230,8 @@ let run (engine : Engine.t) ?(events = []) ?(max_rounds = 100_000) ?(policy = Wo
     | None ->
       let txn = engine.Engine.begin_txn ~node:p.script.Op.node in
       p.txn <- Some txn;
+      Hashtbl.replace by_txn txn p;
+      active.(p.script.Op.node) <- active.(p.script.Op.node) + 1;
       p.began_at <- Env.now engine.Engine.env;
       true
     | Some txn ->
@@ -205,7 +255,9 @@ let run (engine : Engine.t) ?(events = []) ?(max_rounds = 100_000) ?(policy = Wo
         | Op.Abort_self ->
           engine.Engine.abort ~txn;
           Deadlock.clear_waits engine.Engine.deadlock txn;
+          active.(p.script.Op.node) <- active.(p.script.Op.node) - 1;
           p.status <- Aborted;
+          running := !running - 1;
           incr voluntary);
         if p.status = Running then begin
           p.step <- p.step + 1;
@@ -251,12 +303,108 @@ let run (engine : Engine.t) ?(events = []) ?(max_rounds = 100_000) ?(policy = Wo
         engine.Engine.recover ~nodes:down)
     | Checkpoint node -> if engine.Engine.is_up ~node then engine.Engine.checkpoint ~node
   in
-  let round = ref 0 in
+  (* Process one runnable program: the same branch ladder the legacy
+     per-round scan evaluated at every visit, minus the cooldown branch
+     (a cooling program simply is not scheduled). *)
+  let process p =
+    let idx = p.idx in
+    if p.aborting then (
+      match p.txn with
+      | Some txn ->
+        if not (engine.Engine.is_up ~node:p.script.Op.node) then begin
+          (* The home node crashed under the half-aborted
+             transaction: its volatile state is gone and recovery
+             finishes the rollback — retrying the abort after
+             recovery would ask for a transaction that no longer
+             exists.  Restart from scratch. *)
+          Deadlock.remove_txn engine.Engine.deadlock txn;
+          reset_prog p
+        end
+        else begin
+          abort_prog p txn;
+          if not p.aborting then progressed := true
+        end
+      | None -> p.aborting <- false)
+    else if p.committing then (
+      (* Poll a submitted group commit.  This branch sits BEFORE the
+         advance branch: a committing transaction is no longer
+         Active and must not re-enter [commit]. *)
+      match p.txn with
+      | Some txn -> (
+        match engine.Engine.commit_outcome ~txn with
+        | `Durable ->
+          finalize_commit p;
+          progressed := true
+        | `Pending -> () (* the pump below drives the window timer *)
+        | `Gone ->
+          (* the batch was lost to a crash before its force: the
+             commit never happened — restart the script *)
+          Deadlock.remove_txn engine.Engine.deadlock txn;
+          reset_prog p)
+      | None -> p.committing <- false)
+    else if p.txn <> None || admit.(p.script.Op.node) < mpl then begin
+      (* multiprogramming limit: at most [mpl] in-flight transactions
+         per node; surplus scripts wait to begin *)
+      if p.txn = None then admit.(p.script.Op.node) <- admit.(p.script.Op.node) + 1;
+      match advance p idx with
+      | made -> if made then progressed := true
+      | exception Block.Would_block reason ->
+        (* A real system would queue the request; polling every
+           round would melt the network, so a blocked script sits
+           out a few rounds before retrying. *)
+        set_cooldown p 4;
+        p.last_block <- Format.asprintf "%a" Block.pp_reason reason;
+        if p.txn <> None && not (engine.Engine.is_up ~node:p.script.Op.node) then
+          (* The home node itself crashed mid-operation (an injected
+             crash point): the in-flight transaction died with it.
+             Restart it once the node is back. *)
+          crash_reset p
+        else
+          (match (reason, p.txn) with
+          | Block.Lock_conflict { blockers }, Some txn when blockers = [ txn ] ->
+            (* self-blocking (e.g. the transaction's own undo chain
+               pins a full log): forced abort and restart *)
+            abort_prog p txn
+          | Block.Lock_conflict { blockers }, Some txn -> begin
+            match policy with
+            | Wound_wait ->
+              (* Older transactions wound younger blockers; younger
+                 waiters simply wait.  Starvation-free, no cycles. *)
+              List.iter
+                (fun blocker ->
+                  if blocker > txn then
+                    match find_prog_by_txn blocker with
+                    | Some q when q.committing ->
+                      (* Already committing: not abortable (its fate
+                         is the batch force), and its locks release
+                         the moment the batch flushes — waiting is
+                         both necessary and short. *)
+                      ()
+                    | Some q -> abort_prog q blocker
+                    | None -> ())
+                blockers
+            | Detect ->
+              Deadlock.set_waits engine.Engine.deadlock ~waiter:txn ~blockers;
+              resolve_deadlocks ()
+          end
+          | ( ( Block.Lock_conflict _ | Block.Node_down _ | Block.Log_space _
+              | Block.Page_recovering _ | Block.Net_unreachable _
+              | Block.Page_unavailable _ ),
+              _ ) ->
+            (* Net_unreachable heals by retrying: every probe drains
+               the partition's budget, so sitting out the cooldown
+               and retrying is the bounded-retry loop.
+               Page_unavailable (deferred recovery parked the page on
+               a down peer) heals the same way: the blocker's own
+               recovery completes the parked redo. *)
+            ())
+    end
+  in
   let stalled = ref 0 in
-  let unfinished () = Array.exists (fun p -> p.status = Running) progs in
   let events = ref events in
   let known_down = Hashtbl.create 8 in
-  while unfinished () && !round < max_rounds && !stalled < 1000 do
+  while !running > 0 && !round < max_rounds && !stalled < 1000 do
+    scan_idx := -1;
     (* With fault injection, nodes crash at protocol crash points — no
        Recover event exists for those.  Detect newly-down nodes, strand
        no scripts on them, and schedule their recovery.  This scan runs
@@ -298,116 +446,34 @@ let run (engine : Engine.t) ?(events = []) ?(max_rounds = 100_000) ?(policy = Wo
           | Recover _ -> events := (!round + 2, e) :: !events
           | Crash _ | Checkpoint _ -> ()))
       due;
-    let progressed = ref false in
-    (* multiprogramming limit: at most [mpl] in-flight transactions per
-       node; surplus scripts wait to begin *)
-    let active_per_node = Hashtbl.create 8 in
-    Array.iter
-      (fun p ->
-        if p.status = Running && p.txn <> None then
-          Hashtbl.replace active_per_node p.script.Op.node
-            (1 + Option.value (Hashtbl.find_opt active_per_node p.script.Op.node) ~default:0))
-      progs;
-    Array.iteri
-      (fun idx p ->
-        if p.status = Running && p.cooldown > 0 then p.cooldown <- p.cooldown - 1
-        else if p.status = Running && p.aborting then (
-          match p.txn with
-          | Some txn ->
-            if not (engine.Engine.is_up ~node:p.script.Op.node) then begin
-              (* The home node crashed under the half-aborted
-                 transaction: its volatile state is gone and recovery
-                 finishes the rollback — retrying the abort after
-                 recovery would ask for a transaction that no longer
-                 exists.  Restart from scratch. *)
-              Deadlock.remove_txn engine.Engine.deadlock txn;
-              reset_prog p
-            end
-            else begin
-              abort_prog p txn;
-              if not p.aborting then progressed := true
-            end
-          | None -> p.aborting <- false)
-        else if p.status = Running && p.committing then (
-          (* Poll a submitted group commit.  This branch sits BEFORE the
-             advance branch: a committing transaction is no longer
-             Active and must not re-enter [commit]. *)
-          match p.txn with
-          | Some txn -> (
-            match engine.Engine.commit_outcome ~txn with
-            | `Durable ->
-              finalize_commit p;
-              progressed := true
-            | `Pending -> () (* the pump below drives the window timer *)
-            | `Gone ->
-              (* the batch was lost to a crash before its force: the
-                 commit never happened — restart the script *)
-              Deadlock.remove_txn engine.Engine.deadlock txn;
-              reset_prog p)
-          | None -> p.committing <- false)
-        else if
-          p.status = Running
-          && (p.txn <> None
-             || Option.value (Hashtbl.find_opt active_per_node p.script.Op.node) ~default:0 < mpl
-             )
-        then begin
-          if p.txn = None then
-            Hashtbl.replace active_per_node p.script.Op.node
-              (1 + Option.value (Hashtbl.find_opt active_per_node p.script.Op.node) ~default:0);
-          match advance p idx with
-          | made -> if made then progressed := true
-          | exception Block.Would_block reason ->
-            (* A real system would queue the request; polling every
-               round would melt the network, so a blocked script sits
-               out a few rounds before retrying. *)
-            p.cooldown <- 4;
-            p.last_block <- Format.asprintf "%a" Block.pp_reason reason;
-            if p.txn <> None && not (engine.Engine.is_up ~node:p.script.Op.node) then
-              (* The home node itself crashed mid-operation (an injected
-                 crash point): the in-flight transaction died with it.
-                 Restart it once the node is back. *)
-              crash_reset p
-            else
-              (match (reason, p.txn) with
-              | Block.Lock_conflict { blockers }, Some txn when blockers = [ txn ] ->
-                (* self-blocking (e.g. the transaction's own undo chain
-                   pins a full log): forced abort and restart *)
-                abort_prog p txn
-              | Block.Lock_conflict { blockers }, Some txn -> begin
-                match policy with
-                | Wound_wait ->
-                  (* Older transactions wound younger blockers; younger
-                     waiters simply wait.  Starvation-free, no cycles. *)
-                  List.iter
-                    (fun blocker ->
-                      if blocker > txn then
-                        match find_prog_by_txn blocker with
-                        | Some q when q.committing ->
-                          (* Already committing: not abortable (its fate
-                             is the batch force), and its locks release
-                             the moment the batch flushes — waiting is
-                             both necessary and short. *)
-                          ()
-                        | Some q -> abort_prog q blocker
-                        | None -> ())
-                    blockers
-                | Detect ->
-                  Deadlock.set_waits engine.Engine.deadlock ~waiter:txn ~blockers;
-                  resolve_deadlocks ()
-              end
-              | ( ( Block.Lock_conflict _ | Block.Node_down _ | Block.Log_space _
-                  | Block.Page_recovering _ | Block.Net_unreachable _
-                  | Block.Page_unavailable _ ),
-                  _ ) ->
-                (* Net_unreachable heals by retrying: every probe drains
-                   the partition's budget, so sitting out the cooldown
-                   and retrying is the bounded-retry loop.
-                   Page_unavailable (deferred recovery parked the page on
-                   a down peer) heals the same way: the blocker's own
-                   recovery completes the parked redo. *)
-                ())
-        end)
-      progs;
+    progressed := false;
+    Array.blit active 0 admit 0 (Array.length active);
+    (* Drain this round's runnable programs.  Keys pop in (round, idx)
+       order, so same-round programs run in exactly the legacy scan
+       order; stale entries (a reschedule moved the program's wake) are
+       dropped by the [p.wake = w] check. *)
+    let draining = ref true in
+    while !draining do
+      if Heap.is_empty runq || Heap.min_key runq asr idx_bits > !round then draining := false
+      else begin
+        let key = Heap.pop_min runq in
+        let idx = key land idx_mask in
+        let w = key asr idx_bits in
+        let p = progs.(idx) in
+        if p.status = Running && p.wake = w then begin
+          scan_idx := idx;
+          incr sched_events;
+          process p;
+          (* Still running with no cooldown scheduled: acts again next
+             round, like every Running program under the legacy scan. *)
+          if p.status = Running && p.wake <= !round then begin
+            p.wake <- !round + 1;
+            Heap.push runq (((!round + 1) lsl idx_bits) lor idx)
+          end
+        end
+      end
+    done;
+    scan_idx := -1;
     (* Drive the group-commit window timers.  When nothing else moved
        (every client is waiting on a pending batch), the pump may jump
        the clock to the earliest batch deadline — the timer firing is
@@ -433,6 +499,7 @@ let run (engine : Engine.t) ?(events = []) ?(max_rounds = 100_000) ?(policy = Wo
     deadlock_aborts = !deadlock_aborts;
     stuck;
     rounds = !round;
+    sched_events = !sched_events;
     sim_seconds = Env.now engine.Engine.env -. t0;
     latencies = Stats.summarize (Array.of_list !latencies);
     shadow = Hashtbl.fold (fun k v acc -> (k, v) :: acc) shadow [];

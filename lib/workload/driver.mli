@@ -7,6 +7,14 @@
     waits-for graph and cycles abort the youngest member (whose script
     restarts from the top with a fresh transaction).
 
+    Scheduling is a wake-time run queue: each program carries the round
+    it next acts in, and rounds drain a binary min-heap keyed on
+    (wake round, program index) — O(log n) per scheduling event instead
+    of the legacy O(clients) scan per round.  The pop order within a
+    round is ascending program index, so schedules (and therefore every
+    RNG draw and simulated-clock advance) are bit-identical to the old
+    linear scan.
+
     The driver maintains a {b shadow} of every delta-updated cell,
     applied only at commit.  {!verify} re-reads all shadow cells through
     the engine and reports mismatches — the central correctness oracle:
@@ -35,6 +43,9 @@ type outcome = {
   deadlock_aborts : int;  (** victim restarts (the scripts still finish) *)
   stuck : int;  (** scripts that could not finish — 0 on a healthy run *)
   rounds : int;
+  sched_events : int;
+      (** programs dispatched by the run queue — the deterministic unit
+          of scheduler work (basis for sim-events/sec in scale runs) *)
   sim_seconds : float;  (** simulated time consumed by the run *)
   latencies : Repro_util.Stats.summary;  (** commit latency, simulated seconds *)
   shadow : ((Repro_storage.Page_id.t * int) * int64) list;  (** expected committed cell values *)

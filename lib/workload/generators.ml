@@ -38,7 +38,10 @@ let decorate rng mix actions =
    before-images small while keeping multiple txns per page plausible. *)
 let cell_offset rng = 8 * Rng.int rng 16
 
-let pick_zipf rng zipf pages = List.nth pages (Zipf.sample zipf rng)
+(* Pages are pre-flattened to an array per partition: a sample is one
+   binary search + one array index, not an O(pages) [List.nth] walk.
+   The RNG draw sequence is unchanged, so scripts are bit-identical. *)
+let pick_zipf rng zipf pages = pages.(Zipf.sample zipf rng)
 
 let action_of rng mix pid =
   let off = cell_offset rng in
@@ -49,8 +52,9 @@ let action_of rng mix pid =
 let partitioned rng ~pages_by_owner ~clients ~txns_per_client ~mix =
   if pages_by_owner = [] then invalid_arg "Generators.partitioned: no partitions";
   let owners = Array.of_list pages_by_owner in
+  let page_arrays = Array.map (fun (_, pages) -> Array.of_list pages) owners in
   let zipfs =
-    Array.map (fun (_, pages) -> Zipf.create ~n:(List.length pages) ~theta:mix.theta) owners
+    Array.map (fun pages -> Zipf.create ~n:(Array.length pages) ~theta:mix.theta) page_arrays
   in
   List.concat_map
     (fun client ->
@@ -63,20 +67,20 @@ let partitioned rng ~pages_by_owner ~clients ~txns_per_client ~mix =
                   if Rng.chance rng mix.remote_fraction then Rng.int rng (Array.length owners)
                   else home
                 in
-                let _, pages = owners.(part) in
-                action_of rng mix (pick_zipf rng zipfs.(part) pages))
+                action_of rng mix (pick_zipf rng zipfs.(part) page_arrays.(part)))
           in
           { Op.node = client; actions = decorate rng mix actions }))
     clients
 
 let hotspot rng ~pages ~clients ~txns_per_client ~mix =
   if pages = [] then invalid_arg "Generators.hotspot: no pages";
-  let zipf = Zipf.create ~n:(List.length pages) ~theta:mix.theta in
+  let page_array = Array.of_list pages in
+  let zipf = Zipf.create ~n:(Array.length page_array) ~theta:mix.theta in
   List.concat_map
     (fun client ->
       List.init txns_per_client (fun _ ->
           let actions =
-            List.init mix.ops_per_txn (fun _ -> action_of rng mix (pick_zipf rng zipf pages))
+            List.init mix.ops_per_txn (fun _ -> action_of rng mix (pick_zipf rng zipf page_array))
           in
           { Op.node = client; actions = decorate rng mix actions }))
     clients

@@ -14,6 +14,7 @@ let () =
       ("recovery", Test_recovery.suite);
       ("recovery-edge", Test_recovery_edge.suite);
       ("workload", Test_workload.suite);
+      ("scale", Test_scale.suite);
       ("fault", Test_fault.suite);
       ("recovery-faults", Test_recovery_faults.suite);
       ("properties", Test_props.suite);

@@ -1,0 +1,168 @@
+(* Tests for the Scale profile layer (big-cluster workload generation). *)
+
+module Scale = Repro_workload.Scale
+module Op = Repro_workload.Op
+module Page_id = Repro_storage.Page_id
+module Rng = Repro_util.Rng
+
+let qcheck = QCheck_alcotest.to_alcotest
+
+(* Scripts are compared by their rendered form: [Op.script] holds page
+   ids, and string equality keeps the comparison structural without
+   reaching for polymorphic compare. *)
+let render scripts = String.concat "\n" (List.map (Format.asprintf "%a" Op.pp_script) scripts)
+
+let shape ~parts ~pages_per_part =
+  List.init parts (fun owner ->
+      (owner, List.init pages_per_part (fun slot -> Page_id.make ~owner ~slot)))
+
+let gen ?(parts = 4) ?(pages_per_part = 16) ?(clients = 8) ?(txns = 5) name seed =
+  let profile =
+    match Scale.find name with
+    | Some p -> p
+    | None -> Alcotest.failf "unknown profile %s" name
+  in
+  Scale.scripts (Rng.create seed) profile
+    ~pages_by_owner:(shape ~parts ~pages_per_part)
+    ~clients ~txns_per_client:txns
+
+(* ---- presets ---- *)
+
+let test_presets_named () =
+  let names = Scale.names () in
+  List.iter
+    (fun n ->
+      Alcotest.(check bool) (n ^ " is a preset") true (List.mem n names);
+      match Scale.find n with
+      | Some p -> Alcotest.(check string) "find returns the named profile" n p.Scale.name
+      | None -> Alcotest.failf "find %s returned None" n)
+    [ "uniform"; "zipf-hot"; "hot-owner"; "read-heavy"; "write-heavy"; "mixed-geometric" ];
+  Alcotest.(check bool) "unknown name" true (Scale.find "no-such-profile" = None)
+
+(* ---- seed determinism ---- *)
+
+let test_scripts_deterministic () =
+  (* same (profile, seed, shape) triple twice -> identical scripts *)
+  List.iter
+    (fun name ->
+      Alcotest.(check string)
+        (name ^ " reproducible")
+        (render (gen name 2026))
+        (render (gen name 2026)))
+    (Scale.names ())
+
+let test_scripts_seed_sensitive () =
+  Alcotest.(check bool) "different seeds differ" false
+    (String.equal (render (gen "mixed-geometric" 1)) (render (gen "mixed-geometric" 2)))
+
+let test_scripts_shape () =
+  let parts = 4 and clients = 8 and txns = 5 in
+  let scripts = gen ~parts ~clients ~txns "uniform" 7 in
+  Alcotest.(check int) "clients * txns scripts" (clients * txns) (List.length scripts);
+  List.iter
+    (fun (s : Op.script) ->
+      Alcotest.(check bool) "homed at client mod partitions" true (s.Op.node >= 0 && s.Op.node < parts);
+      Alcotest.(check int) "fixed 8-op transactions" 8 (List.length s.Op.actions))
+    scripts
+
+(* ---- txn-size distributions ---- *)
+
+let test_ops_per_txn_bounds () =
+  let rng = Rng.create 31 in
+  for _ = 1 to 1_000 do
+    Alcotest.(check int) "fixed" 8 (Scale.ops_per_txn rng (Scale.Fixed 8));
+    let u = Scale.ops_per_txn rng (Scale.Uniform (4, 12)) in
+    Alcotest.(check bool) "uniform in [4,12]" true (u >= 4 && u <= 12);
+    let g = Scale.ops_per_txn rng (Scale.Geometric { mean = 8; cap = 32 }) in
+    Alcotest.(check bool) "geometric in [1,32]" true (g >= 1 && g <= 32)
+  done
+
+let test_geometric_mean_roughly_honoured () =
+  let rng = Rng.create 37 in
+  let n = 20_000 in
+  let total = ref 0 in
+  for _ = 1 to n do
+    total := !total + Scale.ops_per_txn rng (Scale.Geometric { mean = 8; cap = 64 })
+  done;
+  let mean = float_of_int !total /. float_of_int n in
+  (* the cap shaves the tail, so the observed mean sits a little under 8 *)
+  Alcotest.(check bool) "mean near 8" true (mean > 6.5 && mean < 9.0)
+
+(* ---- access-shape properties ---- *)
+
+(* Count page accesses per owning partition across all scripts. *)
+let accesses_by_owner ~parts scripts =
+  let counts = Array.make parts 0 in
+  List.iter
+    (fun (s : Op.script) ->
+      List.iter
+        (fun pid ->
+          let o = Page_id.owner pid in
+          counts.(o) <- counts.(o) + 1)
+        (Op.pages_touched s))
+    scripts;
+  counts
+
+let prop_hot_owner_concentrates =
+  QCheck.Test.make ~name:"scale: hot-owner skews remote traffic onto low-rank owners"
+    ~count:20
+    QCheck.(int_bound 10_000)
+    (fun seed ->
+      let parts = 8 in
+      (* clients spread evenly over homes, so any imbalance beyond the
+         home traffic comes from the owner-Zipf remote draws *)
+      let scripts = gen ~parts ~clients:parts ~txns:20 "hot-owner" seed in
+      let counts = accesses_by_owner ~parts scripts in
+      (* rank 0 absorbs its home share plus the hot head of the remote
+         Zipf(0.9); the last partition gets home share plus the tail *)
+      counts.(0) > counts.(parts - 1))
+
+let prop_uniform_stays_balanced =
+  QCheck.Test.make ~name:"scale: uniform profile keeps partitions balanced" ~count:20
+    QCheck.(int_bound 10_000)
+    (fun seed ->
+      let parts = 8 in
+      let scripts = gen ~parts ~clients:parts ~txns:20 "uniform" seed in
+      let counts = accesses_by_owner ~parts scripts in
+      let lo = Array.fold_left min max_int counts in
+      let hi = Array.fold_left max 0 counts in
+      (* theta = 0 everywhere: no partition should dominate *)
+      hi < 2 * lo)
+
+let prop_zipf_hot_pages =
+  QCheck.Test.make ~name:"scale: zipf-hot concentrates accesses inside a partition"
+    ~count:20
+    QCheck.(int_bound 10_000)
+    (fun seed ->
+      let pages_per_part = 16 in
+      let scripts = gen ~parts:2 ~pages_per_part ~clients:4 ~txns:25 "zipf-hot" seed in
+      (* tally per-page hits for partition 0; rank 0 of the page Zipf is
+         slot 0, the coldest rank is the last slot *)
+      let tbl = Hashtbl.create 64 in
+      List.iter
+        (fun (s : Op.script) ->
+          List.iter
+            (fun pid ->
+              if Page_id.owner pid = 0 then
+                Hashtbl.replace tbl (Page_id.to_string pid)
+                  (1 + Option.value ~default:0 (Hashtbl.find_opt tbl (Page_id.to_string pid))))
+            (Op.pages_touched s))
+        scripts;
+      let hits slot =
+        Option.value ~default:0
+          (Hashtbl.find_opt tbl (Page_id.to_string (Page_id.make ~owner:0 ~slot)))
+      in
+      hits 0 > hits (pages_per_part - 1))
+
+let suite =
+  [
+    ("presets named and findable", `Quick, test_presets_named);
+    ("scripts seed-deterministic", `Quick, test_scripts_deterministic);
+    ("scripts seed-sensitive", `Quick, test_scripts_seed_sensitive);
+    ("scripts shape", `Quick, test_scripts_shape);
+    ("ops_per_txn bounds", `Quick, test_ops_per_txn_bounds);
+    ("geometric mean roughly honoured", `Quick, test_geometric_mean_roughly_honoured);
+    qcheck prop_hot_owner_concentrates;
+    qcheck prop_uniform_stays_balanced;
+    qcheck prop_zipf_hot_pages;
+  ]

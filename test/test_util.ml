@@ -2,6 +2,7 @@
 
 module Rng = Repro_util.Rng
 module Zipf = Repro_util.Zipf
+module Heap = Repro_util.Heap
 module Crc32 = Repro_util.Crc32
 module Codec = Repro_util.Codec
 module Stats = Repro_util.Stats
@@ -103,6 +104,47 @@ let test_zipf_uniform_when_theta_zero () =
   Array.iter
     (fun c -> Alcotest.(check bool) "roughly uniform" true (c > 8_000 && c < 12_000))
     counts
+
+(* ---- Heap ---- *)
+
+let test_heap_basic () =
+  let h = Heap.create () in
+  Alcotest.(check bool) "starts empty" true (Heap.is_empty h);
+  List.iter (Heap.push h) [ 5; 1; 4; 1; 3 ];
+  Alcotest.(check int) "length" 5 (Heap.length h);
+  Alcotest.(check int) "min" 1 (Heap.min_key h);
+  let drained = List.init 5 (fun _ -> Heap.pop_min h) in
+  Alcotest.(check (list int)) "pops ascending with duplicates" [ 1; 1; 3; 4; 5 ] drained;
+  Alcotest.(check bool) "empty after drain" true (Heap.is_empty h)
+
+let test_heap_growth_and_clear () =
+  (* a tiny initial capacity forces the doubling path *)
+  let h = Heap.create ~capacity:2 () in
+  for i = 99 downto 0 do
+    Heap.push h i
+  done;
+  Alcotest.(check int) "length after growth" 100 (Heap.length h);
+  Alcotest.(check int) "min after growth" 0 (Heap.min_key h);
+  Heap.clear h;
+  Alcotest.(check bool) "clear empties" true (Heap.is_empty h);
+  Heap.push h 7;
+  Alcotest.(check int) "usable after clear" 7 (Heap.pop_min h)
+
+let test_heap_empty_raises () =
+  let h = Heap.create () in
+  Alcotest.(check bool) "min_key raises" true
+    (match Heap.min_key h with _ -> false | exception Invalid_argument _ -> true);
+  Alcotest.(check bool) "remove_min raises" true
+    (match Heap.remove_min h with () -> false | exception Invalid_argument _ -> true)
+
+let prop_heap_drains_sorted =
+  QCheck.Test.make ~name:"heap: drains in sorted order" ~count:200
+    QCheck.(list int)
+    (fun keys ->
+      let h = Heap.create ~capacity:1 () in
+      List.iter (Heap.push h) keys;
+      let drained = List.init (List.length keys) (fun _ -> Heap.pop_min h) in
+      Heap.is_empty h && drained = List.sort compare keys)
 
 (* ---- Crc32 ---- *)
 
@@ -209,6 +251,10 @@ let suite =
     ("zipf bounds", `Quick, test_zipf_bounds);
     ("zipf skew", `Quick, test_zipf_skew);
     ("zipf theta=0 uniform", `Quick, test_zipf_uniform_when_theta_zero);
+    ("heap basic", `Quick, test_heap_basic);
+    ("heap growth and clear", `Quick, test_heap_growth_and_clear);
+    ("heap empty raises", `Quick, test_heap_empty_raises);
+    qcheck prop_heap_drains_sorted;
     ("crc32 known vector", `Quick, test_crc32_known_vector);
     ("crc32 empty", `Quick, test_crc32_empty);
     ("crc32 sensitivity", `Quick, test_crc32_sensitivity);

@@ -8,6 +8,7 @@ module Op = Repro_workload.Op
 module Config = Repro_sim.Config
 module Page_id = Repro_storage.Page_id
 module Rng = Repro_util.Rng
+module Stats = Repro_util.Stats
 
 let mk () =
   let c = Cluster.create ~pool_capacity:16 ~nodes:3 Config.instant in
@@ -177,6 +178,114 @@ let test_driver_deadlock_policy_detect () =
   Alcotest.(check int) "both finish" 2 outcome.Driver.committed;
   match Driver.verify outcome with Ok () -> () | Error e -> Alcotest.fail (List.hd e)
 
+(* ---- run-queue bit-identity goldens ---- *)
+
+(* The driver's wake-time run queue (PR 7) must replay the legacy
+   round-robin scan order bit for bit: these fingerprints were captured
+   on the pre-refactor driver, and any drift here means historical seeds
+   changed observable behaviour — commit counts, abort mix, round
+   counts, simulated latencies, or the final shadow state. *)
+
+let float_exact = Alcotest.float 0.
+
+let shadow_fingerprint (o : Driver.outcome) =
+  let shadow = List.sort compare o.Driver.shadow in
+  (List.length shadow, Hashtbl.hash shadow)
+
+let test_golden_hotspot_instant () =
+  let c = Cluster.create ~pool_capacity:16 ~nodes:3 Config.instant in
+  let pages = Cluster.allocate_pages c ~owner:0 ~count:8 in
+  let rng = Rng.create 3 in
+  let scripts =
+    Generators.hotspot rng ~pages ~clients:[ 1; 2 ] ~txns_per_client:10
+      ~mix:{ Generators.default_mix with theta = 0.5 }
+  in
+  let o = Driver.run (Engine.of_cluster c) scripts in
+  Alcotest.(check int) "committed" 20 o.Driver.committed;
+  Alcotest.(check int) "voluntary aborts" 0 o.Driver.voluntary_aborts;
+  Alcotest.(check int) "deadlock aborts" 110 o.Driver.deadlock_aborts;
+  Alcotest.(check int) "stuck" 0 o.Driver.stuck;
+  Alcotest.(check int) "rounds" 449 o.Driver.rounds;
+  Alcotest.(check (pair int int)) "shadow" (58, 672153263) (shadow_fingerprint o)
+
+let test_golden_partitioned_crash () =
+  let c = Cluster.create ~seed:11 ~nodes:4 Config.default in
+  let pages_by_owner =
+    List.map (fun o -> (o, Cluster.allocate_pages c ~owner:o ~count:24)) [ 0; 2 ]
+  in
+  let rng = Rng.create 11 in
+  let scripts =
+    Generators.partitioned rng ~pages_by_owner ~clients:[ 0; 1; 2; 3 ] ~txns_per_client:25
+      ~mix:{ Generators.default_mix with remote_fraction = 0.4 }
+  in
+  let events = [ (6, Driver.Crash 1); (12, Driver.Recover [ 1 ]) ] in
+  let o = Driver.run (Engine.of_cluster c) ~events scripts in
+  Alcotest.(check int) "committed" 100 o.Driver.committed;
+  Alcotest.(check int) "deadlock aborts" 838 o.Driver.deadlock_aborts;
+  Alcotest.(check int) "rounds" 977 o.Driver.rounds;
+  Alcotest.check float_exact "sim seconds" 23.253263399998655 o.Driver.sim_seconds;
+  Alcotest.check float_exact "latency mean" 2.7336152114999011 o.Driver.latencies.Stats.mean;
+  Alcotest.check float_exact "latency p95" 7.1481672500001903 o.Driver.latencies.Stats.p95;
+  Alcotest.(check (pair int int)) "shadow" (317, 858063208) (shadow_fingerprint o)
+
+let test_golden_detect_mpl_savepoints () =
+  let c = Cluster.create ~seed:7 ~nodes:4 ~pool_capacity:16 Config.instant in
+  let pages_by_owner =
+    List.map (fun o -> (o, Cluster.allocate_pages c ~owner:o ~count:12)) [ 0; 1 ]
+  in
+  let rng = Rng.create 7 in
+  let scripts =
+    Generators.partitioned rng ~pages_by_owner ~clients:[ 0; 1; 2; 3 ] ~txns_per_client:8
+      ~mix:
+        {
+          Generators.default_mix with
+          remote_fraction = 0.6;
+          theta = 0.9;
+          savepoint_fraction = 0.2;
+          abort_fraction = 0.1;
+        }
+  in
+  let o = Driver.run (Engine.of_cluster c) ~policy:Driver.Detect ~mpl:2 scripts in
+  Alcotest.(check int) "committed" 29 o.Driver.committed;
+  Alcotest.(check int) "voluntary aborts" 3 o.Driver.voluntary_aborts;
+  Alcotest.(check int) "deadlock aborts" 59 o.Driver.deadlock_aborts;
+  Alcotest.(check int) "rounds" 521 o.Driver.rounds;
+  Alcotest.(check (pair int int)) "shadow" (88, 573119324) (shadow_fingerprint o)
+
+let interleave lists =
+  let rec go acc lists =
+    let heads = List.filter_map (function x :: _ -> Some x | [] -> None) lists in
+    let tails = List.filter_map (function _ :: t -> Some t | [] -> None) lists in
+    if heads = [] then List.rev acc else go (List.rev_append heads acc) tails
+  in
+  go [] lists
+
+let test_golden_group_commit () =
+  let config = Config.with_group_commit Config.default ~window_ms:20. ~max_batch:8 in
+  let c = Cluster.create ~seed:41 ~nodes:1 config in
+  let pages = Cluster.allocate_pages c ~owner:0 ~count:32 in
+  let rng = Rng.create 41 in
+  let scripts =
+    interleave
+      (List.init 8 (fun cl ->
+           let slice = List.filteri (fun i _ -> i / 4 = cl) pages in
+           Generators.hotspot rng ~pages:slice ~clients:[ 0 ] ~txns_per_client:10
+             ~mix:
+               {
+                 Generators.default_mix with
+                 update_fraction = 1.0;
+                 ops_per_txn = 4;
+                 remote_fraction = 0.;
+               }))
+  in
+  let o = Driver.run (Engine.of_cluster c) ~mpl:8 scripts in
+  Alcotest.(check int) "committed" 80 o.Driver.committed;
+  Alcotest.(check int) "rounds" 70 o.Driver.rounds;
+  Alcotest.check float_exact "sim seconds" 0.36367120000001774 o.Driver.sim_seconds;
+  Alcotest.check float_exact "latency mean" 0.035436592500001737 o.Driver.latencies.Stats.mean;
+  Alcotest.check float_exact "latency p95" 0.22165800000000091 o.Driver.latencies.Stats.p95;
+  Alcotest.(check (pair int int)) "shadow" (247, 404002083) (shadow_fingerprint o)
+
 let suite =
   [
     ("op introspection", `Quick, test_op_introspection);
@@ -190,4 +299,8 @@ let suite =
     ("driver crash event midway", `Quick, test_driver_crash_event_midway);
     ("driver MPL", `Quick, test_driver_mpl_limits_concurrency);
     ("driver detect policy", `Quick, test_driver_deadlock_policy_detect);
+    ("golden: hotspot on instant cluster", `Quick, test_golden_hotspot_instant);
+    ("golden: partitioned with crash/recover", `Quick, test_golden_partitioned_crash);
+    ("golden: detect policy, mpl cap, savepoints", `Quick, test_golden_detect_mpl_savepoints);
+    ("golden: group commit", `Quick, test_golden_group_commit);
   ]
