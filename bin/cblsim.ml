@@ -348,7 +348,7 @@ let write_plan file plan =
    seed reproduces the identical schedule in both; tracing changes no
    metric or clock reading (the test suite asserts it). *)
 let stress_one ?(trace = false) ?trace_capacity ~classes ~faults_on ~loaded_plan ~group_commit
-    seed =
+    ~elr seed =
   let rng = Rng.create seed in
   (* The plan draws from a split substream so that the legacy draws
      below are untouched; without fault flags nothing here runs and
@@ -372,6 +372,18 @@ let stress_one ?(trace = false) ?trace_capacity ~classes ~faults_on ~loaded_plan
       else Config.instant
     end
     else Config.instant
+  in
+  let config =
+    (* early release draws from its own substream too, and only with the
+       flag on — historical seeds replay bit-identically without it.
+       The bit is inert unless the group-commit draw above produced a
+       batching window (elr gates on group commit), so pair [--elr]
+       with [--group-commit]. *)
+    if elr then begin
+      let er = Rng.split rng in
+      Config.with_early_release config (Rng.chance er 0.75)
+    end
+    else config
   in
   let nodes = 2 + Rng.int rng 4 in
   let cluster =
@@ -460,7 +472,7 @@ let stress_one ?(trace = false) ?trace_capacity ~classes ~faults_on ~loaded_plan
   Cluster.check_invariants cluster;
   (cluster, outcome, plan)
 
-let stress runs start faults_spec plan_file dump_plan group_commit =
+let stress runs start faults_spec plan_file dump_plan group_commit elr =
   let classes =
     match Fault_plan.classes_of_string faults_spec with
     | Ok c -> c
@@ -477,7 +489,7 @@ let stress runs start faults_spec plan_file dump_plan group_commit =
   let failures = ref 0 in
   for seed = start to start + runs - 1 do
     let cluster, outcome, plan =
-      stress_one ~classes ~faults_on ~loaded_plan ~group_commit seed
+      stress_one ~classes ~faults_on ~loaded_plan ~group_commit ~elr seed
     in
     if plan <> None then last_plan := plan;
     (match (outcome.Driver.stuck, Driver.verify outcome) with
@@ -565,12 +577,21 @@ let stress_cmd =
              batch cap drawn from a dedicated substream), so the faulted sweep exercises \
              batched commit paths.")
   in
+  let elr =
+    Arg.(
+      value & flag
+      & info [ "elr" ]
+          ~doc:
+            "Randomize early lock release per seed (~3/4 of the runs set the bit, drawn from \
+             a dedicated substream).  Only effective on runs where $(b,--group-commit) drew a \
+             batching window — early release gates on group commit — so pair the two flags.")
+  in
   Cmd.v
     (Cmd.info "stress"
        ~doc:
          "Randomized crash-schedule runs with the durability oracle, optionally under \
           deterministic fault injection")
-    Term.(const stress $ runs $ start $ faults $ plan_json $ dump_plan $ group_commit)
+    Term.(const stress $ runs $ start $ faults $ plan_json $ dump_plan $ group_commit $ elr)
 
 (* ---- scale ---- *)
 
@@ -716,7 +737,7 @@ let read_jsonl_events file =
   if !bad > 0 then Format.eprintf "note: %s: %d unparsable line(s) skipped@." file !bad;
   events
 
-let audit_run file stress_mode runs start faults_spec group_commit out =
+let audit_run file stress_mode runs start faults_spec group_commit elr out =
   let reports =
     match (file, stress_mode) with
     | Some f, _ ->
@@ -738,7 +759,7 @@ let audit_run file stress_mode runs start faults_spec group_commit out =
           let seed = start + i in
           let cluster, _outcome, _plan =
             stress_one ~trace:true ~trace_capacity:(1 lsl 20) ~classes ~faults_on
-              ~loaded_plan:None ~group_commit seed
+              ~loaded_plan:None ~group_commit ~elr seed
           in
           let obs = Repro_sim.Env.obs (Cluster.env cluster) in
           if (i + 1) mod 50 = 0 then Format.eprintf "...%d runs audited@." (i + 1);
@@ -812,6 +833,14 @@ let audit_cmd =
       & info [ "group-commit" ]
           ~doc:"Randomize group-commit batching per seed, as in $(b,cblsim stress).")
   in
+  let elr =
+    Arg.(
+      value & flag
+      & info [ "elr" ]
+          ~doc:
+            "Randomize early lock release per seed, as in $(b,cblsim stress) — the audit then \
+             also polices the weakened discipline (release-after-submit, closure-loss).")
+  in
   let out =
     Arg.(
       value
@@ -823,9 +852,10 @@ let audit_cmd =
        ~doc:
          "Replay recorded event streams through the protocol auditor (WAL ordering, \
           group-commit batch-loss closure, PSN monotonicity, deferred-page fencing, strict \
-          2PL release discipline); non-zero exit on any violation")
+          2PL release discipline — weakened to release-after-submit plus closure-loss when \
+          early lock release is on); non-zero exit on any violation")
     Term.(
-      const audit_run $ file $ stress_mode $ runs $ start $ faults $ group_commit $ out)
+      const audit_run $ file $ stress_mode $ runs $ start $ faults $ group_commit $ elr $ out)
 
 let () =
   let doc = "client-based logging for high performance distributed architectures (ICDE'96)" in

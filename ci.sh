@@ -43,6 +43,8 @@ if [ "$STRESS_RUNS" -gt 0 ]; then
   dune exec bin/cblsim.exe -- stress --runs "$STRESS_RUNS" --faults all
   echo "== stress: $STRESS_RUNS fault-injected runs with group commit (--faults all --group-commit) =="
   dune exec bin/cblsim.exe -- stress --runs "$STRESS_RUNS" --faults all --group-commit
+  echo "== stress: $STRESS_RUNS fault-injected runs with early lock release (--faults all --group-commit --elr) =="
+  dune exec bin/cblsim.exe -- stress --runs "$STRESS_RUNS" --faults all --group-commit --elr
   # recovery-fault leg: crashes at the recovery crash points, network
   # faults during recovery exchanges — at least 200 seeds regardless of
   # the requested sweep size, so the restart/deferral paths always get
@@ -58,6 +60,9 @@ if [ "$STRESS_RUNS" -gt 0 ]; then
   echo "== audit: $STRESS_RUNS traced fault-injected runs (--faults all) =="
   dune exec bin/cblsim.exe -- audit --stress --runs "$STRESS_RUNS" --faults all \
     --out AUDIT_REPORT.json
+  echo "== audit: $STRESS_RUNS traced early-lock-release runs (--faults all --group-commit --elr) =="
+  dune exec bin/cblsim.exe -- audit --stress --runs "$STRESS_RUNS" --faults all \
+    --group-commit --elr --out AUDIT_REPORT_ELR.json
   echo "== audit: $RECOVERY_RUNS traced recovery-fault runs (--faults recovery) =="
   dune exec bin/cblsim.exe -- audit --stress --runs "$RECOVERY_RUNS" --faults recovery \
     --out AUDIT_REPORT_RECOVERY.json

@@ -6,7 +6,9 @@ module Global_locks = Repro_lock.Global_locks
 module Deadlock = Repro_lock.Deadlock
 module Txn = Repro_tx.Txn
 module Txn_table = Repro_tx.Txn_table
+module Dep_graph = Repro_tx.Dep_graph
 module Group_commit = Repro_wal.Group_commit
+module Event = Repro_obs.Event
 
 type t = {
   env : Env.t;
@@ -24,6 +26,19 @@ type t = {
          [on_durable] hook BEFORE any completion work, so an injected
          crash during completion cannot lose the verdict.  Read-once by
          [commit_outcome]. *)
+  deps : Dep_graph.t;
+      (* early-lock-release commit dependencies, cluster-wide (txn ids
+         are globally unique).  Edges are added from [Node]'s acquire
+         path via [on_dep], settled when the antecedent becomes durable,
+         and propagated as closure loss when its batch is lost. *)
+  lost_commits : (int, unit) Hashtbl.t;
+      (* transactions whose submitted commit was lost — their own batch
+         died, or a lost antecedent dragged them down ([Dep_graph]
+         forward closure).  Read-once by [commit_outcome]: [`Gone]. *)
+  dep_blocked_since : (int, float) Hashtbl.t;
+      (* first time [commit_outcome] found a durable commit still
+         gated on pending antecedents; feeds the dep_wait histogram
+         and the [Commit_dep_wait] event when the gate opens *)
 }
 
 let create ?(trace = false) ?trace_capacity ?(seed = 42) ?faults ?(pool_capacity = 64)
@@ -41,13 +56,36 @@ let create ?(trace = false) ?trace_capacity ?(seed = 42) ?faults ?(pool_capacity
   in
   Array.iter (fun n -> n.Node_state.resolve <- resolve) members;
   let durable_commits = Hashtbl.create 64 in
+  let deps = Dep_graph.create () in
+  let lost_commits = Hashtbl.create 16 in
+  let dep_blocked_since = Hashtbl.create 16 in
   Array.iter
     (fun n ->
-      Node.wire_group_commit n ~on_durable:(fun ~txn ~submitted_at:_ ->
-          Hashtbl.replace durable_commits txn ()))
+      n.Node_state.on_dep <- (fun ~dependent ~antecedent -> Dep_graph.add deps ~dependent ~antecedent);
+      Node.wire_group_commit n
+        ~on_lost:(fun lost ->
+          (* The pending batch died with its node.  Every member is
+             gone, and so is the forward dependency closure: anyone who
+             observed a lost member's early-released pages saw state
+             recovery is about to undo. *)
+          List.iter (fun txn -> Hashtbl.replace lost_commits txn ()) lost;
+          List.iter
+            (fun txn ->
+              Hashtbl.replace lost_commits txn ();
+              Hashtbl.remove durable_commits txn;
+              Hashtbl.remove dep_blocked_since txn)
+            (Dep_graph.settle_lost deps lost))
+        ~on_durable:(fun ~txn ~submitted_at:_ ->
+          Hashtbl.replace durable_commits txn ();
+          (* Durable antecedent: its dependents stop waiting.  Same-node
+             LSN order guarantees this hook runs for the antecedent no
+             later than for any dependent, so the gate below opens in
+             submission order. *)
+          Dep_graph.settle_durable deps txn)
+        ())
     members;
   { env; members; next_txn = 0; txn_home = Array.make 64 (-1); deadlock = Deadlock.create ();
-    durable_commits }
+    durable_commits; deps; lost_commits; dep_blocked_since }
 
 let env t = t.env
 let node_count t = Array.length t.members
@@ -102,10 +140,36 @@ let commit t ~txn =
 
 let commit_outcome t ~txn =
   let n = home t txn in
-  if Node.is_up n && Group_commit.is_pending n.Node_state.gc ~txn then `Pending
+  if Hashtbl.mem t.lost_commits txn then begin
+    Hashtbl.remove t.lost_commits txn;
+    `Gone
+  end
+  else if Node.is_up n && Group_commit.is_pending n.Node_state.gc ~txn then `Pending
   else if Hashtbl.mem t.durable_commits txn then begin
-    Hashtbl.remove t.durable_commits txn;
-    `Durable
+    match Dep_graph.durable_blocked t.deps txn with
+    | [] ->
+      Hashtbl.remove t.durable_commits txn;
+      (match Hashtbl.find_opt t.dep_blocked_since txn with
+      | Some since ->
+        (* The commit record was durable but the verdict was withheld
+           until every antecedent settled: attribute the wait. *)
+        Hashtbl.remove t.dep_blocked_since txn;
+        let waited = now t -. since in
+        Env.observe t.env ~name:"dep_wait" ~node:(txn_node t txn) waited;
+        if Env.tracing t.env then
+          Env.emit t.env ~node:(txn_node t txn) Event.Commit_dep_wait
+            [ ("txn", Event.Int txn); ("dur", Event.Float waited) ]
+      | None -> ());
+      `Durable
+    | _ :: _ ->
+      (* Durable but gated: an antecedent's commit record is not yet
+         forced, so reporting [`Durable] now could survive a crash the
+         antecedent does not.  (Same-node LSN order makes this
+         unreachable today — the gate is the enforced form of that
+         argument, and the auditor re-proves it per trace.) *)
+      if not (Hashtbl.mem t.dep_blocked_since txn) then
+        Hashtbl.replace t.dep_blocked_since txn (now t);
+      `Pending
   end
   else `Gone
 
@@ -220,6 +284,9 @@ let recover_timed ?strategy ?(defer = []) t ~nodes:ids =
 let recover ?strategy ?defer t ~nodes = ignore (recover_timed ?strategy ?defer t ~nodes)
 
 let deadlock t = t.deadlock
+let commit_antecedents t ~txn = Dep_graph.antecedents_of t.deps txn
+let dep_edge_count t = Dep_graph.edge_count t.deps
+let dep_edges_registered t = Dep_graph.registered_count t.deps
 let global_metrics t = Env.global_metrics t.env
 let node_metrics t id = (node t id).Node_state.metrics
 

@@ -106,8 +106,12 @@ let wipe_volatile t =
   t.recovering_pages <- Page_id.Set.empty;
   Page_id.Tbl.reset t.deferred_pages;
   t.deferred_losers <- [];
+  Page_id.Tbl.reset t.elr_pages;
+  Hashtbl.reset t.elr_by_txn;
   (* The pending group-commit batch is volatile: none of those commits
-     happened — recovery will abort them. *)
+     happened — recovery will abort them.  [Group_commit.crash] fires
+     the loss hook, which drags each lost commit's early-release
+     dependency closure down with it. *)
   Group_commit.crash t.gc
 
 let crash t =
@@ -405,6 +409,14 @@ let txn_active_at t ~txn ~node =
    it. *)
 let handle_callback t ~pid ~requested ~for_txn ~for_node =
   check_up t;
+  (* Early lock release keeps the released pages' visibility strictly
+     local: dependents are tracked in the same node's tables.  A
+     callback means this page is about to become visible beyond the
+     node (the owner will hand it onward), where no dependency can be
+     recorded — so collapse the violation window instead: flush the
+     pending batch, making the early releaser durable before the page
+     leaves.  Free when elr is off (the table is empty). *)
+  if Page_id.Tbl.mem t.elr_pages pid then Group_commit.flush t.gc;
   let conflicting =
     List.filter_map
       (fun (txn, held) ->
@@ -598,7 +610,22 @@ let acquire t ~txn ~pid ~mode =
         ]
   end;
   match Local_locks.acquire t.locks ~txn ~pid ~mode with
-  | Ok () -> ()
+  | Ok () -> (
+    (* Controlled lock violation: if this page's lock was surrendered
+       early by a committing transaction that is not yet durable, the
+       grant just exposed pre-durable state — record the commit
+       dependency.  The table is empty when elr is off, so this is a
+       free lookup on the historical pipeline. *)
+    match Page_id.Tbl.find_opt t.elr_pages pid with
+    | Some releaser when releaser <> txn ->
+      if t.on_dep ~dependent:txn ~antecedent:releaser && Env.tracing t.env then
+        Env.emit t.env ~node:t.id Event.Commit_dep
+          [
+            ("txn", Event.Int txn);
+            ("on", Event.Int releaser);
+            ("page", Event.Str (Format.asprintf "%a" Page_id.pp pid));
+          ]
+    | Some _ | None -> ())
   | Error { Local_locks.holders } -> Block.block (Block.Lock_conflict { blockers = holders })
 
 (* ------------------------------------------------------------------ *)
@@ -797,6 +824,7 @@ let read t ~txn ~pid ~off ~len =
   let descr = active_txn t txn in
   Env.with_txn t.env ~txn ~span:descr.Txn.span @@ fun () ->
   acquire t ~txn ~pid ~mode:Mode.S;
+  if descr.Txn.locks_from < 0. then descr.Txn.locks_from <- Env.now t.env;
   let frame = ensure_cached_page t pid in
   Page.read frame.page ~off ~len
 
@@ -804,6 +832,7 @@ let read_cell t ~txn ~pid ~off =
   let descr = active_txn t txn in
   Env.with_txn t.env ~txn ~span:descr.Txn.span @@ fun () ->
   acquire t ~txn ~pid ~mode:Mode.S;
+  if descr.Txn.locks_from < 0. then descr.Txn.locks_from <- Env.now t.env;
   let frame = ensure_cached_page t pid in
   Page.get_cell frame.page ~off
 
@@ -838,6 +867,7 @@ let update_bytes t ~txn ~pid ~off s =
   let txn = active_txn t txn in
   Env.with_txn t.env ~txn:txn.Txn.id ~span:txn.Txn.span @@ fun () ->
   acquire t ~txn:txn.Txn.id ~pid ~mode:Mode.X;
+  if txn.Txn.locks_from < 0. then txn.Txn.locks_from <- Env.now t.env;
   let frame = ensure_cached_page t pid in
   let before = Page.read frame.page ~off ~len:(String.length s) in
   log_update t txn pid frame (Record.Physical { off; before; after = s })
@@ -846,6 +876,7 @@ let update_delta t ~txn ~pid ~off delta =
   let txn = active_txn t txn in
   Env.with_txn t.env ~txn:txn.Txn.id ~span:txn.Txn.span @@ fun () ->
   acquire t ~txn:txn.Txn.id ~pid ~mode:Mode.X;
+  if txn.Txn.locks_from < 0. then txn.Txn.locks_from <- Env.now t.env;
   let frame = ensure_cached_page t pid in
   log_update t txn pid frame (Record.Delta { off; delta })
 
@@ -976,6 +1007,59 @@ let end_of_txn_lock_release t txn_id =
   Local_locks.release_txn t.locks ~txn:txn_id;
   if not t.retain_cached_locks then release_unused_cached_locks t
 
+(* Lock-hold duration: first successful acquire -> the release that
+   actually freed the locks (early or terminal).  The [-1.] reset makes
+   the observation idempotent — the terminal release after an early one
+   observes nothing. *)
+let observe_lock_hold t (txn : Txn.t) =
+  if txn.Txn.locks_from >= 0. then begin
+    Env.observe t.env ~name:"lock_hold" ~node:t.id (Env.now t.env -. txn.Txn.locks_from);
+    txn.Txn.locks_from <- -1.
+  end
+
+(* Register the pages a committing transaction released early: later
+   acquirers of these pages pick up a commit dependency on [txn] (see
+   [acquire]).  Newest releaser wins per page — a chain A -> B -> C
+   stays connected because B recorded its dependency on A before
+   overwriting A's entry. *)
+let elr_record_release t ~txn released =
+  List.iter
+    (fun (pid, _mode) ->
+      Page_id.Tbl.replace t.elr_pages pid txn;
+      match Hashtbl.find_opt t.elr_by_txn txn with
+      | Some pids -> Hashtbl.replace t.elr_by_txn txn (pid :: pids)
+      | None -> Hashtbl.add t.elr_by_txn txn [ pid ])
+    released
+
+(* The releaser reached its terminal state (durable commit, or wiped by
+   a crash): its pages stop breeding dependencies.  The equality check
+   leaves entries alone when a later releaser overwrote them. *)
+let elr_settle t txn =
+  match Hashtbl.find_opt t.elr_by_txn txn with
+  | None -> ()
+  | Some pids ->
+    Hashtbl.remove t.elr_by_txn txn;
+    List.iter
+      (fun pid ->
+        match Page_id.Tbl.find_opt t.elr_pages pid with
+        | Some r when r = txn -> Page_id.Tbl.remove t.elr_pages pid
+        | Some _ | None -> ())
+      pids
+
+(* Tentpole: controlled lock violation.  A committing transaction
+   surrenders its txn-level page locks at batch submit instead of
+   holding them across the group-commit window; conflicting local work
+   proceeds immediately and records a commit dependency.  The summary
+   event carries the transaction id (the per-page trace comes from the
+   lock-table tracer). *)
+let early_lock_release t (txn : Txn.t) =
+  observe_lock_hold t txn;
+  let released = Local_locks.release_txn_early t.locks ~txn:txn.Txn.id in
+  elr_record_release t ~txn:txn.Txn.id released;
+  if Env.tracing t.env && released <> [] then
+    Env.emit t.env ~node:t.id Event.Lock_early_release
+      [ ("txn", Event.Int txn.Txn.id); ("pages", Event.Int (List.length released)) ]
+
 (* Everything after "the commit record is durable": release locks,
    retire the descriptor, account.  [commit_from] is when the commit was
    requested (= when the transaction joined the batch, under group
@@ -991,7 +1075,9 @@ let complete_commit t (txn : Txn.t) ~commit_from =
   (* commit request -> durable: the paper's E1 subject *)
   Env.observe t.env ~name:"commit_latency" ~node:t.id (durable_at -. commit_from);
   Env.observe t.env ~name:"txn_duration" ~node:t.id (durable_at -. txn.Txn.began);
+  observe_lock_hold t txn;
   end_of_txn_lock_release t txn.Txn.id;
+  elr_settle t txn.Txn.id;
   Txn_table.remove t.txns txn.Txn.id;
   bump t (fun m -> m.Metrics.txn_committed <- m.Metrics.txn_committed + 1);
   if Env.tracing t.env then begin
@@ -1015,8 +1101,8 @@ let finish_commit t ~txn ~submitted_at =
    own completion work so a caller-side durable registry is written
    first — completion can hit an injected crash point, and the caller
    must still know the commit survived. *)
-let wire_group_commit t ~on_durable =
-  Group_commit.set_hooks t.gc
+let wire_group_commit t ?on_lost ~on_durable () =
+  Group_commit.set_hooks t.gc ?on_lost
     ~before_force:(fun () ->
       (* The batch is still pending here: an injected crash loses every
          member — none of their commit records were forced. *)
@@ -1024,6 +1110,7 @@ let wire_group_commit t ~on_durable =
     ~on_durable:(fun ~txn ~submitted_at ->
       on_durable ~txn ~submitted_at;
       finish_commit t ~txn ~submitted_at)
+    ()
 
 let create env ~id ~pool_capacity ?(pool_policy = Buffer_pool.Lru) ?log_capacity
     ?(scheme = Local_logging) ?(retain_cached_locks = true) () =
@@ -1033,7 +1120,7 @@ let create env ~id ~pool_capacity ?(pool_policy = Buffer_pool.Lru) ?log_capacity
   in
   (* Standalone default: complete commits with no external registry.
      [Cluster.create] re-wires with its durable-commit registry. *)
-  wire_group_commit t ~on_durable:(fun ~txn:_ ~submitted_at:_ -> ());
+  wire_group_commit t ~on_durable:(fun ~txn:_ ~submitted_at:_ -> ()) ();
   t
 
 let commit t ~txn =
@@ -1059,6 +1146,10 @@ let commit t ~txn =
     (* Group commit: join the node's pending batch instead of forcing
        alone.  Not durable yet — the caller must poll the outcome. *)
     txn.Txn.state <- Txn.Committing;
+    (* Early release happens before [submit]: if the submit fills the
+       batch and flushes immediately, completion settles the entries
+       this release just registered. *)
+    if Repro_sim.Config.early_release_enabled (Env.config t.env) then early_lock_release t txn;
     Group_commit.submit t.gc ~txn:txn.Txn.id ~lsn
   | Local_logging | Server_logging _ | Pca_double_logging | Global_log _ ->
     commit_scheme_work t txn lsn;
@@ -1108,6 +1199,7 @@ let abort t ~txn =
   in
   Txn.record_logged txn lsn;
   txn.Txn.state <- Txn.Aborted;
+  observe_lock_hold t txn;
   end_of_txn_lock_release t txn.Txn.id;
   Txn_table.remove t.txns txn.Txn.id;
   bump t (fun m -> m.Metrics.txn_aborted <- m.Metrics.txn_aborted + 1);

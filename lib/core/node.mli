@@ -83,11 +83,19 @@ val finish_commit : t -> txn:int -> submitted_at:float -> unit
     whose commit record became durable.  Idempotent; no-op if the
     transaction is unknown (crash wiped the table) or not committing. *)
 
-val wire_group_commit : t -> on_durable:(txn:int -> submitted_at:float -> unit) -> unit
+val wire_group_commit :
+  t ->
+  ?on_lost:(int list -> unit) ->
+  on_durable:(txn:int -> submitted_at:float -> unit) ->
+  unit ->
+  unit
 (** Re-wire the node's group-commit hooks.  [on_durable] runs before
     the node's own completion work for each transaction whose commit
     record became durable — {!Cluster} records durability there, so a
-    crash during completion cannot lose the verdict. *)
+    crash during completion cannot lose the verdict.  [on_lost] fires
+    when a crash drops the pending batch, with the lost transactions —
+    {!Cluster} drags their early-release dependency closure down with
+    them (default: no-op). *)
 
 val abort : t -> txn:int -> unit
 (** Total rollback with CLRs (re-fetching replaced pages from their

@@ -75,8 +75,26 @@ type t = {
          ((txn, blocking node)); the Txn stays registered so a further
          crash's analysis re-finds it, and the rollback resumes when the
          blocker recovers *)
+  elr_pages : int Page_id.Tbl.t;
+      (* early lock release (controlled lock violation): page -> the
+         committing transaction that released its lock on it at
+         batch-submit and is not yet durable.  A later acquire on such a
+         page records a commit dependency on that transaction via
+         [on_dep].  Entries are settled (removed) when the releaser
+         becomes durable or its batch is lost; the newest releaser wins
+         per page — a chain A -> B -> C stays connected transitively
+         because B recorded its dependency on A before overwriting the
+         entry. *)
+  elr_by_txn : (int, Page_id.t list) Hashtbl.t;
+      (* reverse index: releaser -> pages it released early, so settling
+         a releaser visits only its own pages *)
   (* wiring *)
   mutable resolve : int -> t;
+  mutable on_dep : dependent:int -> antecedent:int -> bool;
+      (* commit-dependency sink, wired by [Cluster] to the cluster-wide
+         [Dep_graph]; returns whether the edge is new (the node emits
+         the trace event only for fresh edges).  Default for standalone
+         nodes: no graph, nothing fresh. *)
   pool_policy : Repro_buffer.Buffer_pool.policy;
   pool_capacity : int;
   scheme : scheme;
@@ -104,7 +122,12 @@ let wire_tracers node =
         [ ("action", Event.Str action); ("page", Event.Str (Format.asprintf "%a" Page_id.pp pid)) ]
   in
   Repro_lock.Local_locks.set_tracer node.locks (fun action pid ->
-      emit_page (if action = "demote" then Event.Lock_demote else Event.Lock_release) action pid);
+      emit_page
+        (match action with
+        | "demote" -> Event.Lock_demote
+        | "early_release" -> Event.Lock_early_release
+        | _ -> Event.Lock_release)
+        action pid);
   Repro_lock.Global_locks.set_tracer node.glocks (fun action holder pid ->
       if Recorder.enabled obs then
         Recorder.emit obs ~time:(Env.now node.env) ~node:node.id
@@ -144,7 +167,10 @@ let create env ~id ~pool_capacity ~pool_policy ~log_capacity ~scheme ~retain_cac
       recovering_pages = Page_id.Set.empty;
       deferred_pages = Page_id.Tbl.create 8;
       deferred_losers = [];
+      elr_pages = Page_id.Tbl.create 16;
+      elr_by_txn = Hashtbl.create 16;
       resolve = (fun _ -> node);
+      on_dep = (fun ~dependent:_ ~antecedent:_ -> false);
       pool_policy;
       pool_capacity;
       scheme;

@@ -70,6 +70,13 @@ val e14 : ?quick:bool -> unit -> Report.t
     same machinery to 256 nodes / thousands of clients and adds
     wall-clock sim-events/sec. *)
 
+val e15 : ?quick:bool -> unit -> Report.t
+(** Early lock release (controlled lock violation): the contended
+    hot-page workload at rising MPL, elr off vs on.  With elr on, a
+    committing transaction's page locks drop at batch-submit and later
+    acquirers run under commit dependencies; the gate demands a >= 20%
+    p95 commit-latency cut and higher txn/s at the highest MPL. *)
+
 val scale_point :
   ?seed:int ->
   ?mpl:int ->
@@ -104,6 +111,17 @@ val group_commit_run :
     given [(max_batch, window_ms)] group-commit setting, durability
     oracle checked.  Exposed for the tracing-overhead bench, which runs
     it with [trace] off and on and compares. *)
+
+val elr_run :
+  ?quick:bool ->
+  early_release:bool ->
+  clients:int ->
+  unit ->
+  Repro_cbl.Cluster.t * Repro_workload.Driver.outcome
+(** The E15 workload: [clients] clients hammering one node's shared
+    Zipf hot set under a 10 ms group-commit window, with or without
+    early lock release, durability oracle checked.  Exposed for the
+    lock-hold bench, which compares the two lock-hold histograms. *)
 
 val all : ?quick:bool -> unit -> Report.t list
 (** Every experiment, in order. *)

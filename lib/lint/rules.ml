@@ -543,6 +543,58 @@ let no_unsafe_obj =
   }
 
 (* ------------------------------------------------------------------ *)
+(* Rule 9: elr-release-pairing                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* The lock-manager module that implements the early release is the one
+   place allowed to apply it bare. *)
+let elr_impl_layer = [ "lib/lock/local_locks.ml" ]
+
+let elr_release_pairing =
+  {
+    Lint.id = "elr-release-pairing";
+    doc =
+      "an early lock release (Local_locks.release_txn_early) outside lib/lock must record \
+       the released pages for commit-dependency tracking (elr_record_release) in the same \
+       top-level function: a bare release would let later acquirers observe pre-durable \
+       state with no dependency edge, silently breaking closure loss";
+    check =
+      (fun ctx ->
+        List.iter
+          (fun { Lint.rel; ast } ->
+            match ast with
+            | Lint.Intf _ -> ()
+            | Lint.Impl structure ->
+              if in_lib rel && not (List.mem rel elr_impl_layer) then
+                List.iter
+                  (fun vb ->
+                    let releases = ref [] and recorded = ref false in
+                    iter_exprs_in_expr
+                      (fun e ->
+                        match e.pexp_desc with
+                        | Pexp_apply ({ pexp_desc = Pexp_ident { txt; loc }; _ }, _)
+                          when last_component txt = "release_txn_early" ->
+                          releases := loc :: !releases
+                        | Pexp_ident { txt; _ }
+                          when last_component txt = "elr_record_release" ->
+                          recorded := true
+                        | _ -> ())
+                      vb.pvb_expr;
+                    if not !recorded then
+                      List.iter
+                        (fun loc ->
+                          Lint.report_loc ctx ~rule:"elr-release-pairing" loc
+                            (Printf.sprintf
+                               "release_txn_early without an elr_record_release in %s: \
+                                acquirers of these pages would observe pre-durable state \
+                                with no commit dependency recorded"
+                               (Option.value (binding_name vb) ~default:"this function")))
+                        (List.rev !releases))
+                  (top_level_bindings structure))
+          ctx.Lint.sources);
+  }
+
+(* ------------------------------------------------------------------ *)
 
 let all =
   [
@@ -554,6 +606,7 @@ let all =
     no_poly_compare;
     mli_coverage;
     no_unsafe_obj;
+    elr_release_pairing;
   ]
 
 let find id = List.find_opt (fun r -> r.Lint.id = id) all

@@ -131,6 +131,31 @@ let release_txn t ~txn =
         | None -> () (* the cached page was dropped since *))
       pids
 
+(* Early release (controlled lock violation): surrender every txn-level
+   lock [txn] holds at batch-submit time, BEFORE its commit record is
+   durable — strict 2PL's release-after-terminal discipline weakened to
+   release-after-submit.  Returns the released (page, mode) pairs so the
+   caller can pair the release with commit-dependency registration;
+   without that pairing a later reader of these pages could become
+   durable while this commit is still lost to a crash.  The tracer
+   fires with action ["early_release"] per page, distinct from the
+   terminal ["release"], so the audit layer can tell the two apart. *)
+let release_txn_early t ~txn =
+  let released =
+    match Hashtbl.find_opt t.by_txn txn with
+    | None -> []
+    | Some pids ->
+      List.filter_map
+        (fun pid ->
+          match Page_id.Tbl.find_opt t.table pid with
+          | Some e -> Option.map (fun m -> (pid, m)) (Hashtbl.find_opt e.txns txn)
+          | None -> None)
+        pids
+  in
+  List.iter (fun (pid, _) -> t.tracer "early_release" pid) released;
+  release_txn t ~txn;
+  released
+
 let clear t =
   Page_id.Tbl.reset t.table;
   Hashtbl.reset t.by_txn

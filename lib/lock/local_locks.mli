@@ -20,8 +20,8 @@ val create : unit -> t
 
 val set_tracer : t -> (string -> Page_id.t -> unit) -> unit
 (** Observability hook, fired on cached-lock state changes with an
-    action name (["demote"], ["release"]).  Default: no-op.  The node
-    layer wires this to the typed event recorder. *)
+    action name (["demote"], ["release"], ["early_release"]).  Default:
+    no-op.  The node layer wires this to the typed event recorder. *)
 
 (** {1 Node-level cache} *)
 
@@ -73,6 +73,14 @@ val any_txn_holds : t -> Page_id.t -> bool
 
 val release_txn : t -> txn:int -> unit
 (** Strict 2PL release at end of transaction; cached modes persist. *)
+
+val release_txn_early : t -> txn:int -> (Page_id.t * Mode.t) list
+(** Controlled lock violation: release [txn]'s locks at batch-submit
+    time, before its commit record is durable.  Returns the released
+    (page, mode) pairs — the caller MUST pair them with
+    commit-dependency registration so later readers/overwriters of
+    those pages cannot report durable while this commit can still be
+    lost.  Fires the tracer with action ["early_release"] per page. *)
 
 val clear : t -> unit
 (** Node crash. *)

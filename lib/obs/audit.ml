@@ -32,8 +32,19 @@
       its terminal lock release (or its commit/abort event), no further
       lock activity or log append may carry its causal context.
 
+   6. release-after-submit — early lock release (controlled lock
+      violation) weakens 5 for committing transactions: a
+      [lock.early_release] is legal only between the commit-record
+      submit and the covering force, and the releaser may do no further
+      lock or log work afterwards.
+
+   7. closure-loss — PR 3's whole-batch loss generalised: a transaction
+      that observed an early releaser's pages ([commit.dep]) must not
+      report committed — nor already be durable — once that antecedent
+      is lost; loss propagates through the forward dependency closure.
+
    A truncated trace (the ring overflowed and a [trace.dropped] summary
-   is present) disables the prefix-dependent checks 1, 2 and 5 —
+   is present) disables the prefix-dependent checks 1, 2, 5, 6 and 7 —
    replaying them from a suffix would fabricate violations — and the
    report says so. *)
 
@@ -46,7 +57,14 @@ type report = {
   skipped : string list;  (** invariants disabled by truncation *)
 }
 
-let prefix_checks = [ "force-before-ship"; "batch-loss-closure"; "release-after-terminal" ]
+let prefix_checks =
+  [
+    "force-before-ship";
+    "batch-loss-closure";
+    "release-after-terminal";
+    "release-after-submit";
+    "closure-loss";
+  ]
 
 type state = {
   mutable violations : violation list;  (* newest first *)
@@ -59,6 +77,12 @@ type state = {
   parked : (string, int) Hashtbl.t;  (* page -> owner node it is parked at *)
   home : (int, int) Hashtbl.t;  (* txn -> node it runs on *)
   terminal : (int, unit) Hashtbl.t;  (* txn -> saw terminal release / commit / abort *)
+  early_released : (int, unit) Hashtbl.t;
+      (* txn -> surrendered its locks at batch submit (controlled lock
+         violation); no further lock/log work allowed until terminal *)
+  deps_fwd : (int, int list) Hashtbl.t;  (* antecedent -> dependents *)
+  deps_rev : (int, int list) Hashtbl.t;  (* dependent -> antecedents *)
+  dragged : (int, unit) Hashtbl.t;  (* txn -> a lost antecedent dragged it down *)
 }
 
 let flag st ~invariant ~time ~node detail =
@@ -76,7 +100,7 @@ let event_txn (e : Event.t) =
 (* Invariant 2 helper: a force to durable boundary [d] covers every
    pending commit record that starts below it (forces always run to the
    device end, mirroring [Group_commit.on_force]). *)
-let complete_covered st ~node ~durable =
+let complete_covered st ~node ~durable ~time =
   let done_ =
     Hashtbl.fold
       (fun txn (n, lsn) acc -> if n = node && lsn < durable then txn :: acc else acc)
@@ -86,6 +110,26 @@ let complete_covered st ~node ~durable =
     (fun txn ->
       Hashtbl.remove st.pending txn;
       Hashtbl.replace st.completed txn ())
+    done_;
+  (* 7: a commit may only become durable after (or together with) every
+     antecedent it depends on — the whole batch completed above before
+     this check, so same-force antecedents pass.  Satisfied edges are
+     settled so a later crash cannot drag dependents of a durable
+     antecedent. *)
+  List.iter
+    (fun txn ->
+      (match Hashtbl.find_opt st.deps_rev txn with
+      | None -> ()
+      | Some antecedents ->
+        Hashtbl.remove st.deps_rev txn;
+        List.iter
+          (fun a ->
+            if Hashtbl.mem st.pending a || Hashtbl.mem st.lost a || Hashtbl.mem st.dragged a then
+              flag st ~invariant:"closure-loss" ~time ~node
+                (Printf.sprintf "T%d became durable while its antecedent T%d was %s" txn a
+                   (if Hashtbl.mem st.pending a then "still pending" else "lost")))
+          antecedents);
+      Hashtbl.remove st.deps_fwd txn)
     done_
 
 let on_force st (e : Event.t) =
@@ -93,7 +137,7 @@ let on_force st (e : Event.t) =
   | None -> ()
   | Some d ->
     Hashtbl.replace st.durable e.Event.node d;
-    if st.full then complete_covered st ~node:e.Event.node ~durable:d
+    if st.full then complete_covered st ~node:e.Event.node ~durable:d ~time:e.Event.time
 
 let on_ship st (e : Event.t) =
   let page = attr_str_d e "page" in
@@ -143,8 +187,34 @@ let on_crash st (e : Event.t) =
     List.iter
       (fun txn ->
         Hashtbl.remove st.pending txn;
-        Hashtbl.replace st.lost txn ())
-      dead
+        Hashtbl.replace st.lost txn ();
+        (* recovery legally rolls the loser back; its post-crash log
+           activity must not read as work after an early release *)
+        Hashtbl.remove st.early_released txn)
+      dead;
+    (* 7: loss propagates through the forward dependency closure — any
+       transaction that observed a dead member's early-released pages
+       is dragged down, transitively.  One already durable is the
+       violation the gate in [Cluster.commit_outcome] exists to
+       prevent. *)
+    let queue = ref dead in
+    let seen = Hashtbl.create 8 in
+    List.iter (fun txn -> Hashtbl.replace seen txn ()) dead;
+    while !queue <> [] do
+      let txn = List.hd !queue in
+      queue := List.tl !queue;
+      List.iter
+        (fun d ->
+          if not (Hashtbl.mem seen d) then begin
+            Hashtbl.replace seen d ();
+            Hashtbl.replace st.dragged d ();
+            if Hashtbl.mem st.completed d then
+              flag st ~invariant:"closure-loss" ~time:e.Event.time ~node
+                (Printf.sprintf "T%d was already durable when its antecedent T%d was lost" d txn);
+            queue := d :: !queue
+          end)
+        (Option.value (Hashtbl.find_opt st.deps_fwd txn) ~default:[])
+    done
   end;
   (* parked state is volatile: the next recovery attempt re-parks *)
   let unparked =
@@ -164,14 +234,21 @@ let on_commit st (e : Event.t) =
           (Printf.sprintf "T%d reported committed before a force covered its commit record" txn)
       else if not (Hashtbl.mem st.completed txn) then
         flag st ~invariant:"batch-loss-closure" ~time:e.Event.time ~node:e.Event.node
-          (Printf.sprintf "T%d reported committed without a submitted commit record" txn)
+          (Printf.sprintf "T%d reported committed without a submitted commit record" txn);
+      if Hashtbl.mem st.dragged txn then
+        flag st ~invariant:"closure-loss" ~time:e.Event.time ~node:e.Event.node
+          (Printf.sprintf "T%d reported committed after a lost antecedent dragged it down" txn)
     end;
+    Hashtbl.remove st.early_released txn;
     Hashtbl.replace st.terminal txn ()
   end
 
 let on_abort st (e : Event.t) =
   let txn = event_txn e in
-  if txn >= 0 then Hashtbl.replace st.terminal txn ()
+  if txn >= 0 then begin
+    Hashtbl.remove st.early_released txn;
+    Hashtbl.replace st.terminal txn ()
+  end
 
 let on_begin st (e : Event.t) =
   let txn = event_txn e in
@@ -188,10 +265,46 @@ let on_deferred st (e : Event.t) =
 let check_terminal st what (e : Event.t) =
   if st.full then begin
     let txn = e.Event.txn in
-    if txn >= 0 && Hashtbl.mem st.terminal txn then
-      flag st ~invariant:"release-after-terminal" ~time:e.Event.time ~node:e.Event.node
-        (Printf.sprintf "T%d performed %s after its terminal lock release" txn what)
+    if txn >= 0 then
+      if Hashtbl.mem st.terminal txn then
+        flag st ~invariant:"release-after-terminal" ~time:e.Event.time ~node:e.Event.node
+          (Printf.sprintf "T%d performed %s after its terminal lock release" txn what)
+      else if Hashtbl.mem st.early_released txn then
+        (* 6: the weakened discipline still forbids work after the
+           early release — the transaction sits in its batch, nothing
+           more *)
+        flag st ~invariant:"release-after-submit" ~time:e.Event.time ~node:e.Event.node
+          (Printf.sprintf "T%d performed %s after releasing its locks early" txn what)
   end
+
+(* Invariant 6, release side: the early-release summary event (it
+   carries a [txn] attr; the per-page trace from the lock table does
+   not) is legal only while the releaser's submitted commit record is
+   still awaiting its covering force. *)
+let on_early_release st (e : Event.t) =
+  if st.full then
+    match Event.attr_int e "txn" with
+    | None -> ()
+    | Some txn ->
+      if Hashtbl.mem st.terminal txn then
+        flag st ~invariant:"release-after-terminal" ~time:e.Event.time ~node:e.Event.node
+          (Printf.sprintf "T%d released locks early after its terminal point" txn)
+      else if not (Hashtbl.mem st.pending txn) then
+        flag st ~invariant:"release-after-submit" ~time:e.Event.time ~node:e.Event.node
+          (Printf.sprintf
+             "T%d released its locks early without a submitted, uncovered commit record" txn)
+      else Hashtbl.replace st.early_released txn ()
+
+(* Invariant 7, edge side: record who observed whose pre-durable state.
+   An edge on an already-covered antecedent constrains nothing. *)
+let on_dep st (e : Event.t) =
+  if st.full then
+    match (Event.attr_int e "txn", Event.attr_int e "on") with
+    | Some dependent, Some antecedent when Hashtbl.mem st.pending antecedent ->
+      let push tbl k v = Hashtbl.replace tbl k (v :: Option.value (Hashtbl.find_opt tbl k) ~default:[]) in
+      push st.deps_fwd antecedent dependent;
+      push st.deps_rev dependent antecedent
+    | _ -> ()
 
 (* Invariant 5, release side: the terminal release is a node-level
    cached-lock drop (no [holder] attr — owner-table releases carry one)
@@ -239,6 +352,9 @@ let dispatch st (e : Event.t) =
   | Event.Txn_abort -> on_abort st e
   | Event.Commit_submit -> on_submit st e
   | Event.Commit_batch -> ()
+  | Event.Commit_dep -> on_dep st e
+  | Event.Commit_dep_wait -> ()
+  | Event.Lock_early_release -> on_early_release st e
   | Event.Crash -> on_crash st e
   | Event.Recovery_begin -> ()
   | Event.Recovery_end -> ()
@@ -273,6 +389,10 @@ let run events =
       parked = Hashtbl.create 16;
       home = Hashtbl.create 256;
       terminal = Hashtbl.create 256;
+      early_released = Hashtbl.create 64;
+      deps_fwd = Hashtbl.create 64;
+      deps_rev = Hashtbl.create 64;
+      dragged = Hashtbl.create 16;
     }
   in
   List.iter (dispatch st) events;

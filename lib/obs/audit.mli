@@ -12,7 +12,15 @@
     - [deferred-fence] — a parked deferred page is not granted or
       shipped by its owner before the deferred redo completes;
     - [release-after-terminal] — strict 2PL: no lock activity or log
-      append carries a transaction's context past its terminal release.
+      append carries a transaction's context past its terminal release;
+    - [release-after-submit] — early lock release weakens the above for
+      committing transactions: locks may be surrendered only between
+      the commit-record submit and its covering force, with no further
+      lock/log work by the releaser;
+    - [closure-loss] — a transaction that observed an early releaser's
+      pages must not report committed (nor already be durable) once
+      that antecedent is lost; loss propagates through the forward
+      dependency closure.
 
     Traces are assumed to come from the paper's [Local_logging] scheme.
     Truncated traces (ring overflow) disable the prefix-dependent

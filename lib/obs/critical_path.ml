@@ -13,6 +13,11 @@
      network        message transmission charged to this transaction;
      owner_service  page-device reads/writes performed on its behalf
                     (cache-miss reads, owner-side installs and flushes);
+     dep_wait       early lock release: the commit record was durable
+                    but the verdict was withheld until a commit
+                    dependency's antecedent settled (extends the
+                    timeline past txn.commit — see the M_dep_wait
+                    marker);
      other          the un-attributed remainder (CPU charges, lock-op
                     costs) — never negative.
 
@@ -33,6 +38,7 @@ type marker =
   | M_lock_acquired
   | M_submit
   | M_commit
+  | M_dep_wait
   | M_dropped
 
 type event_class =
@@ -65,6 +71,9 @@ let classify_kind : Event.kind -> event_class = function
   | Event.Txn_abort -> Unattributed
   | Event.Commit_submit -> Marker M_submit
   | Event.Commit_batch -> Unattributed
+  | Event.Commit_dep -> Unattributed (* edge registration costs nothing *)
+  | Event.Commit_dep_wait -> Marker M_dep_wait
+  | Event.Lock_early_release -> Unattributed
   | Event.Crash -> Unattributed
   | Event.Recovery_begin -> Unattributed
   | Event.Recovery_end -> Unattributed
@@ -89,6 +98,7 @@ type components = {
   mutable log_force : float;
   mutable network : float;
   mutable owner_service : float;
+  mutable dep_wait : float;
   mutable other : float;
 }
 
@@ -97,14 +107,14 @@ type timeline = {
   node : int;
   began : float;
   committed : float;
-  total : float;
+  mutable total : float;
   parts : components;
 }
 
 type t = { txns : timeline list; truncated : bool }
 
 let component_names =
-  [ "lock_wait"; "batch_wait"; "log_force"; "network"; "owner_service"; "other" ]
+  [ "lock_wait"; "batch_wait"; "log_force"; "network"; "owner_service"; "dep_wait"; "other" ]
 
 let component_value parts = function
   | "lock_wait" -> parts.lock_wait
@@ -112,11 +122,20 @@ let component_value parts = function
   | "log_force" -> parts.log_force
   | "network" -> parts.network
   | "owner_service" -> parts.owner_service
+  | "dep_wait" -> parts.dep_wait
   | "other" -> parts.other
   | name -> invalid_arg ("Critical_path.component_value: unknown component " ^ name)
 
 let new_components () =
-  { lock_wait = 0.; batch_wait = 0.; log_force = 0.; network = 0.; owner_service = 0.; other = 0. }
+  {
+    lock_wait = 0.;
+    batch_wait = 0.;
+    log_force = 0.;
+    network = 0.;
+    owner_service = 0.;
+    dep_wait = 0.;
+    other = 0.;
+  }
 
 (* The transaction an event belongs to: the marker's own [txn] attr
    when present (txn.begin is emitted before the context opens), else
@@ -131,6 +150,11 @@ let analyze events =
   let submit : (int, float) Hashtbl.t = Hashtbl.create 64 in
   (* last log.force per node: (end time, duration, causing txn) *)
   let last_force : (int, float * float * int) Hashtbl.t = Hashtbl.create 8 in
+  (* finalized timelines by txn: a commit.dep_wait event arrives AFTER
+     the txn.commit that closed the timeline (the verdict was withheld
+     until the antecedent settled), so the timeline is re-opened to
+     absorb it *)
+  let finalized : (int, timeline) Hashtbl.t = Hashtbl.create 64 in
   let truncated = ref false in
   let timelines = ref [] in
   let parts_of txn =
@@ -180,6 +204,15 @@ let analyze events =
         | M_submit ->
           (* latest submit wins: a Would_block retry re-submits legally *)
           if txn >= 0 then Hashtbl.replace submit txn e.Event.time
+        | M_dep_wait -> (
+          (* Early lock release withheld this commit's verdict past its
+             txn.commit: extend the finalized timeline so the wait is a
+             visible component and components still sum to total. *)
+          match Hashtbl.find_opt finalized txn with
+          | Some tl ->
+            tl.parts.dep_wait <- tl.parts.dep_wait +. dur;
+            tl.total <- tl.total +. dur
+          | None -> ())
         | M_commit ->
           if txn >= 0 then begin
             (match Hashtbl.find_opt began txn with
@@ -202,11 +235,12 @@ let analyze events =
               let total = e.Event.time -. t0 in
               let attributed =
                 p.lock_wait +. p.batch_wait +. p.log_force +. p.network +. p.owner_service
+                +. p.dep_wait
               in
               p.other <- Float.max 0. (total -. attributed);
-              timelines :=
-                { txn; node; began = t0; committed = e.Event.time; total; parts = p }
-                :: !timelines);
+              let tl = { txn; node; began = t0; committed = e.Event.time; total; parts = p } in
+              Hashtbl.replace finalized txn tl;
+              timelines := tl :: !timelines);
             Hashtbl.remove began txn;
             Hashtbl.remove parts txn;
             Hashtbl.remove submit txn
@@ -222,6 +256,7 @@ let analyze events =
       | Event.Lock_grant | Event.Lock_callback | Event.Lock_demote | Event.Lock_release
       | Event.Lock_acquired | Event.Ckpt_begin | Event.Ckpt_end | Event.Txn_begin
       | Event.Txn_commit | Event.Txn_abort | Event.Commit_submit | Event.Commit_batch
+      | Event.Commit_dep | Event.Commit_dep_wait | Event.Lock_early_release
       | Event.Crash | Event.Recovery_begin | Event.Recovery_end | Event.Recovery_phase
       | Event.Recovery_restart | Event.Recovery_deferred | Event.Recovery_retry
       | Event.Span_begin | Event.Span_end | Event.Fault_drop | Event.Fault_dup

@@ -18,6 +18,7 @@ type marker =
   | M_lock_acquired
   | M_submit
   | M_commit
+  | M_dep_wait
   | M_dropped
 
 type event_class =
@@ -35,6 +36,9 @@ type components = {
   mutable log_force : float;  (** log-device forces, incl. the shared batch force *)
   mutable network : float;  (** message transmission *)
   mutable owner_service : float;  (** page-device reads/writes on the txn's behalf *)
+  mutable dep_wait : float;
+      (** early lock release: verdict withheld after txn.commit until a
+          commit dependency's antecedent settled *)
   mutable other : float;  (** remainder (CPU, lock ops); never negative *)
 }
 
@@ -43,7 +47,9 @@ type timeline = {
   node : int;
   began : float;
   committed : float;
-  total : float;  (** [committed -. began]; equals the component sum *)
+  mutable total : float;
+      (** [committed -. began] plus any post-commit dep_wait; equals the
+          component sum *)
   parts : components;
 }
 
@@ -58,7 +64,7 @@ val analyze : Event.t list -> t
 
 val component_names : string list
 (** ["lock_wait"; "batch_wait"; "log_force"; "network"; "owner_service";
-    ["other"]] — stable reporting order. *)
+    ["dep_wait"; "other"]] — stable reporting order. *)
 
 val component_value : components -> string -> float
 (** Lookup by name from {!component_names}; raises [Invalid_argument]

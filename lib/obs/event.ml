@@ -23,6 +23,9 @@ type kind =
   | Txn_abort
   | Commit_submit
   | Commit_batch
+  | Commit_dep
+  | Commit_dep_wait
+  | Lock_early_release
   | Crash
   | Recovery_begin
   | Recovery_end
@@ -73,6 +76,9 @@ let kind_name = function
   | Txn_abort -> "txn.abort"
   | Commit_submit -> "commit.submit"
   | Commit_batch -> "commit.batch"
+  | Commit_dep -> "commit.dep"
+  | Commit_dep_wait -> "commit.dep_wait"
+  | Lock_early_release -> "lock.early_release"
   | Crash -> "crash"
   | Recovery_begin -> "recovery.begin"
   | Recovery_end -> "recovery.end"
@@ -96,7 +102,7 @@ let all_kinds =
     Msg_send; Msg_recv; Log_append; Log_force; Page_read; Page_write; Page_ship;
     Cache_install; Cache_evict; Lock_request; Lock_grant; Lock_callback; Lock_demote;
     Lock_release; Lock_acquired; Ckpt_begin; Ckpt_end; Txn_begin; Txn_commit; Txn_abort;
-    Commit_submit; Commit_batch; Crash;
+    Commit_submit; Commit_batch; Commit_dep; Commit_dep_wait; Lock_early_release; Crash;
     Recovery_begin; Recovery_end; Recovery_phase; Recovery_restart; Recovery_deferred;
     Recovery_retry; Span_begin; Span_end; Fault_drop;
     Fault_dup; Fault_delay; Fault_partition; Fault_torn; Fault_crash; Trace_dropped; Note;

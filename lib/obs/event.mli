@@ -32,6 +32,9 @@ type kind =
   | Txn_abort
   | Commit_submit
   | Commit_batch
+  | Commit_dep
+  | Commit_dep_wait
+  | Lock_early_release
   | Crash
   | Recovery_begin
   | Recovery_end

@@ -9,6 +9,7 @@ type t = {
   page_size : int;
   group_commit_window_ms : float;
   group_commit_max_batch : int;
+  early_release : bool;
 }
 
 let default =
@@ -23,6 +24,7 @@ let default =
     page_size = 8192;
     group_commit_window_ms = 0.;
     group_commit_max_batch = 1;
+    early_release = false;
   }
 
 let instant =
@@ -37,6 +39,7 @@ let instant =
     page_size = 512;
     group_commit_window_ms = 0.;
     group_commit_max_batch = 1;
+    early_release = false;
   }
 
 let with_net_latency t v = { t with net_latency = v }
@@ -46,6 +49,8 @@ let with_group_commit t ~window_ms ~max_batch =
   { t with group_commit_window_ms = window_ms; group_commit_max_batch = max_batch }
 
 let group_commit_enabled t = t.group_commit_max_batch > 1
+let with_early_release t v = { t with early_release = v }
+let early_release_enabled t = t.early_release && group_commit_enabled t
 
 let pp ppf t =
   Format.fprintf ppf
@@ -66,4 +71,5 @@ let to_json t =
         ("page_size", Int t.page_size);
         ("group_commit_window_ms", Float t.group_commit_window_ms);
         ("group_commit_max_batch", Int t.group_commit_max_batch);
+        ("early_release", Bool t.early_release);
       ])

@@ -30,6 +30,14 @@ type t = {
       (** maximum commits sharing one log force.  [1] (the default)
           disables group commit entirely — every commit forces alone,
           bit-identical to the pre-group-commit behaviour. *)
+  early_release : bool;
+      (** controlled lock violation: a committing transaction releases
+          its page locks at batch-submit time instead of holding them
+          across the group-commit window; readers/overwriters of those
+          pages record commit dependencies on it.  [false] (the
+          default) keeps the strict-2PL pipeline bit-identical to the
+          pre-ELR behaviour.  Only meaningful when group commit is on
+          (see {!early_release_enabled}). *)
 }
 
 val default : t
@@ -48,6 +56,14 @@ val with_group_commit : t -> window_ms:float -> max_batch:int -> t
 
 val group_commit_enabled : t -> bool
 (** [true] iff [group_commit_max_batch > 1]. *)
+
+val with_early_release : t -> bool -> t
+(** Toggle early lock release (controlled lock violation). *)
+
+val early_release_enabled : t -> bool
+(** [true] iff [early_release] is set AND group commit is on: without a
+    batch window there is no lock-hold interval to shorten, and the
+    single-force pipeline must stay bit-identical. *)
 
 val pp : Format.formatter -> t -> unit
 val to_json : t -> Repro_obs.Json.t

@@ -14,6 +14,7 @@ type t = {
   mutable remote_updated : Repro_storage.Page_id.Set.t;
   mutable began : float;
   mutable span : int;
+  mutable locks_from : float;
 }
 
 let make ~id ~node =
@@ -29,6 +30,7 @@ let make ~id ~node =
     remote_updated = Repro_storage.Page_id.Set.empty;
     began = 0.;
     span = -1;
+    locks_from = -1.;
   }
 let is_active t = t.state = Active
 let record_logged t lsn =

@@ -14,6 +14,7 @@ type t = {
   mutable deadline : float; (* meaningful only while [pending <> []] *)
   mutable before_force : unit -> unit;
   mutable on_durable : txn:int -> submitted_at:float -> unit;
+  mutable on_lost : int list -> unit;
 }
 
 let create env ~node log =
@@ -28,11 +29,13 @@ let create env ~node log =
     deadline = infinity;
     before_force = (fun () -> ());
     on_durable = (fun ~txn:_ ~submitted_at:_ -> ());
+    on_lost = (fun _ -> ());
   }
 
-let set_hooks t ~before_force ~on_durable =
+let set_hooks t ?(on_lost = fun _ -> ()) ~before_force ~on_durable () =
   t.before_force <- before_force;
-  t.on_durable <- on_durable
+  t.on_durable <- on_durable;
+  t.on_lost <- on_lost
 
 let batching t = t.max_batch > 1
 let pending_count t = List.length t.pending
@@ -94,6 +97,12 @@ let on_force t =
       complete t piggybacked
     end
 
+(* A crash loses the whole pending batch.  The loss hook fires with the
+   dropped txn ids (oldest first) so the dependency layer can drag each
+   one's closure down with it; it runs after the batch is cleared so a
+   re-entrant flush cannot resurrect members. *)
 let crash t =
+  let lost = List.rev_map (fun p -> p.txn) t.pending in
   t.pending <- [];
-  t.deadline <- infinity
+  t.deadline <- infinity;
+  if lost <> [] then t.on_lost lost

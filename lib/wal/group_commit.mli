@@ -29,7 +29,13 @@ val create : Repro_sim.Env.t -> node:int -> Log_manager.t -> t
     [group_commit_max_batch <= 1] disables batching: {!batching} is
     [false] and callers use the classic synchronous force. *)
 
-val set_hooks : t -> before_force:(unit -> unit) -> on_durable:(txn:int -> submitted_at:float -> unit) -> unit
+val set_hooks :
+  t ->
+  ?on_lost:(int list -> unit) ->
+  before_force:(unit -> unit) ->
+  on_durable:(txn:int -> submitted_at:float -> unit) ->
+  unit ->
+  unit
 (** [before_force] runs immediately before a batch force with the batch
     still pending — the node installs its commit-force crash point
     here, so an injected crash loses the whole batch.  It may raise;
@@ -37,7 +43,10 @@ val set_hooks : t -> before_force:(unit -> unit) -> on_durable:(txn:int -> submi
     state.  [on_durable] fires once per transaction, in submission
     order, when its commit record has become durable;
     [submitted_at] is the simulated time the transaction entered the
-    batch (for commit-latency accounting). *)
+    batch (for commit-latency accounting).  [on_lost] fires from
+    {!crash} with the dropped pending transaction ids (oldest first),
+    after the batch is cleared — the early-lock-release dependency
+    layer uses it to drag each lost commit's dependency closure down. *)
 
 val batching : t -> bool
 (** Whether group commit is on ([max_batch > 1]). *)
@@ -69,4 +78,5 @@ val is_pending : t -> txn:int -> bool
 
 val crash : t -> unit
 (** Drop the pending batch without completing it — the volatile log
-    tail just vanished, so none of those commits happened. *)
+    tail just vanished, so none of those commits happened.  Fires the
+    [on_lost] hook with the dropped transaction ids. *)

@@ -378,7 +378,11 @@ let run (engine : Engine.t) ?(events = []) ?(max_rounds = 100_000) ?(policy = Wo
                       (* Already committing: not abortable (its fate
                          is the batch force), and its locks release
                          the moment the batch flushes — waiting is
-                         both necessary and short. *)
+                         both necessary and short.  With early lock
+                         release on, a committing transaction has
+                         already surrendered its locks at submit and
+                         never shows up as a blocker here; acquirers
+                         proceed under a commit dependency instead. *)
                       ()
                     | Some q -> abort_prog q blocker
                     | None -> ())

@@ -458,6 +458,49 @@ let test_allowlist () =
   Alcotest.(check int) "counted as allowlisted" 1 r.Lint.allowlisted;
   Alcotest.(check bool) "run is ok" true (Lint.ok r)
 
+(* ---- rule 9: elr-release-pairing ---- *)
+
+let test_elr_pairing_positive () =
+  let r =
+    lint
+      [
+        ( "lib/core/foo.ml",
+          "let early_release t txn =\n  Local_locks.release_txn_early t.locks ~txn\n" );
+      ]
+  in
+  check_count "bare early release flagged" "elr-release-pairing" 1 r;
+  let f = List.hd (findings_for "elr-release-pairing" r) in
+  Alcotest.(check string) "file" "lib/core/foo.ml" f.Lint.file;
+  Alcotest.(check int) "line" 2 f.Lint.line
+
+let test_elr_pairing_negative () =
+  let r =
+    lint
+      [
+        ( "lib/core/foo.ml",
+          "let early_release t txn =\n\
+          \  let released = Local_locks.release_txn_early t.locks ~txn in\n\
+          \  elr_record_release t ~txn released\n" );
+      ]
+  in
+  check_count "recorded release passes" "elr-release-pairing" 0 r
+
+let test_elr_pairing_impl_layer_exempt () =
+  (* the lock manager implements the release; it cannot pair with the
+     node-level dependency registration without a cycle *)
+  let r =
+    lint
+      [
+        ( "lib/lock/local_locks.ml",
+          "let release_all t ~txn = release_txn_early t ~txn\n" );
+      ]
+  in
+  check_count "impl layer exempt" "elr-release-pairing" 0 r
+
+let test_elr_pairing_outside_lib () =
+  let r = lint [ ("bin/tool.ml", "let go locks = Local_locks.release_txn_early locks ~txn:1\n") ] in
+  check_count "bin/ out of scope" "elr-release-pairing" 0 r
+
 (* ---- engine odds and ends ---- *)
 
 let test_parse_error_is_finding () =
@@ -476,7 +519,7 @@ let test_json_report_shape () =
     "files_scanned" (Some 1)
     (Option.bind (member "files_scanned") Json.to_int_opt);
   (match member "rules" with
-  | Some (Json.List rules) -> Alcotest.(check int) "eight rules" 8 (List.length rules)
+  | Some (Json.List rules) -> Alcotest.(check int) "nine rules" 9 (List.length rules)
   | _ -> Alcotest.fail "rules member missing");
   match member "findings" with
   | Some (Json.List (Json.Obj fields :: _)) ->
@@ -536,6 +579,10 @@ let suite =
     Alcotest.test_case "mli-coverage: missing .mli flagged" `Quick test_mli_positive;
     Alcotest.test_case "mli-coverage: sibling .mli passes" `Quick test_mli_negative;
     Alcotest.test_case "no-unsafe-obj: Obj in lib/ flagged" `Quick test_unsafe_obj;
+    Alcotest.test_case "elr-pairing: bare release flagged" `Quick test_elr_pairing_positive;
+    Alcotest.test_case "elr-pairing: recorded release passes" `Quick test_elr_pairing_negative;
+    Alcotest.test_case "elr-pairing: impl layer exempt" `Quick test_elr_pairing_impl_layer_exempt;
+    Alcotest.test_case "elr-pairing: bin/ out of scope" `Quick test_elr_pairing_outside_lib;
     Alcotest.test_case "suppression: inline attribute" `Quick test_inline_suppression;
     Alcotest.test_case "suppression: wrong rule id inert" `Quick test_inline_suppression_wrong_rule;
     Alcotest.test_case "suppression: floating attribute" `Quick test_floating_suppression;

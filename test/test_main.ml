@@ -17,6 +17,7 @@ let () =
       ("scale", Test_scale.suite);
       ("fault", Test_fault.suite);
       ("recovery-faults", Test_recovery_faults.suite);
+      ("elr", Test_elr.suite);
       ("properties", Test_props.suite);
       ("experiments", Test_experiments.suite);
       ("lint", Test_lint.suite);
