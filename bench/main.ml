@@ -61,40 +61,88 @@ let run_tables () =
 
 (* ---- layer 1b: lint timing guard ----
 
-   cbl-lint gates every CI run before the tests, so it must stay cheap:
-   a whole-repo pass (parse + all rules) gets a hard wall budget.  Run
-   from the repo root; skipped elsewhere (no tree to lint). *)
+   cbl-lint gates every CI run before the tests, so it must stay cheap
+   even now that it builds a whole-repo call graph.  Three phases are
+   timed separately — parse (compiler-libs over every file), summaries
+   (phase-1 effect extraction, uncached), and the full run (parse +
+   summaries + call graph + fixpoint + all rules) — each against its
+   own wall budget.  BENCH_LINT.json carries a header/rows table whose
+   "headroom x" column (budget / elapsed) check_regression gates at
+   1.0 with zero tolerance: any phase over budget fails CI.  Run from
+   the repo root; skipped elsewhere (no tree to lint). *)
 
 let lint_budget_seconds = 2.0
+let lint_parse_budget_seconds = 1.0
+let lint_summaries_budget_seconds = 1.0
 
 let bench_lint () =
   if not (Sys.file_exists "lib" && Sys.file_exists "bin") then
     Format.printf "lint timing: not at the repo root, skipped@."
   else begin
-    let t0 = Sys.time () in
-    let result =
-      Repro_lint.Lint.run ~root:"." ~paths:[ "lib"; "bin"; "bench"; "test" ]
-        ~rules:Repro_lint.Rules.all ()
+    let paths = [ "lib"; "bin"; "bench"; "test" ] in
+    let time f =
+      let t0 = Sys.time () in
+      let r = f () in
+      (r, max 1e-6 (Sys.time () -. t0))
     in
-    let elapsed = Sys.time () -. t0 in
-    let ok = elapsed <= lint_budget_seconds in
+    let (_, sources, _), parse_s =
+      time (fun () -> Repro_lint.Lint.parse_tree ~root:"." ~paths)
+    in
+    (* no cache file: measure true extraction cost, not a cache hit *)
+    let summaries, summaries_s = time (fun () -> Repro_lint.Summary.of_sources sources) in
+    let result, full_s =
+      time (fun () ->
+          Repro_lint.Lint.run ~clock:Sys.time ~root:"." ~paths ~rules:Repro_lint.Rules.all ())
+    in
+    let phases =
+      [
+        ("parse", parse_s, lint_parse_budget_seconds);
+        ("summaries", summaries_s, lint_summaries_budget_seconds);
+        ("full", full_s, lint_budget_seconds);
+      ]
+    in
+    let ok = List.for_all (fun (_, s, budget) -> s <= budget) phases in
     let module J = Repro_obs.Json in
     let json =
       J.Obj
         [
           ("id", J.Str "lint_timing");
           ("files_scanned", J.Int result.Repro_lint.Lint.files_scanned);
-          ("seconds", J.Float elapsed);
+          ("functions_summarized", J.Int (List.fold_left
+               (fun acc (f : Repro_lint.Summary.file) -> acc + List.length f.Repro_lint.Summary.fns)
+               0 summaries));
+          ("seconds", J.Float full_s);
           ("budget_seconds", J.Float lint_budget_seconds);
           ("ok", J.Bool ok);
+          ( "rule_seconds",
+            J.Obj
+              (List.map (fun (id, s) -> (id, J.Float s)) result.Repro_lint.Lint.rule_seconds) );
+          ("header", J.List (List.map (fun h -> J.Str h) [ "phase"; "seconds"; "budget s"; "headroom x" ]));
+          ( "rows",
+            J.List
+              (List.map
+                 (fun (phase, s, budget) ->
+                   J.List
+                     [
+                       J.Str phase;
+                       J.Str (Printf.sprintf "%.4f" s);
+                       J.Str (Printf.sprintf "%.1f" budget);
+                       J.Str (Printf.sprintf "%.2f" (budget /. s));
+                     ])
+                 phases) );
         ]
     in
     let oc = open_out "BENCH_LINT.json" in
     output_string oc (J.to_string_pretty json);
     output_char oc '\n';
     close_out oc;
-    Format.printf "lint timing: %d files in %.3fs (budget %.1fs) — wrote BENCH_LINT.json@."
-      result.Repro_lint.Lint.files_scanned elapsed lint_budget_seconds;
+    List.iter
+      (fun (phase, s, budget) ->
+        Format.printf "lint timing: %-9s %.3fs (budget %.1fs, headroom %.1fx)@." phase s budget
+          (budget /. s))
+      phases;
+    Format.printf "lint timing: %d files — wrote BENCH_LINT.json@."
+      result.Repro_lint.Lint.files_scanned;
     if not ok then begin
       Format.printf "lint timing over budget: the lint gate would slow every CI run@.";
       exit 1

@@ -53,8 +53,7 @@ let wal_force t lsn =
       Group_commit.on_force t.gc
     | Global_log { log_node } ->
       let ln = peer t log_node in
-      Log_manager.force ln.log ~upto:lsn;
-      Group_commit.on_force ln.gc
+      Log_manager.force ln.log ~upto:lsn
     | Server_logging _ -> ()
 
 (* ------------------------------------------------------------------ *)
@@ -886,13 +885,11 @@ let commit_scheme_work t (txn : Txn.t) lsn =
   match t.scheme with
   | Local_logging ->
     (* The paper's entire commit path: one local log force, zero
-       messages.  Every force sweeps the group-commit batch
-       (force-to-device-end invariant); on this path the batch is
-       always empty — batching commits take the [Committing] branch in
-       [commit] instead — so the sweep is a no-op, but the invariant
-       stays locally checkable. *)
-    Log_manager.force t.log ~upto:lsn;
-    Group_commit.on_force t.gc
+       messages.  The group-commit batch is always empty here —
+       batching commits take the [Committing] branch in [commit]
+       instead — and the force-sweeps-batch invariant is checked
+       interprocedurally (ipc-force-sweep), so no local sweep. *)
+    Log_manager.force t.log ~upto:lsn
   | Server_logging { server } ->
     (* ARIES/CSA: the transaction's log records travel to the server in
        one batch; the server appends them to the only durable log,
@@ -910,19 +907,14 @@ let commit_scheme_work t (txn : Txn.t) lsn =
       bump srv (fun m -> m.Metrics.log_appends <- m.Metrics.log_appends + txn.Txn.logged_records);
       bump srv (fun m -> m.Metrics.log_bytes <- m.Metrics.log_bytes + txn.Txn.logged_bytes);
       Env.charge_log_force t.env srv.metrics ~bytes:txn.Txn.logged_bytes ();
-      Group_commit.on_force srv.gc;
       send srv ~dst:t.id ~commit_path:true ~bytes:Wire.control ()
     end
-    else begin
-      Log_manager.force t.log ~upto:lsn;
-      Group_commit.on_force t.gc
-    end
+    else Log_manager.force t.log ~upto:lsn
   | Pca_double_logging ->
     (* Local force, then every updated remote page travels to its PCA
        node at commit, together with its log records, which the PCA
        node appends to its own log too (double logging). *)
     Log_manager.force t.log ~upto:lsn;
-    Group_commit.on_force t.gc;
     let remote = txn.Txn.remote_updated in
     let n_remote = max 1 (Page_id.Set.cardinal remote) in
     let bytes_per_page = txn.Txn.logged_bytes / n_remote in
@@ -938,8 +930,7 @@ let commit_scheme_work t (txn : Txn.t) lsn =
         bump t (fun m -> m.Metrics.log_records_shipped <- m.Metrics.log_records_shipped + 1);
         bump owner (fun m -> m.Metrics.log_appends <- m.Metrics.log_appends + 1);
         bump owner (fun m -> m.Metrics.log_bytes <- m.Metrics.log_bytes + bytes_per_page);
-        Env.charge_log_force t.env owner.metrics ~bytes:bytes_per_page ();
-        Group_commit.on_force owner.gc)
+        Env.charge_log_force t.env owner.metrics ~bytes:bytes_per_page ())
       remote
   | Global_log { log_node } ->
     (* The commit record already travelled to the shared log; force it
@@ -947,7 +938,6 @@ let commit_scheme_work t (txn : Txn.t) lsn =
     let ln = peer t log_node in
     ensure_link t ~dst:log_node;
     Log_manager.force ln.log ~upto:lsn;
-    Group_commit.on_force ln.gc;
     if log_node <> t.id then send ln ~dst:t.id ~commit_path:true ~bytes:Wire.control ()
 
 (* E9 ablation: without inter-transaction caching, the node gives the

@@ -11,9 +11,10 @@ type finding = {
 
 type ast = Impl of Parsetree.structure | Intf of Parsetree.signature
 
-type source = { rel : string; ast : ast }
+type source = { rel : string; digest : string; ast : ast }
 
 type ctx = {
+  root : string;
   sources : source list;
   files : string list;
   report :
@@ -33,6 +34,7 @@ type result = {
   files_scanned : int;
   suppressed : int;
   allowlisted : int;
+  rule_seconds : (string * float) list;
 }
 
 (* ------------------------------------------------------------------ *)
@@ -78,6 +80,7 @@ let read_file path =
    parse should fail the lint gate loudly, not vanish from coverage. *)
 let parse_source ~root rel =
   let text = read_file (Filename.concat root rel) in
+  let digest = Digest.to_hex (Digest.string text) in
   let lexbuf = Lexing.from_string text in
   Lexing.set_filename lexbuf rel;
   Location.input_name := rel;
@@ -85,7 +88,7 @@ let parse_source ~root rel =
     if Filename.check_suffix rel ".mli" then Intf (Parse.interface lexbuf)
     else Impl (Parse.implementation lexbuf)
   with
-  | ast -> Ok { rel; ast }
+  | ast -> Ok { rel; digest; ast }
   | exception Syntaxerr.Error _ ->
     let p = lexbuf.Lexing.lex_curr_p in
     Error
@@ -183,7 +186,7 @@ let collect_suppressions sources =
     }
   in
   List.iter
-    (fun { rel; ast } ->
+    (fun { rel; ast; _ } ->
       let it = collect rel in
       match ast with
       | Impl s -> it.Ast_iterator.structure it s
@@ -252,7 +255,9 @@ let compare_finding a b =
       let c = compare a.col b.col in
       if c <> 0 then c else compare a.rule b.rule
 
-let run ?allowlist_file ~root ~paths ~rules () =
+(* Phase 1 in isolation: discovery + parsing, no rules.  Exposed so the
+   bench can time the parse and summary phases separately. *)
+let parse_tree ~root ~paths =
   let files = discover ~root paths in
   let sources = ref [] and parse_findings = ref [] in
   List.iter
@@ -261,7 +266,10 @@ let run ?allowlist_file ~root ~paths ~rules () =
       | Ok src -> sources := src :: !sources
       | Error f -> parse_findings := f :: !parse_findings)
     files;
-  let sources = List.rev !sources in
+  (files, List.rev !sources, List.rev !parse_findings)
+
+let run ?allowlist_file ?(clock = fun () -> 0.) ~root ~paths ~rules () =
+  let files, sources, parse_findings = parse_tree ~root ~paths in
   let suppressions = collect_suppressions sources in
   let allow = load_allowlist allowlist_file in
   let findings = ref [] and suppressed = ref 0 and allowlisted = ref 0 in
@@ -270,13 +278,21 @@ let run ?allowlist_file ~root ~paths ~rules () =
     else if is_allowlisted allow ~rule ~file ~line then incr allowlisted
     else findings := { rule; severity; file; line; col; msg } :: !findings
   in
-  let ctx = { sources; files; report } in
-  List.iter (fun r -> r.check ctx) rules;
+  let ctx = { root; sources; files; report } in
+  let rule_seconds =
+    List.map
+      (fun r ->
+        let t0 = clock () in
+        r.check ctx;
+        (r.id, clock () -. t0))
+      rules
+  in
   {
-    findings = List.sort compare_finding (!parse_findings @ !findings);
+    findings = List.sort compare_finding (parse_findings @ !findings);
     files_scanned = List.length files;
     suppressed = !suppressed;
     allowlisted = !allowlisted;
+    rule_seconds;
   }
 
 let ok r = r.findings = []
@@ -297,6 +313,8 @@ let result_to_json ~rules r =
       ("suppressed", J.Int r.suppressed);
       ("allowlisted", J.Int r.allowlisted);
       ("ok", J.Bool (ok r));
+      ( "rule_seconds",
+        J.Obj (List.map (fun (id, s) -> (id, J.Float s)) r.rule_seconds) );
       ( "findings",
         J.List
           (List.map

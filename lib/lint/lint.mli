@@ -28,11 +28,13 @@ type finding = {
 
 type ast = Impl of Parsetree.structure | Intf of Parsetree.signature
 
-type source = { rel : string; ast : ast }
+type source = { rel : string; digest : string; ast : ast }
 (** One successfully parsed file.  [rel] is the root-relative path;
-    rules key their scoping decisions off it. *)
+    rules key their scoping decisions off it.  [digest] is the MD5 hex
+    of the file text, the key of the summary cache. *)
 
 type ctx = {
+  root : string;  (** the repo root [run] was pointed at *)
   sources : source list;  (** parsed files, in path order *)
   files : string list;  (** every discovered file, parsed or not *)
   report :
@@ -50,13 +52,30 @@ type result = {
   files_scanned : int;
   suppressed : int;  (** silenced by an inline [@cbl.lint.allow] *)
   allowlisted : int;  (** silenced by the allowlist file *)
+  rule_seconds : (string * float) list;
+      (** per-rule wall time under [clock], in registry order; all zero
+          when no clock is injected *)
 }
 
+val parse_tree :
+  root:string -> paths:string list -> string list * source list * finding list
+(** Phase 1 alone: [(files, sources, parse_findings)].  The bench uses
+    it to time parsing separately from summary extraction and rules. *)
+
 val run :
-  ?allowlist_file:string -> root:string -> paths:string list -> rules:rule list -> unit -> result
+  ?allowlist_file:string ->
+  ?clock:(unit -> float) ->
+  root:string ->
+  paths:string list ->
+  rules:rule list ->
+  unit ->
+  result
 (** Lint [paths] (files or directories, relative to [root]; [_build]
     and dot-directories are skipped).  Files that fail to parse yield a
-    ["parse-error"] finding rather than aborting the run. *)
+    ["parse-error"] finding rather than aborting the run.  [clock] is
+    injected by callers that may read wall time (the library itself must
+    stay deterministic under the repo's own rng-discipline rule); it
+    feeds the per-rule timing in {!result.rule_seconds}. *)
 
 val ok : result -> bool
 (** No findings at all — the gate CI exits on. *)

@@ -15,9 +15,6 @@ let rec components = function
 
 let last_component lid = match List.rev (components lid) with s :: _ -> s | [] -> ""
 
-let parent_module lid =
-  match List.rev (components lid) with _ :: m :: _ -> Some m | _ -> None
-
 (* Visit every expression of a structure, including nested modules. *)
 let iter_exprs_in_structure f structure =
   let open Ast_iterator in
@@ -97,65 +94,74 @@ let reraises name body =
 let binding_name vb =
   match vb.pvb_pat.ppat_desc with Ppat_var v -> Some v.Asttypes.txt | _ -> None
 
-let starts_with prefix s = String.starts_with ~prefix s
 let ends_with suffix s = String.ends_with ~suffix s
 
 (* ------------------------------------------------------------------ *)
-(* Rule 1: force-sweep                                                 *)
+(* Shared whole-repo analysis (phase 1 + 2), memoized per run          *)
 (* ------------------------------------------------------------------ *)
 
-(* The force-implementation layer: the modules that ARE the force (and
-   the cost-charging layer below it) cannot pair with the sweep without
-   a dependency cycle — Group_commit wraps Log_manager, not the other
-   way round. *)
-let force_impl_layer = [ "lib/wal/group_commit.ml"; "lib/wal/log_manager.ml"; "lib/sim/env.ml" ]
-
-let is_force_ident lid =
-  let name = last_component lid in
-  (parent_module lid = Some "Log_manager"
-  && List.mem name [ "force"; "force_all"; "force_shared" ])
-  || starts_with "charge_log_force" name
-
-let force_sweep =
+(* The implementation layers each pairing rule exempts: the modules
+   that ARE the force (and the cost-charging layer below it) cannot
+   pair with the sweep without a dependency cycle — Group_commit wraps
+   Log_manager, not the other way round.  Likewise the lock manager is
+   the one place allowed a bare early release, the RNG module is where
+   draws are implemented, and Block is where the raises are minted. *)
+let analysis_config =
   {
-    Lint.id = "force-sweep";
+    Propagate.force_impl =
+      [ "lib/wal/group_commit.ml"; "lib/wal/log_manager.ml"; "lib/sim/env.ml" ];
+    elr_impl = [ "lib/lock/local_locks.ml" ];
+    rng_impl = [ "lib/util/rng.ml" ];
+    raise_impl = [ "lib/core/block.ml" ];
+    checked = in_lib;
+  }
+
+type analysis = { files : Summary.file list; prop : Propagate.t }
+
+(* The five interprocedural rules share one analysis per [Lint.run]:
+   keyed on the physical ctx, which the engine builds fresh each run. *)
+let memo : (Lint.ctx * analysis) option ref = ref None
+
+let analysis (ctx : Lint.ctx) =
+  match !memo with
+  | Some (c, a) when c == ctx -> a
+  | _ ->
+    let cache_file = Summary.default_cache_file ~root:ctx.Lint.root in
+    let files = Summary.of_sources ?cache_file ctx.Lint.sources in
+    let graph = Callgraph.build files in
+    let prop = Propagate.run analysis_config graph in
+    let a = { files; prop } in
+    memo := Some (ctx, a);
+    a
+
+(* ------------------------------------------------------------------ *)
+(* Rule 1: ipc-force-sweep (interprocedural force/sweep pairing)       *)
+(* ------------------------------------------------------------------ *)
+
+let report_cov ctx ~rule msg_of =
+  List.iter
+    (fun (c : Propagate.cov_site) ->
+      ctx.Lint.report ~rule ~file:c.Propagate.c_file ~line:c.Propagate.c_loc.Summary.line
+        ~col:c.Propagate.c_loc.Summary.col (msg_of c))
+
+let ipc_force_sweep =
+  {
+    Lint.id = "ipc-force-sweep";
     doc =
-      "a log force outside lib/wal must call Group_commit.on_force in the same top-level \
-       function (force-to-device-end invariant)";
+      "a log force outside the force-implementation layer must have a Group_commit.on_force \
+       sweep reachable in its call neighborhood — in the same function, a callee, or some \
+       caller up the graph (force-to-device-end invariant, interprocedural)";
     check =
       (fun ctx ->
-        List.iter
-          (fun { Lint.rel; ast } ->
-            match ast with
-            | Lint.Intf _ -> ()
-            | Lint.Impl structure ->
-              if in_lib rel && not (List.mem rel force_impl_layer) then
-                List.iter
-                  (fun vb ->
-                    let forces = ref [] and swept = ref false in
-                    iter_exprs_in_expr
-                      (fun e ->
-                        match e.pexp_desc with
-                        | Pexp_apply ({ pexp_desc = Pexp_ident { txt; loc }; _ }, _)
-                          when is_force_ident txt ->
-                          forces := (loc, last_component txt) :: !forces
-                        | Pexp_ident { txt; _ } when last_component txt = "on_force" ->
-                          swept := true
-                        | _ -> ())
-                      vb.pvb_expr;
-                    if not !swept then
-                      List.iter
-                        (fun (loc, name) ->
-                          Lint.report_loc ctx ~rule:"force-sweep" loc
-                            (Printf.sprintf
-                               "%s without a Group_commit.on_force sweep in %s: pending \
-                                group-commit records this force made durable would stay \
-                                pending and be lost/retried"
-                               name
-                               (Option.value (binding_name vb) ~default:"this function")))
-                        (List.rev !forces))
-                  (top_level_bindings structure))
-          ctx.Lint.sources);
+        let a = analysis ctx in
+        report_cov ctx ~rule:"ipc-force-sweep"
+          (fun c ->
+            Printf.sprintf
+              "%s in %s pairs with no reachable Group_commit.on_force sweep on any call \
+               path: pending group-commit records this force made durable would stay \
+               pending and be lost/retried"
+              c.Propagate.c_what c.Propagate.c_fn)
+          (Propagate.violations_force a.prop));
   }
 
 (* ------------------------------------------------------------------ *)
@@ -543,62 +549,120 @@ let no_unsafe_obj =
   }
 
 (* ------------------------------------------------------------------ *)
-(* Rule 9: elr-release-pairing                                          *)
+(* Rule 9: ipc-elr-pairing (interprocedural ELR release/record)        *)
 (* ------------------------------------------------------------------ *)
 
-(* The lock-manager module that implements the early release is the one
-   place allowed to apply it bare. *)
-let elr_impl_layer = [ "lib/lock/local_locks.ml" ]
-
-let elr_release_pairing =
+let ipc_elr_pairing =
   {
-    Lint.id = "elr-release-pairing";
+    Lint.id = "ipc-elr-pairing";
     doc =
-      "an early lock release (Local_locks.release_txn_early) outside lib/lock must record \
-       the released pages for commit-dependency tracking (elr_record_release) in the same \
-       top-level function: a bare release would let later acquirers observe pre-durable \
-       state with no dependency edge, silently breaking closure loss";
+      "an early lock release (Local_locks.release_txn_early) outside lib/lock must have an \
+       elr_record_release reachable in its call neighborhood — release and recording may \
+       live in different functions, but a release no caller or callee ever records would \
+       let later acquirers observe pre-durable state with no commit dependency";
     check =
       (fun ctx ->
+        let a = analysis ctx in
+        report_cov ctx ~rule:"ipc-elr-pairing"
+          (fun c ->
+            Printf.sprintf
+              "%s in %s pairs with no reachable elr_record_release on any call path: \
+               acquirers of these pages would observe pre-durable state with no commit \
+               dependency recorded"
+              c.Propagate.c_what c.Propagate.c_fn)
+          (Propagate.violations_elr a.prop));
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Rule 10: exn-flow                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let exn_flow =
+  {
+    Lint.id = "exn-flow";
+    doc =
+      "every raise of a retryable control exception (Would_block and its Node_down / \
+       Page_unavailable / Net_unreachable refinements) in lib/ must be able to reach a \
+       matching handler on some call path — a raise no driver/stress/recovery context can \
+       catch would kill the run instead of being retried";
+    check =
+      (fun ctx ->
+        let a = analysis ctx in
         List.iter
-          (fun { Lint.rel; ast } ->
-            match ast with
-            | Lint.Intf _ -> ()
-            | Lint.Impl structure ->
-              if in_lib rel && not (List.mem rel elr_impl_layer) then
+          (fun (r : Propagate.raise_site) ->
+            ctx.Lint.report ~rule:"exn-flow" ~file:r.Propagate.r_file
+              ~line:r.Propagate.r_loc.Summary.line ~col:r.Propagate.r_loc.Summary.col
+              (Printf.sprintf
+                 "raise of %s in %s can reach no matching Would_block handler on any call \
+                  path: the retry protocol never sees it"
+                 (Summary.label_name r.Propagate.r_label)
+                 r.Propagate.r_fn))
+          (Propagate.unhandled_raises a.prop));
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Rule 11: dead-handler                                               *)
+(* ------------------------------------------------------------------ *)
+
+let dead_handler =
+  {
+    Lint.id = "dead-handler";
+    doc =
+      "a handler that explicitly matches Would_block must be feedable: something its \
+       guarded body reaches (resolved callees, invoked closure fields, direct raises) can \
+       raise a label it matches — an unfeedable handler is dead protocol code or a retry \
+       boundary that drifted away from the raise it used to cover";
+    check =
+      (fun ctx ->
+        let a = analysis ctx in
+        List.iter
+          (fun (f : Summary.file) ->
+            List.iter
+              (fun (fn : Summary.fn) ->
                 List.iter
-                  (fun vb ->
-                    let releases = ref [] and recorded = ref false in
-                    iter_exprs_in_expr
-                      (fun e ->
-                        match e.pexp_desc with
-                        | Pexp_apply ({ pexp_desc = Pexp_ident { txt; loc }; _ }, _)
-                          when last_component txt = "release_txn_early" ->
-                          releases := loc :: !releases
-                        | Pexp_ident { txt; _ }
-                          when last_component txt = "elr_record_release" ->
-                          recorded := true
-                        | _ -> ())
-                      vb.pvb_expr;
-                    if not !recorded then
-                      List.iter
-                        (fun loc ->
-                          Lint.report_loc ctx ~rule:"elr-release-pairing" loc
-                            (Printf.sprintf
-                               "release_txn_early without an elr_record_release in %s: \
-                                acquirers of these pages would observe pre-durable state \
-                                with no commit dependency recorded"
-                               (Option.value (binding_name vb) ~default:"this function")))
-                        (List.rev !releases))
-                  (top_level_bindings structure))
-          ctx.Lint.sources);
+                  (fun (h : Summary.handler) ->
+                    if not (Propagate.handler_live a.prop a.files ~rel:f.Summary.rel h) then
+                      ctx.Lint.report ~rule:"dead-handler" ~file:f.Summary.rel
+                        ~line:h.Summary.h_loc.Summary.line ~col:h.Summary.h_loc.Summary.col
+                        (Printf.sprintf
+                           "handler for %s in %s: nothing its guarded body reaches can \
+                            raise a label it matches"
+                           (String.concat "/"
+                              (List.map Summary.label_name h.Summary.h_labels))
+                           fn.Summary.fn_name))
+                  fn.Summary.handlers)
+              f.Summary.fns)
+          a.files);
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Rule 12: rng-reachability                                           *)
+(* ------------------------------------------------------------------ *)
+
+let rng_reachability =
+  {
+    Lint.id = "rng-reachability";
+    doc =
+      "a sim-RNG draw in lib/ must have an Rng.create/Rng.split reachable in its call \
+       neighborhood: a draw on a stream no root ever seeds or splits is invisible to seed \
+       replay and silently breaks bit-identical reruns";
+    check =
+      (fun ctx ->
+        let a = analysis ctx in
+        report_cov ctx ~rule:"rng-reachability"
+          (fun c ->
+            Printf.sprintf
+              "%s in %s is not reachable from any seeded root (no Rng.create/Rng.split in \
+               its call neighborhood): this stream escapes seed replay"
+              c.Propagate.c_what c.Propagate.c_fn)
+          (Propagate.violations_rng a.prop));
   }
 
 (* ------------------------------------------------------------------ *)
 
 let all =
   [
-    force_sweep;
+    ipc_force_sweep;
     swallowed_control_exn;
     rng_discipline;
     crashpoint_registry;
@@ -606,7 +670,10 @@ let all =
     no_poly_compare;
     mli_coverage;
     no_unsafe_obj;
-    elr_release_pairing;
+    ipc_elr_pairing;
+    exn_flow;
+    dead_handler;
+    rng_reachability;
   ]
 
 let find id = List.find_opt (fun r -> r.Lint.id = id) all
